@@ -1,0 +1,357 @@
+// dpmd — command-line front end, the stand-in for DeePMD-kit's `dp` tool
+// plus the LAMMPS driver script:
+//
+//   dpmd init --system water|copper --out model.dpm [--seed N] [--demo]
+//   dpmd info --model model.dpm
+//   dpmd compress --model model.dpm [--interval H] [--rmin R]
+//   dpmd run --model model.dpm --system water|copper [--cells N] [--steps N]
+//            [--path baseline|tabulated|fused|mixed] [--dt FS] [--temp K]
+//            [--thermostat none|langevin|berendsen] [--dump traj.xyz]
+//            [--thermo thermo.csv] [--interval H]
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/timer.hpp"
+#include "dp/baseline_model.hpp"
+#include "fused/fused_model.hpp"
+#include "fused/mixed_model.hpp"
+#include "fused/se_r_model.hpp"
+#include "md/checkpoint.hpp"
+#include "md/dump.hpp"
+#include "md/lammps_io.hpp"
+#include "md/simulation.hpp"
+#include "parallel/distributed_md.hpp"
+#include "tab/compressed_model.hpp"
+#include "tab/model_io.hpp"
+#include "train/distributed_trainer.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using dp::core::DPModel;
+using dp::core::ModelConfig;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  int get_int(const std::string& key, int fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) throw dp::Error("expected --option, got " + key);
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+ModelConfig config_for(const std::string& system, bool demo, const std::string& descriptor) {
+  ModelConfig cfg;
+  if (system == "water") {
+    cfg = ModelConfig::water();
+    if (demo) {
+      cfg.rcut = 5.0;  // fits a single 192-atom cell
+      cfg.sel = {30, 62};
+    }
+  } else if (system == "copper") {
+    cfg = ModelConfig::copper();
+  } else {
+    throw dp::Error("unknown --system '" + system + "' (water|copper)");
+  }
+  if (demo) {
+    cfg.embed_widths = {16, 32, 64};
+    cfg.fit_widths = {64, 64, 64};
+    cfg.axis_neuron = 8;
+  }
+  if (descriptor == "se_r")
+    cfg.descriptor = dp::core::DescriptorKind::SeR;
+  else if (descriptor != "se_a")
+    throw dp::Error("unknown --descriptor '" + descriptor + "' (se_a|se_r)");
+  return cfg;
+}
+
+dp::md::Configuration system_for(const std::string& system, int cells) {
+  if (system == "water") return dp::md::make_water(cells, cells, cells);
+  return dp::md::make_fcc(6 * cells, 6 * cells, 6 * cells);
+}
+
+int cmd_init(const Args& args) {
+  const std::string system = args.get("system", "water");
+  const std::string out = args.get("out", "model.dpm");
+  DPModel model(config_for(system, args.has("demo"), args.get("descriptor", "se_a")),
+                static_cast<std::uint64_t>(args.get_int("seed", 2022)));
+  model.save(out);
+  std::printf("wrote %s model to %s\n", system.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  DPModel model = DPModel::load(args.get("model", "model.dpm"));
+  const ModelConfig& c = model.config();
+  std::printf("cutoff        %.2f A (smooth from %.2f A)\n", c.rcut, c.rcut_smth);
+  std::printf("types         %d\n", c.ntypes);
+  std::printf("sel           ");
+  for (int s : c.sel) std::printf("%d ", s);
+  std::printf(" (N_m = %d)\n", c.nm());
+  std::printf("embedding     ");
+  for (std::size_t w : c.embed_widths) std::printf("%zu ", w);
+  std::printf(" (M = %zu)\n", c.m());
+  std::printf("axis neurons  %zu (descriptor %zu)\n", c.axis_neuron, c.descriptor_dim());
+  std::printf("fitting       ");
+  for (std::size_t w : c.fit_widths) std::printf("%zu ", w);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_compress(const Args& args) {
+  DPModel model = DPModel::load(args.get("model", "model.dpm"));
+  const double interval = args.get_double("interval", 0.01);
+  const double rmin = args.get_double("rmin", 0.8);
+  dp::tab::TabulationSpec spec{
+      0.0, dp::tab::TabulatedDP::s_max(model.config(), rmin), interval};
+  dp::WallTimer t;
+  dp::tab::TabulatedDP tab(model, spec);
+  std::printf("tabulated %d embedding net(s) over s in [0, %.3f], interval %.4g\n",
+              model.config().ntypes, spec.hi, interval);
+  std::printf("table size %.2f MB, built in %.2f s\n",
+              static_cast<double>(tab.total_bytes()) / 1e6, t.seconds());
+  if (args.has("out")) {
+    dp::tab::save_compressed_model(args.get("out"), tab);
+    std::printf("wrote compressed bundle to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  // Either a raw model (tables built on the fly) or a compressed bundle.
+  std::unique_ptr<dp::tab::CompressedModel> bundle;
+  std::unique_ptr<DPModel> owned_model;
+  std::unique_ptr<dp::tab::TabulatedDP> owned_tab;
+  if (args.has("compressed")) {
+    bundle = std::make_unique<dp::tab::CompressedModel>(
+        dp::tab::CompressedModel::load(args.get("compressed")));
+  } else {
+    owned_model = std::make_unique<DPModel>(DPModel::load(args.get("model", "model.dpm")));
+  }
+  const DPModel& model = bundle ? bundle->model() : *owned_model;
+  const std::string system = args.get("system", "water");
+  auto sys = args.has("data") ? dp::md::read_lammps_data(args.get("data"))
+                              : system_for(system, args.get_int("cells", 1));
+  if (args.has("data"))
+    std::printf("loaded %zu atoms from %s\n", sys.atoms.size(), args.get("data").c_str());
+  bool restarted = false;
+  if (args.has("restart")) {
+    const auto ck = dp::md::load_checkpoint(args.get("restart"));
+    sys = ck.config;
+    restarted = true;
+    std::printf("restarted from %s (step %d, %zu atoms)\n", args.get("restart").c_str(),
+                ck.step, sys.atoms.size());
+  }
+
+  if (!bundle) {
+    const double rmin = args.get_double("rmin", system == "water" ? 0.8 : 1.8);
+    dp::tab::TabulationSpec spec{0.0, dp::tab::TabulatedDP::s_max(model.config(), rmin),
+                                 args.get_double("interval", 0.01)};
+    owned_tab = std::make_unique<dp::tab::TabulatedDP>(model, spec);
+  }
+  const dp::tab::TabulatedDP& tabulated = bundle ? bundle->tabulated() : *owned_tab;
+
+  std::string path = args.get("path", "fused");
+  if (model.config().descriptor == dp::core::DescriptorKind::SeR) path = "se_r";
+  std::unique_ptr<dp::md::ForceField> ff;
+  if (path == "se_r")
+    ff = std::make_unique<dp::fused::SeRFusedDP>(tabulated);
+  else if (path == "baseline")
+    ff = std::make_unique<dp::core::BaselineDP>(model);
+  else if (path == "tabulated")
+    ff = std::make_unique<dp::tab::CompressedDP>(tabulated);
+  else if (path == "fused")
+    ff = std::make_unique<dp::fused::FusedDP>(tabulated);
+  else if (path == "mixed")
+    ff = std::make_unique<dp::fused::MixedFusedDP>(tabulated);
+  else
+    throw dp::Error("unknown --path '" + path + "'");
+
+  dp::md::SimulationConfig sc;
+  sc.steps = args.get_int("steps", 99);
+  sc.dt = args.get_double("dt", system == "water" ? 0.5 : 1.0) * 1e-3;  // fs -> ps
+  sc.temperature = args.get_double("temp", 330.0);
+  sc.skin = args.get_double("skin", 1.0);
+  sc.thermo_every = args.get_int("thermo-every", 10);
+
+  // Domain-decomposed run on in-process ranks (fused path only; the serial
+  // driver below additionally supports thermostats and trajectory dumps).
+  if (args.get_int("ranks", 1) > 1) {
+    const int ranks = args.get_int("ranks", 1);
+    sc.rebuild_every = args.get_int("rebuild-every", 10);
+    std::printf("%s | %zu atoms | distributed on %d ranks | %d steps\n", system.c_str(),
+                sys.atoms.size(), ranks, sc.steps);
+    const auto result = dp::par::run_distributed_md(
+        ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); }, sc);
+    std::printf("%6s %14s %10s\n", "step", "E_tot [eV]", "T [K]");
+    for (const auto& s : result.thermo)
+      std::printf("%6d %14.6f %10.2f\n", s.step, s.total(), s.temperature);
+    std::printf("comm: %.1f KB in %llu messages; max ghosts/rank %zu; wall %.2f s\n",
+                result.comm.bytes / 1024.0,
+                static_cast<unsigned long long>(result.comm.messages),
+                result.max_ghost_atoms, result.wall_seconds);
+    return 0;
+  }
+
+  // A restart must keep the checkpointed velocities: the driver
+  // re-thermalizes at sc.temperature, so stash and restore them.
+  const auto restart_velocities = sys.atoms.vel;
+
+  std::unique_ptr<dp::md::Thermostat> thermostat;
+  const std::string tname = args.get("thermostat", "none");
+  if (tname == "langevin")
+    thermostat = std::make_unique<dp::md::LangevinThermostat>(sc.temperature, 0.1);
+  else if (tname == "berendsen")
+    thermostat = std::make_unique<dp::md::BerendsenThermostat>(sc.temperature, 0.1);
+  else if (tname == "nose-hoover")
+    thermostat = std::make_unique<dp::md::NoseHooverThermostat>(sc.temperature, 0.1);
+  else if (tname != "none")
+    throw dp::Error("unknown --thermostat '" + tname + "'");
+  sc.thermostat = thermostat.get();
+
+  std::unique_ptr<dp::md::BerendsenBarostat> barostat;
+  if (args.has("pressure")) {
+    barostat = std::make_unique<dp::md::BerendsenBarostat>(args.get_double("pressure", 0.0),
+                                                           0.1, 1e-5);
+    sc.barostat = barostat.get();
+  }
+
+  dp::md::Simulation md(sys, *ff, sc);
+  if (restarted) md.configuration().atoms.vel = restart_velocities;
+
+  std::unique_ptr<dp::md::XyzWriter> dump;
+  if (args.has("dump")) {
+    const std::vector<std::string> symbols =
+        system == "water" ? std::vector<std::string>{"O", "H"}
+                          : std::vector<std::string>{"Cu"};
+    dump = std::make_unique<dp::md::XyzWriter>(args.get("dump"), symbols);
+  }
+  std::unique_ptr<dp::md::ThermoCsvWriter> thermo_csv;
+  if (args.has("thermo")) thermo_csv = std::make_unique<dp::md::ThermoCsvWriter>(args.get("thermo"));
+
+  std::printf("%s | %zu atoms | path=%s | dt=%.3g fs | %d steps | thermostat=%s\n",
+              system.c_str(), md.configuration().atoms.size(), path.c_str(), sc.dt * 1e3,
+              sc.steps, tname.c_str());
+  std::printf("%6s %14s %10s %12s\n", "step", "E_tot [eV]", "T [K]", "P [bar]");
+  md.on_thermo = [&](int step, const dp::md::ThermoSample& s) {
+    std::printf("%6d %14.6f %10.2f %12.1f\n", step, s.total(), s.temperature,
+                s.pressure_bar);
+    if (thermo_csv) thermo_csv->write(s);
+    if (dump) dump->write_frame(md.configuration().box, md.configuration().atoms,
+                                "step=" + std::to_string(step));
+  };
+
+  dp::WallTimer t;
+  md.run();
+  const double per_atom = t.seconds() / md.force_evaluations() /
+                          static_cast<double>(md.configuration().atoms.size()) * 1e6;
+  std::printf("done: %.3f us/step/atom\n", per_atom);
+  if (args.has("save-checkpoint")) {
+    dp::md::save_checkpoint(args.get("save-checkpoint"), md.configuration(),
+                            md.current_step());
+    std::printf("checkpoint written to %s\n", args.get("save-checkpoint").c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  // Train a (tiny) model on LJ-labelled copper frames, then save it.
+  const int frames = args.get_int("frames", 16);
+  const int epochs = args.get_int("epochs", 10);
+  dp::core::ModelConfig cfg = dp::core::ModelConfig::tiny();
+  cfg.rcut = 4.0;
+  DPModel model(cfg, static_cast<std::uint64_t>(args.get_int("seed", 2022)));
+  auto data = dp::train::Dataset::lj_copper(frames, args.get_int("cells", 2), 0.12,
+                                            static_cast<std::uint64_t>(args.get_int("seed", 2022)));
+  dp::train::TrainConfig tc;
+  tc.learning_rate = args.get_double("lr", 3e-3);
+  tc.pref_f = args.get_double("pref-f", 0.0);
+
+  if (args.get_int("ranks", 1) > 1) {
+    const int ranks = args.get_int("ranks", 1);
+    std::printf("data-parallel training on %d in-process ranks\n", ranks);
+    const auto r = dp::train::train_distributed(ranks, model, data, tc, epochs);
+    for (int e = 0; e < epochs; ++e)
+      std::printf("epoch %3d: RMSE %.6f eV/atom\n", e + 1,
+                  r.epoch_rmse[static_cast<std::size_t>(e)]);
+    const std::string out = args.get("out", "trained.dpm");
+    model.save(out);
+    std::printf("wrote trained model to %s\n", out.c_str());
+    return 0;
+  }
+
+  dp::train::EnergyTrainer trainer(model, tc);
+  std::printf("initial RMSE %.6f eV/atom (forces %.4f eV/A)\n", trainer.evaluate(data),
+              trainer.evaluate_forces(data));
+  for (int e = 1; e <= epochs; ++e) {
+    const double rmse = trainer.epoch(data);
+    std::printf("epoch %3d: RMSE %.6f eV/atom\n", e, rmse);
+  }
+  std::printf("final force RMSE %.4f eV/A\n", trainer.evaluate_forces(data));
+  const std::string out = args.get("out", "trained.dpm");
+  model.save(out);
+  std::printf("wrote trained model to %s\n", out.c_str());
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: dpmd <command> [--option value ...]\n"
+      "  init      create a model file       (--system water|copper --out F [--demo])\n"
+      "  info      describe a model file     (--model F)\n"
+      "  compress  tabulate a model          (--model F [--interval H] [--rmin R])\n"
+      "  run       molecular dynamics        (--model F | --compressed F) --system S\n"
+      "            [--path baseline|tabulated|fused|mixed] [--cells N] [--steps N]\n"
+      "            [--dt FS] [--temp K] [--thermostat none|langevin|berendsen|nose-hoover]\n"
+      "            [--pressure BAR]\n"
+      "            [--dump traj.xyz] [--thermo out.csv] [--ranks N]\n"
+      "            [--restart ckpt] [--save-checkpoint ckpt] [--data lammps.data]\n"
+      "  train     fit a model to LJ labels    (--frames N --epochs N [--pref-f W] --out F)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "init") return cmd_init(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "compress") return cmd_compress(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "train") return cmd_train(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dpmd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,44 @@
+// Fig 10: strong scaling of the copper system — 13,500,000 atoms on Summit,
+// 2,177,280 on Fugaku (paper anchors at 4,560 nodes: 35.96% / 11.2 ns/day
+// and 32.76% / 4.7 ns/day). Also validates the Sec 6.4.1 ghost-to-local
+// ratio argument (113 local vs 1,735 ghost atoms per Fugaku rank).
+#include <cstdio>
+#include <vector>
+
+#include "perf/scaling_model.hpp"
+
+using namespace dp::perf;
+
+namespace {
+
+void run(const MachineSystem& sys, std::size_t natoms) {
+  ScalingModel model(sys, WorkloadSpec::copper(), Path::Fused);
+  const std::vector<int> nodes{20, 40, 80, 160, 285, 570, 1140, 2280, 4560};
+  const auto curve = model.strong_curve(natoms, nodes);
+  std::printf("\n%s — %zu copper atoms\n", sys.name.c_str(), natoms);
+  std::printf("%8s %14s %14s %12s %12s %12s\n", "nodes", "s/step", "efficiency", "ns/day",
+              "atoms/rank", "ghost/rank");
+  for (const auto& p : curve)
+    std::printf("%8d %14.5f %13.1f%% %12.2f %12.0f %12.0f\n", p.nodes, p.step_seconds,
+                100.0 * p.efficiency, p.ns_per_day, p.atoms_per_rank,
+                model.ghost_atoms_per_rank(p.atoms_per_rank));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 10 reproduction — strong scaling, copper (99-step protocol)\n");
+  run(MachineSystem::summit(), 13'500'000);
+  run(MachineSystem::fugaku(), 2'177'280);
+
+  // The Sec 6.4.1 communication-ratio check.
+  ScalingModel fugaku(MachineSystem::fugaku(), WorkloadSpec::copper(), Path::Fused);
+  const double local = 2'177'280.0 / (4560.0 * 16.0);
+  std::printf("\nSec 6.4.1 check — Fugaku at 4,560 nodes: %.0f local atoms/rank with a\n"
+              "modeled ghost region of %.0f (paper: 113 local, 1,735 ghost).\n", local,
+              fugaku.ghost_atoms_per_rank(local));
+  std::printf("\nPaper anchors at 4,560 nodes: Summit 35.96%% / 11.2 ns/day; Fugaku\n"
+              "32.76%% / 4.7 ns/day. Copper decays faster than water: smaller system,\n"
+              "larger cutoff, so the ghost share grows sooner.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 11: weak scaling from 1/256 of each machine to the full machine,
+// at the per-rank sizes of the paper (Summit copper: 122,779 atoms/rank;
+// Fugaku copper: 6,804). Reports the modeled FLOPS and the maximum system
+// size — the paper's 3.4 / 17 billion copper atoms and 43.7 / 119 PFLOPS.
+#include <cstdio>
+#include <vector>
+
+#include "perf/scaling_model.hpp"
+
+using namespace dp::perf;
+
+namespace {
+
+void run(const MachineSystem& sys, const WorkloadSpec& wl, std::size_t atoms_per_rank,
+         const std::vector<int>& nodes) {
+  ScalingModel model(sys, wl, Path::Fused);
+  std::printf("\n%s — %s, %zu atoms per rank\n", sys.name.c_str(), wl.name.c_str(),
+              atoms_per_rank);
+  std::printf("%8s %16s %14s %12s %16s\n", "nodes", "atoms", "s/step", "PFLOPS",
+              "TtS [s/step/atom]");
+  for (const auto& p : model.weak_curve(atoms_per_rank, nodes))
+    std::printf("%8d %16zu %14.4f %12.2f %16.2e\n", p.nodes, p.atoms, p.step_seconds,
+                p.pflops, p.tts_s_step_atom);
+  std::printf("memory-capacity bound at %d nodes: %.2f billion atoms\n", nodes.back(),
+              static_cast<double>(model.max_atoms(nodes.back())) / 1e9);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 11 reproduction — weak scaling to the full machines\n");
+
+  const std::vector<int> summit_nodes{18, 71, 285, 1140, 4560};
+  const std::vector<int> fugaku_nodes{39, 155, 621, 2484, 9936, 39744, 157986};
+
+  run(MachineSystem::summit(), WorkloadSpec::copper(), 122'779, summit_nodes);
+  run(MachineSystem::summit(), WorkloadSpec::water(), 142'000, summit_nodes);
+  run(MachineSystem::fugaku(), WorkloadSpec::copper(), 6'804, fugaku_nodes);
+  run(MachineSystem::fugaku(), WorkloadSpec::water(), 9'800, fugaku_nodes);
+
+  std::printf(
+      "\nPaper anchors: copper reaches 3.4 B atoms / 43.7 PFLOPS / TtS 1.1e-10 on\n"
+      "full Summit and a projected 17.3 B atoms / 119 PFLOPS / TtS 4.1e-11 on\n"
+      "full Fugaku (dotted line); water reaches 3.9 B and a projected 24.9 B.\n"
+      "Expected shape: flat step time (perfect weak scaling), FLOPS linear in\n"
+      "nodes, capacity linear in nodes.\n");
+  return 0;
+}

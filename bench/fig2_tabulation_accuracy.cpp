@@ -1,0 +1,80 @@
+// Fig 2: accuracy of the tabulated model vs the original network, for
+// interval sizes 0.1 / 0.01 / 0.001 (paper: RMSE_E falls from ~2e-5 to the
+// double-precision floor ~5e-15 eV/atom; RMSE_F from ~6e-5 to ~4e-13 eV/A).
+//
+// The stand-in networks are sharpened (weights x1.5, see bench_util.hpp) so
+// their curvature — and therefore the interpolation error magnitudes —
+// lands in the range of the paper's trained models. The law being
+// reproduced is the monotone collapse onto the double-precision floor and
+// the growth of the table with 1/interval.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dp/baseline_model.hpp"
+
+using namespace dpbench;
+
+namespace {
+
+void run_system(const char* label,
+                std::unique_ptr<Workload> (*make)(double),
+                int n_frames) {
+  std::printf("\n%s (%d test configurations)\n", label, n_frames);
+  std::printf("%10s %14s %18s %18s\n", "interval", "table [MB]", "RMSE_E [eV/atom]",
+              "RMSE_F [eV/A]");
+  print_rule();
+
+  for (double interval : {0.1, 0.01, 0.001}) {
+    auto w = make(interval);
+    dp::core::BaselineDP reference(w->model);
+    dp::tab::CompressedDP compressed(w->tabulated);
+
+    double se = 0.0, sf = 0.0;
+    std::size_t n_atoms = 0;
+    dp::Rng rng(1234);
+    for (int frame = 0; frame < n_frames; ++frame) {
+      // Thermal-like disorder: perturb each frame independently.
+      dp::md::Configuration frame_sys = w->sys;
+      for (auto& r : frame_sys.atoms.pos)
+        r += dp::Vec3{rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05),
+                      rng.uniform(-0.05, 0.05)};
+      dp::md::NeighborList nl(w->model.config().rcut, 1.0);
+      nl.build(frame_sys.box, frame_sys.atoms.pos, SIZE_MAX, w->periodic);
+
+      dp::md::Atoms ref_atoms = frame_sys.atoms;
+      reference.compute(frame_sys.box, ref_atoms, nl, w->periodic);
+      const auto ref_e = reference.atom_energies();
+
+      dp::md::Atoms tab_atoms = frame_sys.atoms;
+      compressed.compute(frame_sys.box, tab_atoms, nl, w->periodic);
+      const auto tab_e = compressed.atom_energies();
+
+      for (std::size_t i = 0; i < ref_atoms.size(); ++i) {
+        se += (tab_e[i] - ref_e[i]) * (tab_e[i] - ref_e[i]);
+        sf += norm2(tab_atoms.force[i] - ref_atoms.force[i]);
+      }
+      n_atoms += ref_atoms.size();
+    }
+    const double rmse_e = std::sqrt(se / static_cast<double>(n_atoms));
+    const double rmse_f = std::sqrt(sf / (3.0 * static_cast<double>(n_atoms)));
+    std::printf("%10.3f %14.2f %18.3e %18.3e\n", interval,
+                static_cast<double>(w->tabulated.total_bytes()) / 1e6, rmse_e, rmse_f);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 2 reproduction — tabulated vs original DP model accuracy\n");
+  run_system("water", [](double interval) {
+    return water_workload(interval, true, /*sharpen=*/1.5);
+  }, 5);
+  run_system("copper", [](double interval) {
+    return copper_workload(interval, true, 3, /*sharpen=*/1.5);
+  }, 5);
+  std::printf("\nExpected shape (paper): RMSE drops by orders of magnitude per 10x finer\n"
+              "interval until the double-precision floor; table size grows ~10x per step\n"
+              "(paper water: 33 MB at 0.01, 257 MB at 0.001 for its wider s-domain).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 4: bypassing the redundant (padded) zeros. The copper model reserves
+// N_m = 500 slots for high-pressure states, but ambient FCC fills ~180 —
+// the fused kernel skips the rest. This harness sweeps the reserve to show
+// speedup ~ 1 / (1 - padding fraction).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dpbench;
+
+int main() {
+  std::printf("Fig 4 reproduction — redundancy removal vs padding ratio (copper)\n\n");
+  std::printf("%8s %12s %16s %16s %10s\n", "N_m", "padding", "no-skip us/atom",
+              "skip us/atom", "speedup");
+  print_rule();
+
+  for (int nm : {192, 256, 384, 500}) {
+    dp::core::ModelConfig cfg = dp::core::ModelConfig::copper();
+    cfg.sel = {nm};
+    cfg.embed_widths = {16, 32, 64};  // demo nets: this figure is about slots
+    cfg.fit_widths = {64, 64, 64};
+    cfg.axis_neuron = 8;
+
+    auto block = dp::md::make_fcc(4, 4, 4, 3.634, 63.546, 0.08, 7);
+    dp::md::Configuration cluster;
+    cluster.box = dp::md::Box(200, 200, 200);
+    cluster.atoms = block.atoms;
+    for (auto& r : cluster.atoms.pos) r += dp::Vec3{80, 80, 80};
+
+    Workload w(cfg, 40, 0.01, 1.8, std::move(cluster), 1.0, false);
+    const std::size_t n = w.sys.atoms.size();
+
+    dp::fused::FusedDP no_skip(w.tabulated, {.skip_padding = false});
+    dp::fused::FusedDP skip(w.tabulated, {.skip_padding = true});
+    const double t0 = time_force_eval(no_skip, w);
+    const double t1 = time_force_eval(skip, w);
+    std::printf("%8d %11.1f%% %16.3f %16.3f %9.2fx\n", nm,
+                100.0 * skip.env().padding_fraction(), t0 / n * 1e6, t1 / n * 1e6, t0 / t1);
+  }
+  std::printf("\nExpected shape (paper): the skip time is flat (work ~ real neighbors)\n"
+              "while the no-skip time grows with the reserve, so the speedup grows\n"
+              "with the padding ratio — why copper gains more than water (Sec 6.1.3).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig 5: AoS <-> SoA conversion of descrpt_a_deriv (12 components per
+// neighbor). Compares the scalar strided transpose against the blocked
+// 12 x 8 in-register kernel that mirrors the paper's SVE sequence.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/soa.hpp"
+
+namespace {
+
+std::vector<double> make_aos(std::size_t n) {
+  dp::Rng rng(1);
+  std::vector<double> v(n * dp::kDerivWidth);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+void BM_AosToSoaReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto aos = make_aos(n);
+  std::vector<double> soa(aos.size());
+  for (auto _ : state) {
+    dp::aos_to_soa_reference(aos.data(), soa.data(), n, dp::kDerivWidth);
+    benchmark::DoNotOptimize(soa.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * aos.size() * 8));
+}
+
+void BM_AosToSoaBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto aos = make_aos(n);
+  std::vector<double> soa(aos.size());
+  for (auto _ : state) {
+    dp::aos_to_soa_deriv(aos.data(), soa.data(), n);
+    benchmark::DoNotOptimize(soa.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * aos.size() * 8));
+}
+
+void BM_SoaToAosBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto aos = make_aos(n);
+  std::vector<double> soa(aos.size()), back(aos.size());
+  dp::aos_to_soa_deriv(aos.data(), soa.data(), n);
+  for (auto _ : state) {
+    dp::soa_to_aos_deriv(soa.data(), back.data(), n);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * aos.size() * 8));
+}
+
+}  // namespace
+
+BENCHMARK(BM_AosToSoaReference)->Arg(512)->Arg(8192)->Arg(131072);
+BENCHMARK(BM_AosToSoaBlocked)->Arg(512)->Arg(8192)->Arg(131072);
+BENCHMARK(BM_SoaToAosBlocked)->Arg(8192);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Fig 9: strong scaling of the water system — 41,472,000 atoms on Summit,
+// 8,294,400 on Fugaku, 20 -> 4,560 nodes. Projected through the calibrated
+// roofline + ghost-communication model (dp::perf), the same methodology the
+// paper itself uses for machine-scale projections.
+//
+// Paper anchors: parallel efficiency at 4,560 nodes = 46.99% (Summit) and
+// 41.20% (Fugaku); time-to-solution 6.0 and 2.1 ns/day.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "fused/fused_model.hpp"
+#include "parallel/distributed_md.hpp"
+#include "perf/scaling_model.hpp"
+#include "tab/tabulated_model.hpp"
+
+using namespace dp::perf;
+
+namespace {
+
+void run(const MachineSystem& sys, std::size_t natoms) {
+  ScalingModel model(sys, WorkloadSpec::water(), Path::Fused);
+  const std::vector<int> nodes{20, 40, 80, 160, 285, 570, 1140, 2280, 4560};
+  const auto curve = model.strong_curve(natoms, nodes);
+  std::printf("\n%s — %zu water atoms\n", sys.name.c_str(), natoms);
+  std::printf("%8s %14s %14s %12s %12s\n", "nodes", "s/step", "efficiency", "ns/day",
+              "atoms/rank");
+  for (const auto& p : curve)
+    std::printf("%8d %14.5f %13.1f%% %12.2f %12.0f\n", p.nodes, p.step_seconds,
+                100.0 * p.efficiency, p.ns_per_day, p.atoms_per_rank);
+}
+
+}  // namespace
+
+// Measured miniature: the same strong-scaling protocol executed for real on
+// in-process ranks (1 core), validating the ghost-communication pattern the
+// projection rests on: comm volume per step grows as ranks shrink the
+// sub-regions while the physics stays identical.
+void run_measured() {
+  dp::core::ModelConfig cfg = dp::core::ModelConfig::tiny();
+  cfg.rcut = 4.0;
+  dp::core::DPModel model(cfg, 5);
+  dp::tab::TabulatedDP tab(model,
+                           {0.0, dp::tab::TabulatedDP::s_max(cfg, 0.9), 0.01});
+  auto sys = dp::md::make_fcc(8, 8, 8, 3.634, 63.546, 0.05, 3);
+  dp::md::SimulationConfig sc;
+  sc.dt = 0.001;
+  sc.steps = 8;
+  sc.skin = 1.0;
+  sc.rebuild_every = 4;
+  sc.thermo_every = 8;
+  std::printf("\nmeasured miniature (in-process ranks, %zu atoms, 8 steps):\n",
+              sys.atoms.size());
+  std::printf("%8s %14s %16s %14s\n", "ranks", "atoms/rank", "comm KB/step", "E drift [eV]");
+  for (int ranks : {1, 2, 4, 8}) {
+    const auto r = dp::par::run_distributed_md(
+        ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tab); }, sc);
+    std::printf("%8d %14zu %16.1f %14.2e\n", ranks, sys.atoms.size() / ranks,
+                r.comm.bytes / 1024.0 / sc.steps,
+                r.thermo.back().total() - r.thermo.front().total());
+  }
+}
+
+int main() {
+  std::printf("Fig 9 reproduction — strong scaling, water (99-step protocol)\n");
+  run(MachineSystem::summit(), 41'472'000);
+  run(MachineSystem::fugaku(), 8'294'400);
+  run_measured();
+  std::printf(
+      "\nPaper anchors at 4,560 nodes: Summit 46.99%% efficiency / 6.0 ns/day;\n"
+      "Fugaku 41.20%% / 2.1 ns/day. Expected shape: near-perfect scaling to a\n"
+      "few hundred nodes, then decay as the fixed per-step cost and the ghost\n"
+      "traffic dominate the shrinking sub-regions.\n");
+  return 0;
+}

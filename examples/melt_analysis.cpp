@@ -1,0 +1,75 @@
+// Structural analysis on top of DP-MD: heat a copper crystal with a Langevin
+// thermostat and watch the solid->disordered transition through the radial
+// distribution function and the mean-square displacement — the kind of
+// application campaign (melting, nucleation, phase transitions) the paper's
+// introduction motivates.
+//
+//   build/examples/melt_analysis [hot_temperature_K]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fused/fused_model.hpp"
+#include "md/observables.hpp"
+#include "md/simulation.hpp"
+#include "tab/tabulated_model.hpp"
+
+namespace {
+
+void report(const char* label, const dp::md::Configuration& sys, double msd) {
+  const auto rdf = dp::md::compute_rdf(sys.box, sys.atoms, 6.5, 130);
+  const std::size_t peak = rdf.first_peak();
+  // Structural order proxy: depth of the minimum after the first peak
+  // relative to the peak (deep minimum = solid shells, shallow = disorder).
+  double g_min = rdf.g[peak];
+  for (std::size_t b = peak; b < rdf.g.size() && rdf.r[b] < rdf.r[peak] * 1.45; ++b)
+    g_min = std::min(g_min, rdf.g[b]);
+  std::printf("%-18s first peak at %.2f A (g = %5.2f), following minimum g = %5.2f, "
+              "MSD = %7.4f A^2\n",
+              label, rdf.r[peak], rdf.g[peak], g_min, msd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double hot = argc > 1 ? std::atof(argv[1]) : 700.0;
+
+  dp::core::ModelConfig cfg = dp::core::ModelConfig::copper();
+  cfg.embed_widths = {16, 32, 64};
+  cfg.fit_widths = {64, 64, 64};
+  cfg.axis_neuron = 8;
+  dp::core::DPModel model(cfg, 7);
+  dp::tab::TabulationSpec spec{0.0, dp::tab::TabulatedDP::s_max(cfg, 1.2), 0.01};
+  dp::tab::TabulatedDP compressed(model, spec);
+  dp::fused::FusedDP ff(compressed);
+
+  auto sys = dp::md::make_fcc(6, 6, 6);
+  std::printf("copper, %zu atoms; cold run at 150 K, hot run at %.0f K\n\n",
+              sys.atoms.size(), hot);
+
+  for (double temperature : {150.0, hot}) {
+    dp::md::LangevinThermostat thermostat(temperature, 0.05, 11);
+    dp::md::SimulationConfig sc;
+    sc.dt = 0.002;
+    sc.steps = 60;
+    sc.temperature = temperature;
+    sc.skin = 1.0;
+    sc.thermo_every = 60;
+    sc.thermostat = &thermostat;
+    dp::md::Simulation md(sys, ff, sc);
+
+    dp::md::MsdAccumulator msd(md.configuration().box);
+    msd.reset(md.configuration().atoms.pos);
+    for (int s = 0; s < sc.steps; ++s) {
+      md.step();
+      msd.update(md.configuration().atoms.pos);
+    }
+    report(temperature < 500 ? "cold (150 K):" : "hot:", md.configuration(), msd.msd());
+  }
+
+  std::printf("\nReading: heating broadens the first RDF peak, fills in the minimum\n"
+              "behind it, and grows the MSD — the structural signatures an actual\n"
+              "melting study would track with this library at scale. (The seeded\n"
+              "stand-in potential binds weakly, so disorder sets in well below\n"
+              "copper's real melting point.)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Domain-decomposed parallel MD with communication accounting — a miniature
+// of the paper's Sec 6.4 scaling experiments, run on in-process ranks.
+//
+//   build/examples/scaling_study [max_ranks]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "fused/fused_model.hpp"
+#include "parallel/distributed_md.hpp"
+#include "tab/tabulated_model.hpp"
+
+int main(int argc, char** argv) {
+  const int max_ranks = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  dp::core::ModelConfig cfg = dp::core::ModelConfig::tiny();
+  cfg.rcut = 4.0;
+  dp::core::DPModel model(cfg, 5);
+  dp::tab::TabulationSpec spec{0.0, dp::tab::TabulatedDP::s_max(cfg, 0.9), 0.01};
+  dp::tab::TabulatedDP compressed(model, spec);
+
+  auto system = dp::md::make_fcc(8, 8, 8, 3.634, 63.546, 0.05, 3);
+  std::printf("copper-like system: %zu atoms, box %.1f A\n\n", system.atoms.size(),
+              system.box.lengths().x);
+
+  dp::md::SimulationConfig sim;
+  sim.dt = 0.001;
+  sim.steps = 10;
+  sim.temperature = 330.0;
+  sim.skin = 1.0;
+  sim.rebuild_every = 5;
+  sim.thermo_every = 10;
+
+  std::printf("%6s %8s %12s %12s %14s %12s\n", "ranks", "grid", "local atoms", "ghosts",
+              "comm [KB]", "drift [eV]");
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    dp::par::DistributedOptions opts;
+    const auto result = dp::par::run_distributed_md(
+        ranks, system, [&] { return std::make_unique<dp::fused::FusedDP>(compressed); }, sim,
+        opts);
+    const auto grid = dp::par::Decomp::choose_grid(system.box, ranks);
+    const double drift =
+        result.thermo.back().total() - result.thermo.front().total();
+    std::printf("%6d %2dx%1dx%1d %12zu %12zu %14.1f %12.2e\n", ranks, grid[0], grid[1],
+                grid[2], result.max_local_atoms, result.max_ghost_atoms,
+                result.comm.bytes / 1024.0, drift);
+  }
+  std::printf("\nghost counts and traffic grow with rank count while the physics\n"
+              "(energy drift) is rank-count independent — Sec 3.3's granularity point.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Bulk water MD comparing all three inference paths on the same trajectory
+// start: baseline network, tabulated (unfused), and fused+redundancy-skip.
+// Demonstrates that the optimizations preserve the physics while changing
+// the per-step cost.
+//
+//   build/examples/water_bulk [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.hpp"
+#include "dp/baseline_model.hpp"
+#include "fused/fused_model.hpp"
+#include "md/simulation.hpp"
+#include "tab/compressed_model.hpp"
+
+namespace {
+
+struct RunReport {
+  double e0, drift, us_step_atom;
+};
+
+RunReport run(dp::md::ForceField& ff, const dp::md::Configuration& sys, int steps) {
+  dp::md::SimulationConfig sim;
+  sim.dt = 0.0005;  // 0.5 fs (paper water protocol)
+  sim.steps = steps;
+  sim.temperature = 330.0;
+  sim.thermo_every = steps;
+  sim.skin = 1.0;
+  sim.seed = 42;  // identical initial velocities across paths
+  dp::md::Simulation md(sys, ff, sim);
+  dp::WallTimer t;
+  const auto& trace = md.run();
+  const double wall = t.seconds();
+  return {trace.front().total(), trace.back().total() - trace.front().total(),
+          wall / md.force_evaluations() / static_cast<double>(sys.atoms.size()) * 1e6};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  dp::core::ModelConfig cfg = dp::core::ModelConfig::water();
+  cfg.embed_widths = {16, 32, 64};
+  cfg.fit_widths = {64, 64, 64};
+  cfg.axis_neuron = 8;
+  cfg.rcut = 5.0;  // demo cutoff fitting the single water cell
+  cfg.sel = {30, 62};
+  dp::core::DPModel model(cfg, 2022);
+  dp::tab::TabulationSpec spec{0.0, dp::tab::TabulatedDP::s_max(cfg, 0.8), 0.01};
+  dp::tab::TabulatedDP compressed(model, spec);
+
+  auto sys = dp::md::make_water(1, 1, 1);
+  std::printf("bulk water: %zu atoms, %d steps of 0.5 fs\n\n", sys.atoms.size(), steps);
+
+  dp::core::BaselineDP baseline(model);
+  dp::tab::CompressedDP tabulated(compressed);
+  dp::fused::FusedDP fused(compressed);
+
+  std::printf("%-22s %14s %14s %16s\n", "path", "E(0) [eV]", "drift [eV]", "us/step/atom");
+  for (auto [name, ff] : {std::pair<const char*, dp::md::ForceField*>{"baseline network",
+                                                                      &baseline},
+                          {"tabulated (unfused)", &tabulated},
+                          {"fused + skip", &fused}}) {
+    const RunReport r = run(*ff, sys, steps);
+    std::printf("%-22s %14.6f %14.2e %16.3f\n", name, r.e0, r.drift, r.us_step_atom);
+  }
+  std::printf("\nall three paths start from the same energy (the tabulated ones differ\n"
+              "by the interpolation error) and conserve it; only the cost changes.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "bp/bp_trainer.hpp"
+
+#include <cmath>
+
+namespace dp::bp {
+
+namespace {
+using Grads = std::vector<std::vector<nn::DenseLayer::Grads>>;
+
+Grads make_grads(BehlerParrinello& bp) {
+  Grads g(static_cast<std::size_t>(bp.config().ntypes));
+  for (int t = 0; t < bp.config().ntypes; ++t) {
+    g[static_cast<std::size_t>(t)].resize(bp.net(t).layers().size());
+    for (std::size_t l = 0; l < bp.net(t).layers().size(); ++l)
+      g[static_cast<std::size_t>(t)][l].init(bp.net(t).layers()[l]);
+  }
+  return g;
+}
+
+void zero(Grads& g) {
+  for (auto& net : g)
+    for (auto& layer : net) layer.zero();
+}
+}  // namespace
+
+double evaluate_energy(BehlerParrinello& bp, const train::Dataset& data, double skin) {
+  DP_CHECK(!data.frames.empty());
+  double se = 0.0;
+  for (const auto& frame : data.frames) {
+    md::NeighborList nl(bp.cutoff(), skin);
+    nl.build(frame.sys.box, frame.sys.atoms.pos);
+    const double e = bp.energy_with_gradients(frame.sys.box, frame.sys.atoms, nl);
+    const double delta = (e - frame.energy) / static_cast<double>(frame.sys.atoms.size());
+    se += delta * delta;
+  }
+  return std::sqrt(se / static_cast<double>(data.size()));
+}
+
+BpTrainResult train_energy(BehlerParrinello& bp, const train::Dataset& data, int epochs,
+                           double learning_rate, double skin) {
+  DP_CHECK(!data.frames.empty() && epochs >= 0);
+  BpTrainResult result;
+  result.epoch_rmse.reserve(static_cast<std::size_t>(epochs));
+
+  Grads grads = make_grads(bp), m1 = make_grads(bp), m2 = make_grads(bp);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  const double n_frames = static_cast<double>(data.size());
+
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    zero(grads);
+    double se = 0.0;
+    for (const auto& frame : data.frames) {
+      const double n_atoms = static_cast<double>(frame.sys.atoms.size());
+      md::NeighborList nl(bp.cutoff(), skin);
+      nl.build(frame.sys.box, frame.sys.atoms.pos);
+      const double e = bp.energy_with_gradients(frame.sys.box, frame.sys.atoms, nl);
+      const double delta = (e - frame.energy) / n_atoms;
+      se += delta * delta;
+      bp.energy_with_gradients(frame.sys.box, frame.sys.atoms, nl,
+                               2.0 * delta / n_atoms / n_frames, &grads);
+    }
+    result.epoch_rmse.push_back(std::sqrt(se / n_frames));
+
+    // Adam step.
+    const double b1 = 1.0 - std::pow(beta1, epoch);
+    const double b2 = 1.0 - std::pow(beta2, epoch);
+    for (int t = 0; t < bp.config().ntypes; ++t)
+      for (std::size_t l = 0; l < bp.net(t).layers().size(); ++l) {
+        auto& layer = bp.net(t).layers()[l];
+        auto& g = grads[static_cast<std::size_t>(t)][l];
+        auto& mo1 = m1[static_cast<std::size_t>(t)][l];
+        auto& mo2 = m2[static_cast<std::size_t>(t)][l];
+        auto update = [&](double* p, const double* gr, double* a, double* b, std::size_t nn_) {
+          for (std::size_t k = 0; k < nn_; ++k) {
+            a[k] = beta1 * a[k] + (1 - beta1) * gr[k];
+            b[k] = beta2 * b[k] + (1 - beta2) * gr[k] * gr[k];
+            p[k] -= learning_rate * (a[k] / b1) / (std::sqrt(b[k] / b2) + eps);
+          }
+        };
+        update(layer.weights().data(), g.w.data(), mo1.w.data(), mo2.w.data(), g.w.size());
+        update(layer.bias().data(), g.b.data(), mo1.b.data(), mo2.b.data(), g.b.size());
+      }
+  }
+  return result;
+}
+
+}  // namespace dp::bp

@@ -1,0 +1,23 @@
+// Energy training for the Behler-Parrinello potential. The BP features are
+// fixed functions of the positions, so training is plain regression of the
+// per-type networks — far simpler than the DP case, which is exactly the
+// historical appeal of the scheme (and its expressiveness ceiling).
+#pragma once
+
+#include "bp/behler_parrinello.hpp"
+#include "train/dataset.hpp"
+
+namespace dp::bp {
+
+struct BpTrainResult {
+  std::vector<double> epoch_rmse;  ///< per-atom energy RMSE per epoch
+};
+
+/// Full-batch Adam on L = mean over frames of ((E_pred - E_ref)/N)^2.
+BpTrainResult train_energy(BehlerParrinello& bp, const train::Dataset& data, int epochs,
+                           double learning_rate = 3e-3, double skin = 0.5);
+
+/// Per-atom energy RMSE of the current networks on a dataset.
+double evaluate_energy(BehlerParrinello& bp, const train::Dataset& data, double skin = 0.5);
+
+}  // namespace dp::bp

@@ -1,0 +1,54 @@
+// Cache-line / vector-register aligned storage for hot kernel buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace dp {
+
+/// Alignment used by all kernel buffers: one 512-bit vector register, which
+/// is also a typical cache-line size.
+inline constexpr std::size_t kVectorAlign = 64;
+
+/// Minimal aligned allocator so std::vector storage is usable with aligned
+/// loads and `omp simd aligned` clauses.
+template <class T, std::size_t Align = kVectorAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // The non-type Align parameter defeats the default rebind deduction.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace dp

@@ -1,0 +1,38 @@
+#include "common/cost.hpp"
+
+namespace dp {
+
+CostRegistry& CostRegistry::instance() {
+  static CostRegistry reg;
+  return reg;
+}
+
+void CostRegistry::add(const std::string& name, const KernelCost& cost) {
+  std::lock_guard lock(mu_);
+  costs_[name] += cost;
+}
+
+KernelCost CostRegistry::get(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = costs_.find(name);
+  return it == costs_.end() ? KernelCost{} : it->second;
+}
+
+KernelCost CostRegistry::total() const {
+  std::lock_guard lock(mu_);
+  KernelCost t;
+  for (const auto& [_, c] : costs_) t += c;
+  return t;
+}
+
+std::vector<std::pair<std::string, KernelCost>> CostRegistry::entries() const {
+  std::lock_guard lock(mu_);
+  return {costs_.begin(), costs_.end()};
+}
+
+void CostRegistry::clear() {
+  std::lock_guard lock(mu_);
+  costs_.clear();
+}
+
+}  // namespace dp

@@ -1,0 +1,63 @@
+// Analytic FLOP / memory-traffic accounting.
+//
+// The paper's argument is roofline-style: the inference is memory-bound, so
+// tabulation (fewer FLOPs) and fusion (less DRAM traffic for G_i) translate
+// into speedups proportional to the traffic reduction. Kernels self-report
+// their arithmetic and traffic here; the perf module converts the totals into
+// projected times on modelled machines (V100, A64FX).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dp {
+
+/// Arithmetic + traffic cost of one kernel invocation (or an accumulation).
+struct KernelCost {
+  double flops = 0.0;          ///< floating point operations
+  double bytes_read = 0.0;     ///< bytes loaded from memory
+  double bytes_written = 0.0;  ///< bytes stored to memory
+
+  double bytes_total() const { return bytes_read + bytes_written; }
+  /// Arithmetic intensity in FLOP/byte; 0 when no traffic was recorded.
+  double intensity() const {
+    const double b = bytes_total();
+    return b > 0.0 ? flops / b : 0.0;
+  }
+
+  KernelCost& operator+=(const KernelCost& o) {
+    flops += o.flops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+  friend KernelCost operator+(KernelCost a, const KernelCost& b) { return a += b; }
+  KernelCost& operator*=(double s) {
+    flops *= s;
+    bytes_read *= s;
+    bytes_written *= s;
+    return *this;
+  }
+  friend KernelCost operator*(KernelCost a, double s) { return a *= s; }
+};
+
+/// Thread-safe process-wide registry of per-kernel cost totals.
+class CostRegistry {
+ public:
+  static CostRegistry& instance();
+
+  void add(const std::string& name, const KernelCost& cost);
+  KernelCost get(const std::string& name) const;
+  KernelCost total() const;
+  std::vector<std::pair<std::string, KernelCost>> entries() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, KernelCost> costs_;
+};
+
+}  // namespace dp

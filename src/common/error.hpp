@@ -1,0 +1,42 @@
+// Error handling macros: fail loudly with file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dp {
+
+/// Exception thrown by DP_CHECK / DP_REQUIRE failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dp
+
+/// Always-on invariant check. Throws dp::Error on failure.
+#define DP_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::dp::detail::throw_error(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+/// Always-on invariant check with a streamed message.
+#define DP_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream dp_os_;                                      \
+      dp_os_ << msg;                                                  \
+      ::dp::detail::throw_error(__FILE__, __LINE__, #cond, dp_os_.str()); \
+    }                                                                 \
+  } while (0)

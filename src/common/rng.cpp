@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dp {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Rejection-free Lemire-style bounded draw is overkill here; modulo bias is
+  // negligible for the small n used in tests and workloads.
+  return n == 0 ? 0 : next_u64() % n;
+}
+
+double Rng::gaussian() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller on (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double phi = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(phi);
+  have_cached_ = true;
+  return r * std::cos(phi);
+}
+
+Vec3 Rng::unit_vector() {
+  // Marsaglia rejection in the unit disk.
+  for (;;) {
+    double a = uniform(-1.0, 1.0);
+    double b = uniform(-1.0, 1.0);
+    double s = a * a + b * b;
+    if (s >= 1.0 || s == 0.0) continue;
+    double f = 2.0 * std::sqrt(1.0 - s);
+    return {a * f, b * f, 1.0 - 2.0 * s};
+  }
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xa5a5a5a5deadbeefULL); }
+
+}  // namespace dp

@@ -1,0 +1,50 @@
+// Deterministic, splittable pseudo-random numbers (xoshiro256++).
+//
+// Every stochastic choice in the library (initial velocities, synthetic
+// configurations, weight initialization of the stand-in "trained" networks)
+// flows through this generator so that runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dp {
+
+/// xoshiro256++ by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (one value cached).
+  double gaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// A random unit vector, uniform on the sphere.
+  Vec3 unit_vector();
+
+  /// A statistically independent generator (jump-free split via reseeding
+  /// from this stream); used to give each thread/rank its own stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace dp

@@ -1,0 +1,53 @@
+#include "common/soa.hpp"
+
+namespace dp {
+
+void aos_to_soa_reference(const double* aos, double* soa, std::size_t n, std::size_t width) {
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < width; ++c) soa[c * n + i] = aos[i * width + c];
+}
+
+void soa_to_aos_reference(const double* soa, double* aos, std::size_t n, std::size_t width) {
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < width; ++c) aos[i * width + c] = soa[c * n + i];
+}
+
+void aos_to_soa_deriv(const double* aos, double* soa, std::size_t n) {
+  constexpr std::size_t W = kDerivWidth;
+  constexpr std::size_t L = kSimdLanes;
+  const std::size_t blocks = n / L;
+  // One 12x8 tile per iteration: contiguous loads of 8 structures, fully
+  // unrolled scatter into the 12 destination streams. The inner pair of
+  // loops is compile-time sized so the compiler keeps the tile in registers
+  // — the scalar analogue of the SVE ld/st sequence in the paper's Fig 5.
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const double* src = aos + b * L * W;
+    double* dst = soa + b * L;
+#pragma GCC unroll 12
+    for (std::size_t c = 0; c < W; ++c)
+#pragma GCC unroll 8
+      for (std::size_t l = 0; l < L; ++l) dst[c * n + l] = src[l * W + c];
+  }
+  const std::size_t done = blocks * L;
+  for (std::size_t i = done; i < n; ++i)
+    for (std::size_t c = 0; c < W; ++c) soa[c * n + i] = aos[i * W + c];
+}
+
+void soa_to_aos_deriv(const double* soa, double* aos, std::size_t n) {
+  constexpr std::size_t W = kDerivWidth;
+  constexpr std::size_t L = kSimdLanes;
+  const std::size_t blocks = n / L;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const double* src = soa + b * L;
+    double* dst = aos + b * L * W;
+#pragma GCC unroll 12
+    for (std::size_t c = 0; c < W; ++c)
+#pragma GCC unroll 8
+      for (std::size_t l = 0; l < L; ++l) dst[l * W + c] = src[c * n + l];
+  }
+  const std::size_t done = blocks * L;
+  for (std::size_t i = done; i < n; ++i)
+    for (std::size_t c = 0; c < W; ++c) aos[i * W + c] = soa[c * n + i];
+}
+
+}  // namespace dp

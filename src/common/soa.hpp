@@ -1,0 +1,35 @@
+// AoS <-> SoA conversion kernels (paper Sec 3.5.3, Fig 5).
+//
+// The per-neighbor derivative of the environment matrix (`descrpt_a_deriv`)
+// is naturally an array of 12-component structures (4 environment-matrix
+// columns x 3 Cartesian directions). The vectorized custom operators need it
+// transposed into structure-of-arrays blocks whose lane width matches the
+// vector register (8 doubles for 512-bit SVE). Widths 2/3/4 map to single
+// ld2/ld3/ld4 instructions on SVE; the 12-wide case needs the hand-blocked
+// subroutine implemented here.
+#pragma once
+
+#include <cstddef>
+
+namespace dp {
+
+/// Components per neighbor in descrpt_a_deriv: 4 env-matrix entries x 3 dims.
+inline constexpr std::size_t kDerivWidth = 12;
+/// Lanes per 512-bit vector of doubles.
+inline constexpr std::size_t kSimdLanes = 8;
+
+/// Reference (scalar, strided) transpose:  soa[c * n + i] = aos[i * w + c].
+void aos_to_soa_reference(const double* aos, double* soa, std::size_t n, std::size_t width);
+
+/// Reference inverse transpose: aos[i * w + c] = soa[c * n + i].
+void soa_to_aos_reference(const double* soa, double* aos, std::size_t n, std::size_t width);
+
+/// Blocked conversion for width == kDerivWidth. Processes kSimdLanes
+/// neighbors at a time with a fully unrolled 12x8 in-register transpose
+/// (the Fig 5 pattern); the tail falls back to the reference kernel.
+void aos_to_soa_deriv(const double* aos, double* soa, std::size_t n);
+
+/// Blocked inverse of aos_to_soa_deriv.
+void soa_to_aos_deriv(const double* soa, double* aos, std::size_t n);
+
+}  // namespace dp

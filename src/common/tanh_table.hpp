@@ -1,0 +1,59 @@
+// Tabulated tanh activation (paper Sec 3.5.3).
+//
+// The activation is approximated by per-interval second-order polynomials on
+// the positive half-axis [0, x_max]; odd symmetry (tanh(-x) = -tanh(x))
+// covers negative inputs and tanh(x) = 1 is used beyond x_max = 8. The paper
+// reports ~1e-7 absolute error and a 60x speedup over libm tanh on A64FX
+// without affecting overall model accuracy.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+
+namespace dp {
+
+class TanhTable {
+ public:
+  /// Builds a table of `intervals` quadratic segments on [0, x_max].
+  /// The default (1024 segments to 8.0) gives max error below 1e-7.
+  explicit TanhTable(double x_max = 8.0, std::size_t intervals = 1024);
+
+  /// Tabulated tanh(x) for any real x.
+  double eval(double x) const {
+    const double ax = x < 0.0 ? -x : x;
+    if (ax >= x_max_) return x < 0.0 ? -1.0 : 1.0;
+    const double u = ax * inv_h_;
+    const std::size_t k = static_cast<std::size_t>(u);
+    const double t = ax - static_cast<double>(k) * h_;
+    const double* c = &coef_[3 * k];
+    const double y = c[0] + t * (c[1] + t * c[2]);
+    return x < 0.0 ? -y : y;
+  }
+
+  /// Derivative consistent with the tabulated value: 1 - eval(x)^2.
+  double deriv(double x) const {
+    const double y = eval(x);
+    return 1.0 - y * y;
+  }
+
+  /// Vectorizable batched evaluation: y[i] = tanh_tab(x[i]).
+  void eval_batch(const double* x, double* y, std::size_t n) const;
+
+  double x_max() const { return x_max_; }
+  std::size_t intervals() const { return intervals_; }
+  /// Maximum |table - std::tanh| measured on a dense probe grid.
+  double measured_max_error() const;
+
+ private:
+  double x_max_;
+  std::size_t intervals_;
+  double h_;
+  double inv_h_;
+  AlignedVector<double> coef_;  // 3 coefficients per interval, local coordinate
+};
+
+/// The process-wide default table (x_max = 8, 1024 intervals).
+const TanhTable& default_tanh_table();
+
+}  // namespace dp

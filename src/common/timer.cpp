@@ -1,0 +1,39 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+
+namespace dp {
+
+TimerRegistry& TimerRegistry::instance() {
+  static TimerRegistry reg;
+  return reg;
+}
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  std::lock_guard lock(mu_);
+  auto& s = sections_[name];
+  s.total_seconds += seconds;
+  s.calls += 1;
+}
+
+TimerStats TimerRegistry::get(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = sections_.find(name);
+  return it == sections_.end() ? TimerStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, TimerStats>> TimerRegistry::sorted_by_total() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, TimerStats>> out(sections_.begin(), sections_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  return out;
+}
+
+void TimerRegistry::clear() {
+  std::lock_guard lock(mu_);
+  sections_.clear();
+}
+
+}  // namespace dp

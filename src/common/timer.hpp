@@ -1,0 +1,83 @@
+// Wall-clock timing with a process-wide named-section registry.
+//
+// The figure harnesses (Fig 7 / Fig 8 step-by-step speedups) time whole
+// inference paths; the registry lets kernels self-report so a breakdown table
+// can be printed per run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dp {
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulated statistics for one named timing section.
+struct TimerStats {
+  double total_seconds = 0.0;
+  std::uint64_t calls = 0;
+  double mean_seconds() const { return calls ? total_seconds / calls : 0.0; }
+};
+
+/// Thread-safe registry of named sections. One global instance.
+class TimerRegistry {
+ public:
+  static TimerRegistry& instance();
+
+  void add(const std::string& name, double seconds);
+  TimerStats get(const std::string& name) const;
+  std::vector<std::pair<std::string, TimerStats>> sorted_by_total() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TimerStats> sections_;
+};
+
+/// RAII section timer that reports into the global registry.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name) : name_(std::move(name)) {}
+  ~ScopedTimer() { TimerRegistry::instance().add(name_, t_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  WallTimer t_;
+};
+
+/// Run `fn` repeatedly until at least `min_seconds` of wall time or
+/// `max_iters` iterations have elapsed; returns seconds per iteration.
+/// Used by the figure harnesses for stable small-kernel timings.
+template <class Fn>
+double time_per_call(Fn&& fn, double min_seconds = 0.05, int max_iters = 1000) {
+  // Warm-up: one untimed call (page faults, lazy allocations).
+  fn();
+  WallTimer t;
+  int iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (t.seconds() < min_seconds && iters < max_iters);
+  return t.seconds() / iters;
+}
+
+}  // namespace dp

@@ -1,0 +1,119 @@
+// Basic geometric value types shared by every module.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace dp {
+
+/// Floating point type used for all physics. Kernels that the paper runs in
+/// mixed precision are additionally templated on their scalar type.
+using real_t = double;
+
+/// A 3-component Cartesian vector.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr double dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+  friend constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+  }
+  friend double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+  friend constexpr double norm2(const Vec3& a) { return dot(a, a); }
+};
+
+/// A row-major 3x3 matrix; used for virials and rotations.
+struct Mat3 {
+  std::array<double, 9> m{};  // m[3*r + c]
+
+  constexpr double& operator()(std::size_t r, std::size_t c) { return m[3 * r + c]; }
+  constexpr double operator()(std::size_t r, std::size_t c) const { return m[3 * r + c]; }
+
+  static constexpr Mat3 identity() {
+    Mat3 I;
+    I(0, 0) = I(1, 1) = I(2, 2) = 1.0;
+    return I;
+  }
+
+  constexpr Mat3& operator+=(const Mat3& o) {
+    for (std::size_t i = 0; i < 9; ++i) m[i] += o.m[i];
+    return *this;
+  }
+  friend constexpr Mat3 operator+(Mat3 a, const Mat3& b) { return a += b; }
+  constexpr Mat3& operator*=(double s) {
+    for (double& v : m) v *= s;
+    return *this;
+  }
+  friend constexpr Mat3 operator*(Mat3 a, double s) { return a *= s; }
+
+  friend constexpr Vec3 operator*(const Mat3& A, const Vec3& v) {
+    return {A(0, 0) * v.x + A(0, 1) * v.y + A(0, 2) * v.z,
+            A(1, 0) * v.x + A(1, 1) * v.y + A(1, 2) * v.z,
+            A(2, 0) * v.x + A(2, 1) * v.y + A(2, 2) * v.z};
+  }
+  friend constexpr Mat3 operator*(const Mat3& A, const Mat3& B) {
+    Mat3 C;
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c)
+        C(r, c) = A(r, 0) * B(0, c) + A(r, 1) * B(1, c) + A(r, 2) * B(2, c);
+    return C;
+  }
+
+  constexpr double trace() const { return m[0] + m[4] + m[8]; }
+  constexpr Mat3 transposed() const {
+    Mat3 T;
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) T(r, c) = (*this)(c, r);
+    return T;
+  }
+};
+
+/// Outer product a b^T.
+constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+  Mat3 M;
+  M(0, 0) = a.x * b.x; M(0, 1) = a.x * b.y; M(0, 2) = a.x * b.z;
+  M(1, 0) = a.y * b.x; M(1, 1) = a.y * b.y; M(1, 2) = a.y * b.z;
+  M(2, 0) = a.z * b.x; M(2, 1) = a.z * b.y; M(2, 2) = a.z * b.z;
+  return M;
+}
+
+/// Rotation matrix about an arbitrary (unnormalized) axis, Rodrigues form.
+inline Mat3 rotation(const Vec3& axis, double angle) {
+  const double n = norm(axis);
+  const Vec3 u = axis * (1.0 / n);
+  const double c = std::cos(angle), s = std::sin(angle);
+  Mat3 R;
+  R(0, 0) = c + u.x * u.x * (1 - c);
+  R(0, 1) = u.x * u.y * (1 - c) - u.z * s;
+  R(0, 2) = u.x * u.z * (1 - c) + u.y * s;
+  R(1, 0) = u.y * u.x * (1 - c) + u.z * s;
+  R(1, 1) = c + u.y * u.y * (1 - c);
+  R(1, 2) = u.y * u.z * (1 - c) - u.x * s;
+  R(2, 0) = u.z * u.x * (1 - c) - u.y * s;
+  R(2, 1) = u.z * u.y * (1 - c) + u.x * s;
+  R(2, 2) = c + u.z * u.z * (1 - c);
+  return R;
+}
+
+}  // namespace dp

@@ -1,0 +1,140 @@
+#include "dp/baseline_model.hpp"
+
+#include <cstring>
+
+#include "common/cost.hpp"
+#include "common/timer.hpp"
+#include "dp/descriptor.hpp"
+#include "dp/prod_force.hpp"
+#include "nn/gemm.hpp"
+
+namespace dp::core {
+
+BaselineDP::BaselineDP(const DPModel& model, EnvMatKernel env_kernel)
+    : model_(model), env_kernel_(env_kernel) {}
+
+md::ForceResult BaselineDP::compute(const md::Box& box, md::Atoms& atoms,
+                                    const md::NeighborList& nlist, bool periodic) {
+  ScopedTimer timer("baseline.compute");
+  const ModelConfig& cfg = model_.config();
+  {
+    ScopedTimer t("baseline.env_mat");
+    build_env_mat(cfg, box, atoms, nlist, env_, env_kernel_, periodic);
+  }
+  const std::size_t n = env_.n_atoms;
+  const std::size_t m = cfg.m();
+  const std::size_t m_sub = cfg.axis_neuron;
+  const int nm = cfg.nm();
+  const double scale = 1.0 / static_cast<double>(nm);
+
+  // ---- Embedding forward: one batched pipeline per neighbor type over ALL
+  // slots, padded ones included (the baseline cannot skip them: the GEMM
+  // shape is fixed) -------------------------------------------------------
+  std::vector<nn::Matrix> g_by_type(static_cast<std::size_t>(cfg.ntypes));
+  std::vector<nn::EmbeddingNet::BatchWorkspace> ws_by_type(
+      static_cast<std::size_t>(cfg.ntypes));
+  embedding_bytes_ = 0;
+  {
+    ScopedTimer t("baseline.embedding_fwd");
+    AlignedVector<double> s_buf;
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      const int sel_t = cfg.sel[static_cast<std::size_t>(t)];
+      const int off = cfg.type_offset(t);
+      const std::size_t rows = n * static_cast<std::size_t>(sel_t);
+      s_buf.resize(rows);
+      for (std::size_t i = 0; i < n; ++i)
+        for (int k = 0; k < sel_t; ++k)
+          s_buf[i * static_cast<std::size_t>(sel_t) + static_cast<std::size_t>(k)] =
+              env_.rmat_row(i, off + k)[0];
+      model_.embedding(t).forward_batch_ws(s_buf.data(), rows, g_by_type[t], ws_by_type[t]);
+      embedding_bytes_ += g_by_type[t].size() * sizeof(double);
+      for (const auto& mtx : ws_by_type[t].inputs) embedding_bytes_ += mtx.size() * sizeof(double);
+      for (const auto& mtx : ws_by_type[t].acts) embedding_bytes_ += mtx.size() * sizeof(double);
+      CostRegistry::instance().add(
+          "baseline.embedding_fwd",
+          {static_cast<double>(rows) * model_.embedding(t).flops_per_scalar(),
+           static_cast<double>(rows) * sizeof(double),
+           static_cast<double>(rows) * static_cast<double>(m) * sizeof(double)});
+    }
+  }
+
+  // ---- Per-atom descriptor + fitting net, forward and backward ----------
+  atom_energy_.assign(n, 0.0);
+  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
+  std::vector<nn::Matrix> g_g_by_type(static_cast<std::size_t>(cfg.ntypes));
+  for (int t = 0; t < cfg.ntypes; ++t)
+    g_g_by_type[t].resize(n * static_cast<std::size_t>(cfg.sel[static_cast<std::size_t>(t)]),
+                          m);
+
+  md::ForceResult out;
+  {
+    ScopedTimer t("baseline.descriptor_fit");
+    AlignedVector<double> a_mat(4 * m), g_a(4 * m);
+    AtomKernelScratch scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      // A = (1/N_m) R~^T G, accumulated over the per-type slot blocks.
+      std::memset(a_mat.data(), 0, 4 * m * sizeof(double));
+      for (int t = 0; t < cfg.ntypes; ++t) {
+        const int sel_t = cfg.sel[static_cast<std::size_t>(t)];
+        const int off = cfg.type_offset(t);
+        nn::gemm_tn_acc(env_.rmat_row(i, off),
+                        g_by_type[t].row(i * static_cast<std::size_t>(sel_t)), a_mat.data(), 4,
+                        static_cast<std::size_t>(sel_t), m);
+      }
+      for (double& v : a_mat) v *= scale;
+
+      atom_energy_[i] = descriptor_fit_atom(model_.fitting(atoms.type[i]), a_mat.data(), m,
+                                            m_sub, scale, scratch, g_a.data());
+      out.energy += atom_energy_[i];
+
+      // dE/dG rows and dE/dR~ rows for every slot of this atom.
+      for (int t = 0; t < cfg.ntypes; ++t) {
+        const int sel_t = cfg.sel[static_cast<std::size_t>(t)];
+        const int off = cfg.type_offset(t);
+        // dG_block (sel x M) = R~_block (sel x 4) * g_a (4 x M)
+        nn::gemm(env_.rmat_row(i, off), g_a.data(),
+                 g_g_by_type[t].row(i * static_cast<std::size_t>(sel_t)),
+                 static_cast<std::size_t>(sel_t), 4, m);
+        // g_rmat_block (sel x 4) = G_block (sel x M) * g_a^T (M x 4)
+        nn::gemm_nt(g_by_type[t].row(i * static_cast<std::size_t>(sel_t)), g_a.data(),
+                    g_rmat.data() + (i * static_cast<std::size_t>(nm) +
+                                     static_cast<std::size_t>(off)) *
+                                        4,
+                    static_cast<std::size_t>(sel_t), m, 4);
+      }
+    }
+  }
+
+  // ---- Embedding backward (GEMM-shaped, again over every slot) ----------
+  {
+    ScopedTimer t("baseline.embedding_bwd");
+    AlignedVector<double> g_s;
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      const int sel_t = cfg.sel[static_cast<std::size_t>(t)];
+      const int off = cfg.type_offset(t);
+      const std::size_t rows = n * static_cast<std::size_t>(sel_t);
+      g_s.resize(rows);
+      model_.embedding(t).backward_batch(ws_by_type[t], g_g_by_type[t], g_s.data());
+      for (std::size_t i = 0; i < n; ++i)
+        for (int k = 0; k < sel_t; ++k)
+          g_rmat[(i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4] +=
+              g_s[i * static_cast<std::size_t>(sel_t) + static_cast<std::size_t>(k)];
+      CostRegistry::instance().add(
+          "baseline.embedding_bwd",
+          {2.0 * static_cast<double>(rows) * model_.embedding(t).flops_per_scalar(),
+           2.0 * static_cast<double>(rows) * static_cast<double>(m) * sizeof(double),
+           static_cast<double>(rows) * sizeof(double)});
+    }
+  }
+
+  // ---- Force / virial scatter -------------------------------------------
+  {
+    ScopedTimer t("baseline.prod_force");
+    atoms.zero_forces();
+    prod_force(env_, g_rmat.data(), atoms.force);
+    prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+  }
+  return out;
+}
+
+}  // namespace dp::core

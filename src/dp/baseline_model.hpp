@@ -1,0 +1,47 @@
+// The baseline inference path — the flat "current state-of-the-art" of
+// Ref [20] that this paper optimizes against.
+//
+// Execution per force call (Fig 1 (e)):
+//   1. environment matrices (padded to N_m rows);
+//   2. the embedding net is run as a batched GEMM pipeline over EVERY slot
+//      (padding included), materializing the embedding matrix G
+//      (n_atoms x N_m x M — the >95%-of-memory buffer);
+//   3. per atom: A = (1/N_m) R~^T G, descriptor D = A<^T A, fitting net;
+//   4. reverse mode back through the descriptor and the embedding net
+//      (again GEMM-shaped over all slots) to dE/dR~;
+//   5. ProdForceSeA / ProdVirialSeA scatter.
+#pragma once
+
+#include <vector>
+
+#include "dp/dp_model.hpp"
+#include "dp/env_mat.hpp"
+#include "md/force_field.hpp"
+
+namespace dp::core {
+
+class BaselineDP final : public md::ForceField {
+ public:
+  explicit BaselineDP(const DPModel& model, EnvMatKernel env_kernel = EnvMatKernel::Optimized);
+
+  md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
+                          bool periodic = true) override;
+  double cutoff() const override { return model_.config().rcut; }
+
+  /// Per-atom energies of the last compute() (Fig 2 needs them).
+  const std::vector<double>& atom_energies() const { return atom_energy_; }
+  /// Environment matrix of the last compute(), exposed for tests/benches.
+  const EnvMat& env() const { return env_; }
+  /// Bytes of embedding-matrix storage the last compute() materialized
+  /// (G plus the retained workspace for backward) — the paper's memory story.
+  std::size_t embedding_bytes() const { return embedding_bytes_; }
+
+ private:
+  const DPModel& model_;
+  EnvMatKernel env_kernel_;
+  EnvMat env_;
+  std::vector<double> atom_energy_;
+  std::size_t embedding_bytes_ = 0;
+};
+
+}  // namespace dp::core

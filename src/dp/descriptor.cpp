@@ -1,0 +1,56 @@
+#include "dp/descriptor.hpp"
+
+#include <cstring>
+
+namespace dp::core {
+
+void descriptor_forward(const double* a_mat, std::size_t m, std::size_t m_sub,
+                        double* d_flat) {
+  // D = A<^T A, contraction over the 4 rows.
+  for (std::size_t a = 0; a < m_sub; ++a) {
+    double* drow = d_flat + a * m;
+    std::memset(drow, 0, m * sizeof(double));
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double av = a_mat[c * m + a];
+      const double* arow = a_mat + c * m;
+#pragma omp simd
+      for (std::size_t b = 0; b < m; ++b) drow[b] += av * arow[b];
+    }
+  }
+}
+
+void descriptor_backward(const double* a_mat, const double* g_d, std::size_t m,
+                         std::size_t m_sub, double* g_a) {
+  std::memset(g_a, 0, 4 * m * sizeof(double));
+  for (std::size_t c = 0; c < 4; ++c) {
+    const double* arow = a_mat + c * m;
+    double* grow = g_a + c * m;
+    for (std::size_t a = 0; a < m_sub; ++a) {
+      const double av = arow[a];
+      const double* gd_row = g_d + a * m;
+      // term 1: g_A[c][q] += g_d[a][q] * A[c][a] for all q
+#pragma omp simd
+      for (std::size_t q = 0; q < m; ++q) grow[q] += gd_row[q] * av;
+      // term 2: g_A[c][a] += sum_b g_d[a][b] * A[c][b]
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t b = 0; b < m; ++b) acc += gd_row[b] * arow[b];
+      grow[a] += acc;
+    }
+  }
+}
+
+double descriptor_fit_atom(const nn::FittingNet& fit, const double* a_mat, std::size_t m,
+                           std::size_t m_sub, double scale, AtomKernelScratch& scratch,
+                           double* g_a) {
+  scratch.d_flat.resize(m_sub * m);
+  scratch.g_d.resize(m_sub * m);
+  descriptor_forward(a_mat, m, m_sub, scratch.d_flat.data());
+  const double energy = fit.forward(scratch.d_flat.data(), scratch.fit_ws);
+  fit.backward(scratch.fit_ws, scratch.g_d.data());
+  descriptor_backward(a_mat, scratch.g_d.data(), m, m_sub, g_a);
+  for (std::size_t k = 0; k < 4 * m; ++k) g_a[k] *= scale;
+  return energy;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,39 @@
+// The symmetry-preserving descriptor D = (G<)^T R~ R~^T G (paper Eq. 2) in
+// its contracted form: with A = (1/N_m) R~^T G (4 x M) and A< its first M<
+// columns, D = A<^T A (M< x M).
+//
+// Every inference path (baseline / compressed / fused) funnels through these
+// two kernels, so they are the single point of truth for the descriptor
+// algebra and its adjoint.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/fitting_net.hpp"
+
+namespace dp::core {
+
+/// d_flat[a * m + b] = sum_c a_mat[c * m + a_col(a)] * a_mat[c * m + b],
+/// a < m_sub, b < m; a_mat is the 4 x m matrix A (row-major).
+void descriptor_forward(const double* a_mat, std::size_t m, std::size_t m_sub, double* d_flat);
+
+/// Adjoint: g_a (4 x m) from g_d (m_sub x m) and A.
+///   g_A[c][q] = sum_{a < m_sub} g_d[a][q] A[c][a]
+///             + (q < m_sub ? sum_b g_d[q][b] A[c][b] : 0)
+void descriptor_backward(const double* a_mat, const double* g_d, std::size_t m,
+                         std::size_t m_sub, double* g_a);
+
+/// Scratch for descriptor_fit_atom, reused across atoms.
+struct AtomKernelScratch {
+  nn::FittingNet::Workspace fit_ws;
+  std::vector<double> d_flat, g_d;
+};
+
+/// The shared middle of every inference path: from the (already 1/N_m
+/// scaled) A matrix of one atom to its energy and the scaled gradient
+/// g_a = dE/dA * scale (ready to contract against R~ and G rows).
+double descriptor_fit_atom(const nn::FittingNet& fit, const double* a_mat, std::size_t m,
+                           std::size_t m_sub, double scale, AtomKernelScratch& scratch,
+                           double* g_a);
+
+}  // namespace dp::core

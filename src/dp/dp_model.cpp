@@ -1,0 +1,108 @@
+#include "dp/dp_model.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "nn/serialize.hpp"
+
+namespace dp::core {
+
+DPModel::DPModel(ModelConfig config, std::uint64_t seed) : cfg_(std::move(config)) {
+  cfg_.validate();
+  Rng rng(seed);
+  const int n_embed = cfg_.type_one_side ? cfg_.ntypes : cfg_.ntypes * cfg_.ntypes;
+  embed_.reserve(static_cast<std::size_t>(n_embed));
+  fit_.reserve(static_cast<std::size_t>(cfg_.ntypes));
+  for (int t = 0; t < n_embed; ++t) {
+    embed_.emplace_back(cfg_.embed_widths);
+    embed_.back().init_random(rng);
+  }
+  for (int t = 0; t < cfg_.ntypes; ++t) {
+    fit_.emplace_back(cfg_.descriptor_dim(), cfg_.fit_widths);
+    fit_.back().init_random(rng);
+  }
+}
+
+void DPModel::set_activation(nn::Activation act) {
+  for (auto& e : embed_) e.set_activation(act);
+  for (auto& f : fit_) f.set_activation(act);
+}
+
+namespace {
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DP_CHECK_MSG(static_cast<bool>(is), "truncated DP model file");
+  return v;
+}
+}  // namespace
+
+void DPModel::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  DP_CHECK_MSG(os.is_open(), "cannot open " << path);
+  save(os);
+}
+
+namespace {
+constexpr std::uint32_t kModelMagic = 0x44504d31;  // "DPM1"
+constexpr std::uint32_t kModelVersion = 3;  // v3: + descriptor kind
+}  // namespace
+
+void DPModel::save(std::ostream& os) const {
+  write_pod(os, kModelMagic);
+  write_pod(os, kModelVersion);
+  write_pod(os, cfg_.rcut);
+  write_pod(os, cfg_.rcut_smth);
+  write_pod<std::int32_t>(os, cfg_.type_one_side ? 1 : 0);
+  write_pod<std::int32_t>(os, static_cast<std::int32_t>(cfg_.descriptor));
+  write_pod<std::int32_t>(os, cfg_.ntypes);
+  for (int s : cfg_.sel) write_pod<std::int32_t>(os, s);
+  write_pod<std::uint64_t>(os, cfg_.embed_widths.size());
+  for (std::size_t w : cfg_.embed_widths) write_pod<std::uint64_t>(os, w);
+  write_pod<std::uint64_t>(os, cfg_.axis_neuron);
+  write_pod<std::uint64_t>(os, cfg_.fit_widths.size());
+  for (std::size_t w : cfg_.fit_widths) write_pod<std::uint64_t>(os, w);
+  for (const auto& e : embed_) nn::save(os, e);
+  for (const auto& f : fit_) nn::save(os, f);
+}
+
+DPModel DPModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return load(is);
+}
+
+DPModel DPModel::load(std::istream& is) {
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kModelMagic, "not a DP model file");
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kModelVersion,
+               "unsupported DP model file version");
+  ModelConfig cfg;
+  cfg.rcut = read_pod<double>(is);
+  cfg.rcut_smth = read_pod<double>(is);
+  cfg.type_one_side = read_pod<std::int32_t>(is) != 0;
+  cfg.descriptor = static_cast<DescriptorKind>(read_pod<std::int32_t>(is));
+  cfg.ntypes = read_pod<std::int32_t>(is);
+  cfg.sel.resize(static_cast<std::size_t>(cfg.ntypes));
+  for (auto& s : cfg.sel) s = read_pod<std::int32_t>(is);
+  cfg.embed_widths.resize(read_pod<std::uint64_t>(is));
+  for (auto& w : cfg.embed_widths) w = read_pod<std::uint64_t>(is);
+  cfg.axis_neuron = read_pod<std::uint64_t>(is);
+  cfg.fit_widths.resize(read_pod<std::uint64_t>(is));
+  for (auto& w : cfg.fit_widths) w = read_pod<std::uint64_t>(is);
+
+  DPModel model;
+  model.cfg_ = cfg;
+  model.cfg_.validate();
+  const int n_embed = cfg.type_one_side ? cfg.ntypes : cfg.ntypes * cfg.ntypes;
+  for (int t = 0; t < n_embed; ++t) model.embed_.push_back(nn::load_embedding(is));
+  for (int t = 0; t < cfg.ntypes; ++t) model.fit_.push_back(nn::load_fitting(is));
+  return model;
+}
+
+}  // namespace dp::core

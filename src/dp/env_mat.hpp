@@ -1,0 +1,63 @@
+// Environment-matrix construction — the ProdEnvMatA customized operator
+// (paper Sec 3.4.3 / 3.5.3).
+//
+// For every local atom i the operator emits:
+//   * rmat  (N_m x 4):  rows  s(r) * (1, x/r, y/r, z/r)  (paper Eq. 1),
+//     grouped by neighbor type (sel[t] slots per type, distance-sorted inside
+//     each block) and zero-padded up to the reserved slot count;
+//   * deriv (N_m x 4 x 3):  d(rmat row)/d(r_j - r_i)  — `descrpt_a_deriv`,
+//     the 12-component AoS the SVE conversion kernels operate on;
+//   * slot_atom: which atom occupies each slot (-1 for padding).
+//
+// Two builders produce bit-identical output: `Baseline` is the plain
+// reference; `Optimized` is the restructured operator the paper reports as
+// 3x faster on V100 (single distance evaluation per candidate, insertion
+// into fixed slot arrays, OpenMP over atoms).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "dp/model_config.hpp"
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "md/neighbor.hpp"
+
+namespace dp::core {
+
+struct EnvMat {
+  std::size_t n_atoms = 0;
+  int nm = 0;
+  int ntypes = 1;
+  AlignedVector<double> rmat;      ///< n_atoms * nm * 4
+  AlignedVector<double> deriv;     ///< n_atoms * nm * 12
+  std::vector<int> slot_atom;      ///< n_atoms * nm; -1 = padded slot
+  std::vector<int> count_by_type;  ///< n_atoms * ntypes: filled slots per block
+  std::size_t overflow = 0;        ///< neighbors dropped because a block was full
+
+  const double* rmat_row(std::size_t i, int slot) const {
+    return rmat.data() + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4;
+  }
+  const double* deriv_row(std::size_t i, int slot) const {
+    return deriv.data() +
+           (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 12;
+  }
+  int atom_at(std::size_t i, int slot) const {
+    return slot_atom[i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)];
+  }
+  int count(std::size_t i, int t) const {
+    return count_by_type[i * static_cast<std::size_t>(ntypes) + static_cast<std::size_t>(t)];
+  }
+  /// Fraction of slots that are padding — the paper's "redundant zeros".
+  double padding_fraction() const;
+};
+
+enum class EnvMatKernel { Baseline, Optimized };
+
+/// Builds the environment matrices of the first nlist.n_centers() atoms.
+void build_env_mat(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
+                   const md::NeighborList& nlist, EnvMat& out,
+                   EnvMatKernel kernel = EnvMatKernel::Optimized, bool periodic = true);
+
+}  // namespace dp::core

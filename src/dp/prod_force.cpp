@@ -1,0 +1,56 @@
+#include "dp/prod_force.hpp"
+
+namespace dp::core {
+
+namespace {
+/// f_l = sum_c g_rmat[c] * deriv[c][l] — the pair gradient dE/d(r_j - r_i).
+inline Vec3 slot_pair_gradient(const double* g_row, const double* d_row) {
+  Vec3 f{};
+  for (int c = 0; c < 4; ++c) {
+    const double g = g_row[c];
+    f.x += g * d_row[3 * c + 0];
+    f.y += g * d_row[3 * c + 1];
+    f.z += g * d_row[3 * c + 2];
+  }
+  return f;
+}
+}  // namespace
+
+void prod_force(const EnvMat& env, const double* g_rmat, std::vector<Vec3>& forces) {
+  const int nm = env.nm;
+  for (std::size_t i = 0; i < env.n_atoms; ++i) {
+    Vec3 fi{};
+    for (int slot = 0; slot < nm; ++slot) {
+      const int j = env.atom_at(i, slot);
+      if (j < 0) continue;
+      const Vec3 f = slot_pair_gradient(
+          g_rmat + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4,
+          env.deriv_row(i, slot));
+      // E depends on d = r_j - r_i:  F_i = +dE/dd, F_j = -dE/dd.
+      fi += f;
+      forces[static_cast<std::size_t>(j)] -= f;
+    }
+    forces[i] += fi;
+  }
+}
+
+void prod_virial(const EnvMat& env, const double* g_rmat, const md::Box& box,
+                 const md::Atoms& atoms, bool periodic, Mat3& virial) {
+  const int nm = env.nm;
+  for (std::size_t i = 0; i < env.n_atoms; ++i) {
+    const Vec3 ri = atoms.pos[i];
+    for (int slot = 0; slot < nm; ++slot) {
+      const int j = env.atom_at(i, slot);
+      if (j < 0) continue;
+      const Vec3 f = slot_pair_gradient(
+          g_rmat + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4,
+          env.deriv_row(i, slot));
+      Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
+      if (periodic) d = box.min_image(d);
+      // W += r_ij (x) f_ij with r_ij = r_i - r_j = -d and f_ij = +f on i.
+      virial += outer(d, f) * (-1.0);
+    }
+  }
+}
+
+}  // namespace dp::core

@@ -1,0 +1,28 @@
+// ProdForceSeA / ProdVirialSeA: scatter the per-slot environment-matrix
+// gradients into atomic forces and the global virial (paper Sec 3.4.3).
+//
+// Input g_rmat holds dE/dR~ for every (atom, slot) — including the chain
+// contribution dE/ds folded into column 0 by the caller. The kernels contract
+// it with descrpt_a_deriv and apply Newton's third law: the slot contributes
+// +f to the center and -f to the neighbor.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "dp/env_mat.hpp"
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+
+namespace dp::core {
+
+/// forces[k] += contributions for both centers and neighbors (ghosts
+/// included); forces must be pre-sized to atoms.size() (not cleared here).
+void prod_force(const EnvMat& env, const double* g_rmat, std::vector<Vec3>& forces);
+
+/// Accumulates the virial  W += sum_slots (r_i - r_j) (x) f_slot ; needs the
+/// displacement vectors, recomputed from positions exactly as env-mat did.
+void prod_virial(const EnvMat& env, const double* g_rmat, const md::Box& box,
+                 const md::Atoms& atoms, bool periodic, Mat3& virial);
+
+}  // namespace dp::core

@@ -1,0 +1,35 @@
+// The smooth radial gate of the DP descriptor (paper Eq. 1):
+//   s(r) = w(r) / r, with w decaying C2-smoothly from 1 to 0 on
+//   [rcut_smth, rcut]:
+//     w(r) = 1                          r <  rcut_smth
+//     w(r) = 1 - 10 x^3 + 15 x^4 - 6 x^5,  x = (r - rs)/(rc - rs)
+//     w(r) = 0                          r >= rcut
+#pragma once
+
+namespace dp::core {
+
+struct SwitchValue {
+  double s = 0.0;       ///< s(r)
+  double ds_dr = 0.0;   ///< ds/dr
+};
+
+inline SwitchValue switch_fn(double r, double rcut_smth, double rcut) {
+  SwitchValue out;
+  if (r >= rcut || r <= 0.0) return out;
+  const double inv_r = 1.0 / r;
+  if (r < rcut_smth) {
+    out.s = inv_r;
+    out.ds_dr = -inv_r * inv_r;
+    return out;
+  }
+  const double span = rcut - rcut_smth;
+  const double x = (r - rcut_smth) / span;
+  const double x2 = x * x;
+  const double w = 1.0 + x2 * x * (-10.0 + x * (15.0 - 6.0 * x));
+  const double dw_dx = x2 * (-30.0 + x * (60.0 - 30.0 * x));
+  out.s = w * inv_r;
+  out.ds_dr = dw_dx / span * inv_r - w * inv_r * inv_r;
+  return out;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,165 @@
+#include "fused/fused_model.hpp"
+
+#include <cstring>
+
+#include "common/cost.hpp"
+#include "common/timer.hpp"
+#include "dp/descriptor.hpp"
+#include "dp/prod_force.hpp"
+
+namespace dp::fused {
+
+using core::AtomKernelScratch;
+using core::ModelConfig;
+using tab::TabulatedEmbedding;
+
+FusedDP::FusedDP(const tab::TabulatedDP& tabulated, FusedOptions opts)
+    : tab_(tabulated), opts_(opts) {}
+
+md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
+                                 const md::NeighborList& nlist, bool periodic) {
+  ScopedTimer timer("fused.compute");
+  const core::DPModel& model = tab_.model();
+  const ModelConfig& cfg = model.config();
+  {
+    ScopedTimer t("fused.env_mat");
+    build_env_mat(cfg, box, atoms, nlist, env_, opts_.env_kernel, periodic);
+  }
+  const std::size_t n = env_.n_atoms;
+  const std::size_t m = cfg.m();
+  const std::size_t m_sub = cfg.axis_neuron;
+  const int nm = cfg.nm();
+  const double scale = 1.0 / static_cast<double>(nm);
+
+  atom_energy_.assign(n, 0.0);
+  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
+  std::size_t slots_processed = 0;
+  double energy_total = 0.0;
+
+  {
+    ScopedTimer t("fused.descriptor");
+#pragma omp parallel reduction(+ : slots_processed, energy_total)
+    {
+      // Per-thread scratch: one embedding row + its derivative (the
+      // "registers" of the CUDA kernel), the A accumulator, and the fitting
+      // workspace. Nothing scales with N_m * M unless cache_rows staging is
+      // enabled.
+      AlignedVector<double> g_row(m), dg_row(m), a_mat(4 * m), g_a(4 * m);
+      AlignedVector<double> row_cache;
+      if (opts_.cache_rows)
+        row_cache.resize(static_cast<std::size_t>(nm) * 2 * m);
+      AtomKernelScratch scratch;
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < n; ++i) {
+        std::memset(a_mat.data(), 0, 4 * m * sizeof(double));
+
+        // ---- Pass 1: fused tabulate + rank-1 contraction ----------------
+        for (int ty = 0; ty < cfg.ntypes; ++ty) {
+          const TabulatedEmbedding& table = tab_.table_pair(atoms.type[i], ty);
+          const int off = cfg.type_offset(ty);
+          const int limit =
+              opts_.skip_padding ? env_.count(i, ty) : cfg.sel[static_cast<std::size_t>(ty)];
+          for (int k = 0; k < limit; ++k) {
+            const double* rrow = env_.rmat_row(i, off + k);
+            const double* row = g_row.data();
+            if (opts_.cache_rows) {
+              // Single table walk: value + derivative staged for pass 2.
+              double* cache =
+                  row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
+              if (opts_.blocked_table)
+                table.eval_with_deriv_blocked(rrow[0], cache, cache + m);
+              else
+                table.eval_with_deriv(rrow[0], cache, cache + m);
+              row = cache;
+            } else if (opts_.blocked_table) {
+              table.eval_blocked(rrow[0], g_row.data());
+            } else {
+              table.eval(rrow[0], g_row.data());
+            }
+            // outer-product update: A_c += rrow[c] * row (Fig 4 (c))
+            for (int c = 0; c < 4; ++c) {
+              const double rv = rrow[c];
+              double* arow = a_mat.data() + static_cast<std::size_t>(c) * m;
+#pragma omp simd
+              for (std::size_t b = 0; b < m; ++b) arow[b] += rv * row[b];
+            }
+            ++slots_processed;
+          }
+        }
+        for (double& v : a_mat) v *= scale;
+
+        const double e_i = core::descriptor_fit_atom(model.fitting(atoms.type[i]),
+                                                     a_mat.data(), m, m_sub, scale, scratch,
+                                                     g_a.data());
+        atom_energy_[i] = e_i;
+        energy_total += e_i;
+
+        // ---- Pass 2: re-walk slots, fuse dE/dR~ and dE/ds ----------------
+        for (int ty = 0; ty < cfg.ntypes; ++ty) {
+          const TabulatedEmbedding& table = tab_.table_pair(atoms.type[i], ty);
+          const int off = cfg.type_offset(ty);
+          const int limit =
+              opts_.skip_padding ? env_.count(i, ty) : cfg.sel[static_cast<std::size_t>(ty)];
+          for (int k = 0; k < limit; ++k) {
+            const double* rrow = env_.rmat_row(i, off + k);
+            const double* row = g_row.data();
+            const double* drow = dg_row.data();
+            if (opts_.cache_rows) {
+              const double* cache =
+                  row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
+              row = cache;
+              drow = cache + m;
+            } else if (opts_.blocked_table) {
+              table.eval_with_deriv_blocked(rrow[0], g_row.data(), dg_row.data());
+            } else {
+              table.eval_with_deriv(rrow[0], g_row.data(), dg_row.data());
+            }
+            double* grow =
+                g_rmat.data() +
+                (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4;
+            // g_rmat[c] = <g_a[c], g_row>;  dE/ds = <R~ g_a, dg_row>
+            double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc_s = 0;
+            const double r0 = rrow[0], r1 = rrow[1], r2 = rrow[2], r3 = rrow[3];
+            const double* ga0 = g_a.data();
+            const double* ga1 = g_a.data() + m;
+            const double* ga2 = g_a.data() + 2 * m;
+            const double* ga3 = g_a.data() + 3 * m;
+#pragma omp simd reduction(+ : acc0, acc1, acc2, acc3, acc_s)
+            for (std::size_t b = 0; b < m; ++b) {
+              const double gb = row[b];
+              acc0 += ga0[b] * gb;
+              acc1 += ga1[b] * gb;
+              acc2 += ga2[b] * gb;
+              acc3 += ga3[b] * gb;
+              acc_s += (r0 * ga0[b] + r1 * ga1[b] + r2 * ga2[b] + r3 * ga3[b]) * drow[b];
+            }
+            grow[0] = acc0 + acc_s;
+            grow[1] = acc1;
+            grow[2] = acc2;
+            grow[3] = acc3;
+          }
+        }
+      }
+    }
+  }
+
+  slots_processed_ = slots_processed;
+  slots_total_ = n * static_cast<std::size_t>(nm);
+  CostRegistry::instance().add(
+      "fused.descriptor",
+      {static_cast<double>(slots_processed) * 47.0 * static_cast<double>(m),
+       static_cast<double>(slots_processed) * 12.0 * static_cast<double>(m) * sizeof(double),
+       static_cast<double>(slots_processed) * 4.0 * sizeof(double)});
+
+  md::ForceResult out;
+  out.energy = energy_total;
+  {
+    ScopedTimer t("fused.prod_force");
+    atoms.zero_forces();
+    prod_force(env_, g_rmat.data(), atoms.force);
+    prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+  }
+  return out;
+}
+
+}  // namespace dp::fused

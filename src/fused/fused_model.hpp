@@ -1,0 +1,58 @@
+// The fully optimized inference path (paper Sec 3.4 / 3.5).
+//
+// Kernel fusion: the tabulated embedding row g(s_j) is evaluated and
+// immediately contracted into A = (1/N_m) R~^T G as a rank-1 update — one
+// row lives in registers at a time; the embedding matrix G is never
+// allocated (Fig 3's dashed lines). The backward pass re-walks the slots and
+// re-evaluates the (cheap) table instead of loading a stored G.
+//
+// Redundancy removal: the slot loops run only over the filled part of each
+// type block instead of all N_m reserved slots (Fig 4) — exact, because a
+// padded slot's environment-matrix row is identically zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/env_mat.hpp"
+#include "md/force_field.hpp"
+#include "tab/tabulated_model.hpp"
+
+namespace dp::fused {
+
+struct FusedOptions {
+  bool skip_padding = true;   ///< redundancy removal (Sec 3.4.2)
+  bool blocked_table = false; ///< SVE-style table layout (Sec 3.5.1)
+  core::EnvMatKernel env_kernel = core::EnvMatKernel::Optimized;  ///< ProdEnvMatA variant
+  /// Cache each atom's embedding rows (value + derivative) in a per-thread
+  /// buffer during pass 1 so pass 2 reads instead of re-walking the table —
+  /// one table evaluation per slot instead of two, at O(N_m x M) per-thread
+  /// scratch (the analog of the CUDA kernel's shared-memory staging).
+  bool cache_rows = false;
+};
+
+class FusedDP final : public md::ForceField {
+ public:
+  explicit FusedDP(const tab::TabulatedDP& tabulated, FusedOptions opts = {});
+
+  md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
+                          bool periodic = true) override;
+  double cutoff() const override { return tab_.model().config().rcut; }
+
+  const std::vector<double>& atom_energies() const { return atom_energy_; }
+  const core::EnvMat& env() const { return env_; }
+
+  /// Slot statistics of the last compute() — Fig 4's redundancy story.
+  std::size_t slots_processed() const { return slots_processed_; }
+  std::size_t slots_total() const { return slots_total_; }
+
+ private:
+  const tab::TabulatedDP& tab_;
+  FusedOptions opts_;
+  core::EnvMat env_;
+  std::vector<double> atom_energy_;
+  std::size_t slots_processed_ = 0;
+  std::size_t slots_total_ = 0;
+};
+
+}  // namespace dp::fused

@@ -1,0 +1,150 @@
+#include "fused/mixed_model.hpp"
+
+#include <cstring>
+
+#include "common/timer.hpp"
+#include "dp/descriptor.hpp"
+#include "dp/prod_force.hpp"
+
+namespace dp::fused {
+
+using core::AtomKernelScratch;
+using core::ModelConfig;
+
+MixedFusedDP::MixedFusedDP(const tab::TabulatedDP& tabulated, MixedPrecision precision)
+    : tab_(tabulated), precision_(precision) {
+  const auto& model = tabulated.model();
+  const int nt = model.config().ntypes;
+  auto each_table = [&](auto&& fn) {
+    if (model.config().type_one_side) {
+      for (int t = 0; t < nt; ++t) fn(tabulated.table(t));
+    } else {
+      for (int c = 0; c < nt; ++c)
+        for (int t = 0; t < nt; ++t) fn(tabulated.table_pair(c, t));
+    }
+  };
+  if (precision_ == MixedPrecision::Single)
+    each_table([&](const tab::TabulatedEmbedding& t) { tables_sp_.emplace_back(t); });
+  else
+    each_table([&](const tab::TabulatedEmbedding& t) { tables_hp_.emplace_back(t); });
+}
+
+std::size_t MixedFusedDP::table_bytes() const {
+  std::size_t b = 0;
+  for (const auto& t : tables_sp_) b += t.bytes();
+  for (const auto& t : tables_hp_) b += t.bytes();
+  return b;
+}
+
+void MixedFusedDP::eval_table(std::size_t idx, float s, float* g) const {
+  if (precision_ == MixedPrecision::Single)
+    tables_sp_[idx].eval(s, g);
+  else
+    tables_hp_[idx].eval(s, g);
+}
+
+void MixedFusedDP::eval_table_deriv(std::size_t idx, float s, float* g, float* dg) const {
+  if (precision_ == MixedPrecision::Single)
+    tables_sp_[idx].eval_with_deriv(s, g, dg);
+  else
+    tables_hp_[idx].eval_with_deriv(s, g, dg);
+}
+
+md::ForceResult MixedFusedDP::compute(const md::Box& box, md::Atoms& atoms,
+                                      const md::NeighborList& nlist, bool periodic) {
+  ScopedTimer timer("mixed.compute");
+  const core::DPModel& model = tab_.model();
+  const ModelConfig& cfg = model.config();
+  build_env_mat(cfg, box, atoms, nlist, env_, core::EnvMatKernel::Optimized, periodic);
+
+  const std::size_t n = env_.n_atoms;
+  const std::size_t m = cfg.m();
+  const std::size_t m_sub = cfg.axis_neuron;
+  const int nm = cfg.nm();
+  const double scale = 1.0 / static_cast<double>(nm);
+
+  atom_energy_.assign(n, 0.0);
+  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
+  double energy_total = 0.0;
+
+#pragma omp parallel reduction(+ : energy_total)
+  {
+    AlignedVector<float> g_row(m), dg_row(m), a_sp(4 * m), ga_sp(4 * m);
+    AlignedVector<double> a_mat(4 * m), g_a(4 * m);
+    AtomKernelScratch scratch;
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memset(a_sp.data(), 0, 4 * m * sizeof(float));
+
+      // ---- Pass 1 in single precision ----------------------------------
+      for (int ty = 0; ty < cfg.ntypes; ++ty) {
+        const std::size_t table = model.pair_index(atoms.type[i], ty);
+        const int off = cfg.type_offset(ty);
+        const int limit = env_.count(i, ty);
+        for (int k = 0; k < limit; ++k) {
+          const double* rrow = env_.rmat_row(i, off + k);
+          eval_table(table, static_cast<float>(rrow[0]), g_row.data());
+          const float r[4] = {static_cast<float>(rrow[0]), static_cast<float>(rrow[1]),
+                              static_cast<float>(rrow[2]), static_cast<float>(rrow[3])};
+          for (int c = 0; c < 4; ++c) {
+            const float rv = r[c];
+            float* arow = a_sp.data() + static_cast<std::size_t>(c) * m;
+#pragma omp simd
+            for (std::size_t b = 0; b < m; ++b) arow[b] += rv * g_row[b];
+          }
+        }
+      }
+      // ---- Descriptor + fitting in double -------------------------------
+      for (std::size_t k = 0; k < 4 * m; ++k)
+        a_mat[k] = static_cast<double>(a_sp[k]) * scale;
+      const double e_i = core::descriptor_fit_atom(model.fitting(atoms.type[i]), a_mat.data(),
+                                                   m, m_sub, scale, scratch, g_a.data());
+      atom_energy_[i] = e_i;
+      energy_total += e_i;
+
+      // ---- Pass 2 in single precision, accumulated into double ----------
+      for (std::size_t k = 0; k < 4 * m; ++k) ga_sp[k] = static_cast<float>(g_a[k]);
+      for (int ty = 0; ty < cfg.ntypes; ++ty) {
+        const std::size_t table = model.pair_index(atoms.type[i], ty);
+        const int off = cfg.type_offset(ty);
+        const int limit = env_.count(i, ty);
+        for (int k = 0; k < limit; ++k) {
+          const double* rrow = env_.rmat_row(i, off + k);
+          eval_table_deriv(table, static_cast<float>(rrow[0]), g_row.data(), dg_row.data());
+          double* grow =
+              g_rmat.data() +
+              (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4;
+          float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc_s = 0;
+          const float r0 = static_cast<float>(rrow[0]), r1 = static_cast<float>(rrow[1]),
+                      r2 = static_cast<float>(rrow[2]), r3 = static_cast<float>(rrow[3]);
+          const float* ga0 = ga_sp.data();
+          const float* ga1 = ga_sp.data() + m;
+          const float* ga2 = ga_sp.data() + 2 * m;
+          const float* ga3 = ga_sp.data() + 3 * m;
+#pragma omp simd reduction(+ : acc0, acc1, acc2, acc3, acc_s)
+          for (std::size_t b = 0; b < m; ++b) {
+            const float gb = g_row[b];
+            acc0 += ga0[b] * gb;
+            acc1 += ga1[b] * gb;
+            acc2 += ga2[b] * gb;
+            acc3 += ga3[b] * gb;
+            acc_s += (r0 * ga0[b] + r1 * ga1[b] + r2 * ga2[b] + r3 * ga3[b]) * dg_row[b];
+          }
+          grow[0] = static_cast<double>(acc0) + static_cast<double>(acc_s);
+          grow[1] = acc1;
+          grow[2] = acc2;
+          grow[3] = acc3;
+        }
+      }
+    }
+  }
+
+  md::ForceResult out;
+  out.energy = energy_total;
+  atoms.zero_forces();
+  prod_force(env_, g_rmat.data(), atoms.force);
+  prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+  return out;
+}
+
+}  // namespace dp::fused

@@ -1,0 +1,52 @@
+// Mixed-precision fused inference — the paper's stated future work ("the
+// mixed-precision versions of code still has accuracy problems and will be
+// our future work", Sec 7), following the split its baseline used for its
+// Table 1 mixed rows:
+//
+//   single precision: the per-neighbor embedding work (table evaluation,
+//     rank-1 contraction into A, the pass-2 gradient dots) — the 95%-of-
+//     FLOPs part;
+//   double precision: the descriptor, the fitting network, energies, and
+//     all force/virial accumulations (the reductions where float error
+//     compounds).
+#pragma once
+
+#include <vector>
+
+#include "dp/env_mat.hpp"
+#include "md/force_field.hpp"
+#include "tab/table_sp.hpp"
+#include "tab/tabulated_model.hpp"
+
+namespace dp::fused {
+
+/// Embedding-stage storage/arithmetic width of the mixed path.
+enum class MixedPrecision { Single, Half };
+
+class MixedFusedDP final : public md::ForceField {
+ public:
+  explicit MixedFusedDP(const tab::TabulatedDP& tabulated,
+                        MixedPrecision precision = MixedPrecision::Single);
+
+  md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
+                          bool periodic = true) override;
+  double cutoff() const override { return tab_.model().config().rcut; }
+
+  const std::vector<double>& atom_energies() const { return atom_energy_; }
+  /// Bytes of the reduced-precision tables (double/2 for Single, /4 for
+  /// Half).
+  std::size_t table_bytes() const;
+
+ private:
+  void eval_table(std::size_t idx, float s, float* g) const;
+  void eval_table_deriv(std::size_t idx, float s, float* g, float* dg) const;
+
+  const tab::TabulatedDP& tab_;
+  MixedPrecision precision_;
+  std::vector<tab::TabulatedEmbeddingSP> tables_sp_;
+  std::vector<tab::TabulatedEmbeddingHP> tables_hp_;
+  core::EnvMat env_;
+  std::vector<double> atom_energy_;
+};
+
+}  // namespace dp::fused

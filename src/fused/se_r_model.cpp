@@ -1,0 +1,107 @@
+#include "fused/se_r_model.hpp"
+
+#include <cstring>
+
+#include "common/timer.hpp"
+#include "dp/descriptor.hpp"
+#include "dp/prod_force.hpp"
+
+namespace dp::fused {
+
+using core::ModelConfig;
+using tab::TabulatedEmbedding;
+
+SeRFusedDP::SeRFusedDP(const tab::TabulatedDP& tabulated) : tab_(tabulated) {
+  const auto& cfg = tabulated.model().config();
+  DP_CHECK_MSG(cfg.descriptor == core::DescriptorKind::SeR,
+               "SeRFusedDP needs a model configured with DescriptorKind::SeR");
+  // Cache the padding row g(0) of every table.
+  const int nt = cfg.ntypes;
+  const std::size_t m = cfg.m();
+  for (int c = 0; c < (cfg.type_one_side ? 1 : nt); ++c)
+    for (int t = 0; t < nt; ++t) {
+      AlignedVector<double> g0(m);
+      tabulated.table_pair(c, t).eval(0.0, g0.data());
+      g_zero_.push_back(std::move(g0));
+    }
+}
+
+md::ForceResult SeRFusedDP::compute(const md::Box& box, md::Atoms& atoms,
+                                    const md::NeighborList& nlist, bool periodic) {
+  ScopedTimer timer("se_r.compute");
+  const core::DPModel& model = tab_.model();
+  const ModelConfig& cfg = model.config();
+  build_env_mat(cfg, box, atoms, nlist, env_, core::EnvMatKernel::Optimized, periodic);
+
+  const std::size_t n = env_.n_atoms;
+  const std::size_t m = cfg.m();
+  const int nm = cfg.nm();
+  const double scale = 1.0 / static_cast<double>(nm);
+
+  atom_energy_.assign(n, 0.0);
+  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
+  double energy_total = 0.0;
+
+#pragma omp parallel reduction(+ : energy_total)
+  {
+    AlignedVector<double> g_row(m), dg_row(m), d_vec(m), g_d(m);
+    nn::FittingNet::Workspace fit_ws;
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      // ---- Pass 1: D = (1/N_m) sum over ALL slots of g(s_j); real slots
+      // are walked, padded ones contribute the cached g(0) analytically ----
+      std::memset(d_vec.data(), 0, m * sizeof(double));
+      for (int ty = 0; ty < cfg.ntypes; ++ty) {
+        const TabulatedEmbedding& table = tab_.table_pair(atoms.type[i], ty);
+        const int off = cfg.type_offset(ty);
+        const int limit = env_.count(i, ty);
+        for (int k = 0; k < limit; ++k) {
+          table.eval(env_.rmat_row(i, off + k)[0], g_row.data());
+#pragma omp simd
+          for (std::size_t b = 0; b < m; ++b) d_vec[b] += g_row[b];
+        }
+        const double n_padded =
+            static_cast<double>(cfg.sel[static_cast<std::size_t>(ty)] - limit);
+        const auto& g0 =
+            g_zero_[cfg.type_one_side
+                        ? static_cast<std::size_t>(ty)
+                        : static_cast<std::size_t>(atoms.type[i]) *
+                                  static_cast<std::size_t>(cfg.ntypes) +
+                              static_cast<std::size_t>(ty)];
+#pragma omp simd
+        for (std::size_t b = 0; b < m; ++b) d_vec[b] += n_padded * g0[b];
+      }
+      for (double& v : d_vec) v *= scale;
+
+      const int ct = atoms.type[i];
+      const double e_i = model.fitting(ct).forward(d_vec.data(), fit_ws);
+      atom_energy_[i] = e_i;
+      energy_total += e_i;
+      model.fitting(ct).backward(fit_ws, g_d.data());
+
+      // ---- Pass 2: dE/ds_j = (1/N_m) <g_D, g'(s_j)> into column 0 -------
+      for (int ty = 0; ty < cfg.ntypes; ++ty) {
+        const TabulatedEmbedding& table = tab_.table_pair(atoms.type[i], ty);
+        const int off = cfg.type_offset(ty);
+        const int limit = env_.count(i, ty);
+        for (int k = 0; k < limit; ++k) {
+          table.eval_with_deriv(env_.rmat_row(i, off + k)[0], g_row.data(), dg_row.data());
+          double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+          for (std::size_t b = 0; b < m; ++b) acc += g_d[b] * dg_row[b];
+          g_rmat[(i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4] =
+              acc * scale;
+        }
+      }
+    }
+  }
+
+  md::ForceResult out;
+  out.energy = energy_total;
+  atoms.zero_forces();
+  prod_force(env_, g_rmat.data(), atoms.force);
+  prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+  return out;
+}
+
+}  // namespace dp::fused

@@ -1,0 +1,50 @@
+// Structure-of-arrays atom storage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace dp::md {
+
+struct Atoms {
+  std::vector<Vec3> pos;
+  std::vector<Vec3> vel;
+  std::vector<Vec3> force;
+  std::vector<int> type;          ///< species index in [0, ntypes)
+  std::vector<double> mass_by_type;
+
+  std::size_t size() const { return pos.size(); }
+  int ntypes() const { return static_cast<int>(mass_by_type.size()); }
+
+  void resize(std::size_t n) {
+    pos.resize(n);
+    vel.resize(n);
+    force.resize(n);
+    type.resize(n, 0);
+  }
+
+  void add(const Vec3& r, int t) {
+    pos.push_back(r);
+    vel.push_back({});
+    force.push_back({});
+    type.push_back(t);
+  }
+
+  double mass(std::size_t i) const { return mass_by_type[static_cast<std::size_t>(type[i])]; }
+
+  void zero_forces() {
+    for (auto& f : force) f = {};
+  }
+
+  void validate() const {
+    DP_CHECK(vel.size() == pos.size());
+    DP_CHECK(force.size() == pos.size());
+    DP_CHECK(type.size() == pos.size());
+    for (int t : type) DP_CHECK_MSG(t >= 0 && t < ntypes(), "atom type out of range");
+  }
+};
+
+}  // namespace dp::md

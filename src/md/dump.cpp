@@ -1,0 +1,85 @@
+#include "md/dump.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dp::md {
+
+XyzWriter::XyzWriter(const std::string& path, std::vector<std::string> symbols)
+    : os_(path), symbols_(std::move(symbols)) {
+  DP_CHECK_MSG(os_.is_open(), "cannot open " << path << " for writing");
+  DP_CHECK(!symbols_.empty());
+}
+
+void XyzWriter::write_frame(const Box& box, const Atoms& atoms, const std::string& comment) {
+  const Vec3 L = box.lengths();
+  os_ << std::setprecision(12);
+  os_ << atoms.size() << '\n';
+  os_ << "Lattice=\"" << L.x << " 0 0 0 " << L.y << " 0 0 0 " << L.z
+      << "\" Properties=species:S:1:pos:R:3";
+  if (!comment.empty()) os_ << ' ' << comment;
+  os_ << '\n';
+  os_ << std::setprecision(12);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const auto t = static_cast<std::size_t>(atoms.type[i]);
+    DP_CHECK_MSG(t < symbols_.size(), "atom type without element symbol");
+    os_ << symbols_[t] << ' ' << atoms.pos[i].x << ' ' << atoms.pos[i].y << ' '
+        << atoms.pos[i].z << '\n';
+  }
+  os_.flush();
+  ++frames_;
+}
+
+std::vector<XyzFrame> read_xyz(const std::string& path) {
+  std::ifstream is(path);
+  DP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  std::vector<XyzFrame> frames;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::size_t n = std::stoul(line);
+    DP_CHECK_MSG(std::getline(is, line), "truncated XYZ: missing comment line");
+    XyzFrame frame;
+    // Parse Lattice="ax 0 0 0 by 0 0 0 cz" if present; default unit box.
+    double lx = 1, ly = 1, lz = 1;
+    const auto pos = line.find("Lattice=\"");
+    if (pos != std::string::npos) {
+      std::istringstream cell(line.substr(pos + 9));
+      double m[9];
+      for (double& v : m) cell >> v;
+      lx = m[0];
+      ly = m[4];
+      lz = m[8];
+    }
+    frame.box = Box(lx, ly, lz);
+    frame.pos.reserve(n);
+    frame.symbols.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      DP_CHECK_MSG(std::getline(is, line), "truncated XYZ: missing atom line");
+      std::istringstream row(line);
+      std::string sym;
+      Vec3 r;
+      row >> sym >> r.x >> r.y >> r.z;
+      DP_CHECK_MSG(!row.fail(), "malformed XYZ atom line: " << line);
+      frame.symbols.push_back(sym);
+      frame.pos.push_back(r);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+ThermoCsvWriter::ThermoCsvWriter(const std::string& path) : os_(path) {
+  DP_CHECK_MSG(os_.is_open(), "cannot open " << path << " for writing");
+  os_ << "step,potential_ev,kinetic_ev,total_ev,temperature_k,pressure_bar\n";
+}
+
+void ThermoCsvWriter::write(const ThermoSample& s) {
+  os_ << s.step << ',' << std::setprecision(12) << s.potential << ',' << s.kinetic << ','
+      << s.total() << ',' << s.temperature << ',' << s.pressure_bar << '\n';
+  os_.flush();
+}
+
+}  // namespace dp::md

@@ -1,0 +1,53 @@
+// Trajectory and thermodynamics output — the pieces a production MD run
+// needs around the force engine: extended-XYZ frames (readable by OVITO /
+// ASE) and a CSV thermo log (paper Sec 4: thermodynamic data recorded every
+// 50 steps).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "md/simulation.hpp"
+
+namespace dp::md {
+
+/// Writes extended-XYZ frames: a Lattice= header plus one
+/// "symbol x y z" line per atom.
+class XyzWriter {
+ public:
+  /// `symbols`: one element symbol per atom type.
+  XyzWriter(const std::string& path, std::vector<std::string> symbols);
+
+  void write_frame(const Box& box, const Atoms& atoms, const std::string& comment = "");
+  int frames_written() const { return frames_; }
+
+ private:
+  std::ofstream os_;
+  std::vector<std::string> symbols_;
+  int frames_ = 0;
+};
+
+/// A single parsed XYZ frame.
+struct XyzFrame {
+  Box box;
+  std::vector<Vec3> pos;
+  std::vector<std::string> symbols;
+};
+
+/// Reads every frame of an (extended) XYZ file.
+std::vector<XyzFrame> read_xyz(const std::string& path);
+
+/// Appends thermo samples as CSV rows (step, E_pot, E_kin, E_tot, T, P).
+class ThermoCsvWriter {
+ public:
+  explicit ThermoCsvWriter(const std::string& path);
+  void write(const ThermoSample& sample);
+
+ private:
+  std::ofstream os_;
+};
+
+}  // namespace dp::md

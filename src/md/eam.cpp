@@ -1,0 +1,96 @@
+#include "md/eam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dp::md {
+
+SuttonChen::SuttonChen(Params params) : p_(params) {
+  DP_CHECK(p_.epsilon > 0 && p_.a > 0 && p_.c > 0);
+  DP_CHECK(p_.n > p_.m && p_.m > 0);
+  DP_CHECK(p_.rcut > p_.rcut_smth && p_.rcut_smth > 0);
+}
+
+void SuttonChen::gate(double r, double& w, double& dw) const {
+  if (r < p_.rcut_smth) {
+    w = 1.0;
+    dw = 0.0;
+    return;
+  }
+  if (r >= p_.rcut) {
+    w = 0.0;
+    dw = 0.0;
+    return;
+  }
+  const double span = p_.rcut - p_.rcut_smth;
+  const double x = (r - p_.rcut_smth) / span;
+  const double x2 = x * x;
+  // Clamp at 0: cancellation noise near x = 1 can land a hair below zero,
+  // and the sqrt embedding turns any negative density into NaN.
+  w = std::max(0.0, 1.0 + x2 * x * (-10.0 + x * (15.0 - 6.0 * x)));
+  dw = x2 * (-30.0 + x * (60.0 - 30.0 * x)) / span;
+}
+
+ForceResult SuttonChen::compute(const Box& box, Atoms& atoms, const NeighborList& nlist,
+                                bool periodic) {
+  DP_CHECK_MSG(nlist.n_centers() == atoms.size(),
+               "SuttonChen needs densities for every atom (no ghost-only atoms)");
+  const std::size_t n = atoms.size();
+  const double rc2 = p_.rcut * p_.rcut;
+
+  // ---- Pass 1: densities ---------------------------------------------
+  rho_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j : nlist.neighbors(i)) {
+      Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - atoms.pos[i];
+      if (periodic) d = box.min_image(d);
+      const double r2 = norm2(d);
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      double w, dw;
+      gate(r, w, dw);
+      acc += std::pow(p_.a / r, p_.m) * w;
+    }
+    rho_[i] = std::max(acc, 0.0);
+  }
+
+  // ---- Pass 2: energy + forces ----------------------------------------
+  ForceResult out;
+  atoms.zero_forces();
+  double e_pair = 0.0, e_embed = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    e_embed -= p_.c * std::sqrt(rho_[i]);
+    // dF/drho = -c / (2 sqrt(rho)); guard isolated atoms (rho = 0).
+    const double f_prime = rho_[i] > 0.0 ? -p_.c / (2.0 * std::sqrt(rho_[i])) : 0.0;
+    Vec3 fi{};
+    for (int j : nlist.neighbors(i)) {
+      Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - atoms.pos[i];
+      if (periodic) d = box.min_image(d);
+      const double r2 = norm2(d);
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      double w, dw;
+      gate(r, w, dw);
+      const double pair = std::pow(p_.a / r, p_.n);
+      const double dens = std::pow(p_.a / r, p_.m);
+      e_pair += 0.5 * pair * w;
+      // d(pair * w)/dr and d(dens * w)/dr
+      const double dpair = -p_.n / r * pair * w + pair * dw;
+      const double ddens = -p_.m / r * dens * w + dens * dw;
+      // dE/dd for this ordered pair: 1/2 phi' + F'(rho_i) * rho'.
+      const double g = p_.epsilon * (0.5 * dpair + f_prime * ddens);
+      const Vec3 fpair = d * (g / r);  // dE/dd
+      fi += fpair;                     // F_i = +dE/dd, F_j = -dE/dd
+      atoms.force[static_cast<std::size_t>(j)] -= fpair;
+      out.virial += outer(d, fpair) * (-1.0);
+    }
+    atoms.force[i] += fi;
+  }
+  out.energy = p_.epsilon * e_pair + p_.epsilon * e_embed;
+  return out;
+}
+
+}  // namespace dp::md

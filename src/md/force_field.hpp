@@ -1,0 +1,34 @@
+// Interface every potential implements (LJ reference, the DP model paths).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "md/neighbor.hpp"
+
+namespace dp::md {
+
+/// Result of one energy/force evaluation.
+struct ForceResult {
+  double energy = 0.0;  ///< total potential energy [eV]
+  Mat3 virial{};        ///< virial tensor  sum_pairs r (x) f  [eV]
+};
+
+class ForceField {
+ public:
+  virtual ~ForceField() = default;
+
+  /// Computes forces for the first `nlist.n_centers()` atoms into
+  /// atoms.force (overwritten) and returns total energy + virial.
+  /// Positions beyond the centers are ghosts (parallel runs) and receive
+  /// force contributions too when `nlocal < pos.size()`.
+  virtual ForceResult compute(const Box& box, Atoms& atoms, const NeighborList& nlist,
+                              bool periodic = true) = 0;
+
+  /// Cutoff radius the neighbor list must cover.
+  virtual double cutoff() const = 0;
+};
+
+}  // namespace dp::md

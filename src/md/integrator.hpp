@@ -1,0 +1,29 @@
+// Velocity-Verlet integration and Maxwell-Boltzmann velocity initialization
+// (paper Sec 4: temperature set to 330 K via random initial velocities).
+#pragma once
+
+#include <cstdint>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+
+namespace dp::md {
+
+/// Draw velocities from the Maxwell-Boltzmann distribution at temperature T,
+/// remove the center-of-mass drift, and rescale to hit T exactly.
+void init_velocities(Atoms& atoms, double temperature, std::uint64_t seed = 2022);
+
+/// First Verlet half-kick + drift:  v += (dt/2) a;  r += dt v.
+/// Positions are wrapped back into the box when `wrap` is set.
+void verlet_first_half(Atoms& atoms, const Box& box, double dt, bool wrap = true);
+
+/// Second half-kick with the fresh forces: v += (dt/2) a.
+void verlet_second_half(Atoms& atoms, double dt);
+
+/// Kinetic energy [eV].
+double kinetic_energy(const Atoms& atoms);
+
+/// Instantaneous temperature [K] of n atoms (3n - 3 COM-free dof).
+double temperature(const Atoms& atoms);
+
+}  // namespace dp::md

@@ -1,0 +1,135 @@
+#include "md/lammps_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dp::md {
+
+void write_lammps_data(const std::string& path, const Configuration& cfg,
+                       const std::string& comment) {
+  std::ofstream os(path);
+  DP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  const Vec3 L = cfg.box.lengths();
+  os << "# " << comment << '\n' << '\n';
+  os << cfg.atoms.size() << " atoms\n";
+  os << cfg.atoms.ntypes() << " atom types\n" << '\n';
+  os << std::setprecision(12);
+  os << 0.0 << ' ' << L.x << " xlo xhi\n";
+  os << 0.0 << ' ' << L.y << " ylo yhi\n";
+  os << 0.0 << ' ' << L.z << " zlo zhi\n" << '\n';
+  os << "Masses\n" << '\n';
+  for (int t = 0; t < cfg.atoms.ntypes(); ++t)
+    os << (t + 1) << ' ' << cfg.atoms.mass_by_type[static_cast<std::size_t>(t)] << '\n';
+  os << '\n' << "Atoms # atomic\n" << '\n';
+  for (std::size_t i = 0; i < cfg.atoms.size(); ++i)
+    os << (i + 1) << ' ' << (cfg.atoms.type[i] + 1) << ' ' << cfg.atoms.pos[i].x << ' '
+       << cfg.atoms.pos[i].y << ' ' << cfg.atoms.pos[i].z << '\n';
+  os << '\n' << "Velocities\n" << '\n';
+  for (std::size_t i = 0; i < cfg.atoms.size(); ++i)
+    os << (i + 1) << ' ' << cfg.atoms.vel[i].x << ' ' << cfg.atoms.vel[i].y << ' '
+       << cfg.atoms.vel[i].z << '\n';
+}
+
+namespace {
+/// Strips a trailing comment and surrounding whitespace.
+std::string clean(const std::string& line) {
+  std::string s = line.substr(0, line.find('#'));
+  const auto a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  const auto b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+}  // namespace
+
+Configuration read_lammps_data(const std::string& path) {
+  std::ifstream is(path);
+  DP_CHECK_MSG(is.is_open(), "cannot open " << path);
+
+  Configuration cfg;
+  std::size_t n_atoms = 0;
+  int n_types = 0;
+  double xlo = 0, xhi = 0, ylo = 0, yhi = 0, zlo = 0, zhi = 0;
+
+  std::string line;
+  std::getline(is, line);  // title line (free text)
+  enum class Section { Header, Masses, Atoms, Velocities } section = Section::Header;
+
+  while (std::getline(is, line)) {
+    const std::string s = clean(line);
+    if (s.empty()) continue;
+    if (s == "Masses") {
+      section = Section::Masses;
+      continue;
+    }
+    if (s.rfind("Atoms", 0) == 0) {
+      DP_CHECK_MSG(n_atoms > 0 && n_types > 0, "Atoms section before header counts");
+      cfg.atoms.resize(n_atoms);
+      section = Section::Atoms;
+      continue;
+    }
+    if (s == "Velocities") {
+      section = Section::Velocities;
+      continue;
+    }
+
+    std::istringstream row(s);
+    switch (section) {
+      case Section::Header: {
+        if (s.find("atoms") != std::string::npos && s.find("types") == std::string::npos) {
+          row >> n_atoms;
+        } else if (s.find("atom types") != std::string::npos) {
+          row >> n_types;
+          cfg.atoms.mass_by_type.assign(static_cast<std::size_t>(n_types), 1.0);
+        } else if (s.find("xlo") != std::string::npos) {
+          row >> xlo >> xhi;
+        } else if (s.find("ylo") != std::string::npos) {
+          row >> ylo >> yhi;
+        } else if (s.find("zlo") != std::string::npos) {
+          row >> zlo >> zhi;
+        }
+        break;
+      }
+      case Section::Masses: {
+        int t;
+        double m;
+        row >> t >> m;
+        DP_CHECK_MSG(!row.fail() && t >= 1 && t <= n_types, "bad Masses line: " << s);
+        cfg.atoms.mass_by_type[static_cast<std::size_t>(t - 1)] = m;
+        break;
+      }
+      case Section::Atoms: {
+        std::size_t id;
+        int t;
+        Vec3 r;
+        row >> id >> t >> r.x >> r.y >> r.z;
+        DP_CHECK_MSG(!row.fail() && id >= 1 && id <= n_atoms && t >= 1 && t <= n_types,
+                     "bad Atoms line: " << s);
+        cfg.atoms.pos[id - 1] = r;
+        cfg.atoms.type[id - 1] = t - 1;
+        break;
+      }
+      case Section::Velocities: {
+        std::size_t id;
+        Vec3 v;
+        row >> id >> v.x >> v.y >> v.z;
+        DP_CHECK_MSG(!row.fail() && id >= 1 && id <= n_atoms, "bad Velocities line: " << s);
+        cfg.atoms.vel[id - 1] = v;
+        break;
+      }
+    }
+  }
+  DP_CHECK_MSG(n_atoms > 0, "no atoms in " << path);
+  DP_CHECK_MSG(xhi > xlo && yhi > ylo && zhi > zlo, "bad box bounds in " << path);
+  cfg.box = Box(xhi - xlo, yhi - ylo, zhi - zlo);
+  if (xlo != 0 || ylo != 0 || zlo != 0) {
+    const Vec3 shift{-xlo, -ylo, -zlo};
+    for (auto& r : cfg.atoms.pos) r = cfg.box.wrap(r + shift);
+  }
+  cfg.atoms.validate();
+  return cfg;
+}
+
+}  // namespace dp::md

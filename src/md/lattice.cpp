@@ -1,0 +1,87 @@
+#include "md/lattice.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "md/units.hpp"
+
+namespace dp::md {
+
+Configuration make_fcc(int nx, int ny, int nz, double lattice_const, double mass,
+                       double jitter, std::uint64_t seed) {
+  DP_CHECK(nx > 0 && ny > 0 && nz > 0);
+  Configuration cfg;
+  cfg.box = Box(nx * lattice_const, ny * lattice_const, nz * lattice_const);
+  cfg.atoms.mass_by_type = {mass};
+  const Vec3 basis[4] = {{0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  Rng rng(seed);
+  cfg.atoms.pos.reserve(static_cast<std::size_t>(4) * nx * ny * nz);
+  for (int ix = 0; ix < nx; ++ix)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int iz = 0; iz < nz; ++iz)
+        for (const Vec3& b : basis) {
+          Vec3 r{(ix + b.x) * lattice_const, (iy + b.y) * lattice_const,
+                 (iz + b.z) * lattice_const};
+          if (jitter > 0.0)
+            r += Vec3{rng.uniform(-jitter, jitter), rng.uniform(-jitter, jitter),
+                      rng.uniform(-jitter, jitter)};
+          cfg.atoms.add(cfg.box.wrap(r), 0);
+        }
+  return cfg;
+}
+
+Configuration make_water(int nx, int ny, int nz, std::uint64_t seed) {
+  DP_CHECK(nx > 0 && ny > 0 && nz > 0);
+  // 64 molecules in a cubic base cell at ambient density: 0.0334 mol/A^3
+  // -> cell edge (64 / 0.0334)^(1/3).
+  constexpr int kMolPerEdge = 4;
+  constexpr double kDensity = 0.0334;  // molecules per A^3
+  const double cell_edge = std::cbrt(64.0 / kDensity);
+  const double spacing = cell_edge / kMolPerEdge;
+
+  Configuration cfg;
+  cfg.box = Box(nx * cell_edge, ny * cell_edge, nz * cell_edge);
+  cfg.atoms.mass_by_type = {kMassO, kMassH};
+
+  // Rigid water geometry: O-H = 0.9572 A, H-O-H = 104.52 degrees.
+  constexpr double kOH = 0.9572;
+  constexpr double kHalfAngle = 104.52 / 2.0 * 3.14159265358979323846 / 180.0;
+  const Vec3 h1_local{kOH * std::sin(kHalfAngle), 0.0, kOH * std::cos(kHalfAngle)};
+  const Vec3 h2_local{-kOH * std::sin(kHalfAngle), 0.0, kOH * std::cos(kHalfAngle)};
+
+  Rng rng(seed);
+  const std::size_t nmol =
+      static_cast<std::size_t>(64) * static_cast<std::size_t>(nx) * ny * nz;
+  cfg.atoms.pos.reserve(3 * nmol);
+
+  for (int cx = 0; cx < nx; ++cx)
+    for (int cy = 0; cy < ny; ++cy)
+      for (int cz = 0; cz < nz; ++cz)
+        for (int mx = 0; mx < kMolPerEdge; ++mx)
+          for (int my = 0; my < kMolPerEdge; ++my)
+            for (int mz = 0; mz < kMolPerEdge; ++mz) {
+              Vec3 o{(cx * kMolPerEdge + mx + 0.5) * spacing,
+                     (cy * kMolPerEdge + my + 0.5) * spacing,
+                     (cz * kMolPerEdge + mz + 0.5) * spacing};
+              // Thermal-disorder stand-in: +-0.25 A positional jitter.
+              o += Vec3{rng.uniform(-0.25, 0.25), rng.uniform(-0.25, 0.25),
+                        rng.uniform(-0.25, 0.25)};
+              // Random rigid orientation via a random axis + angle.
+              const Mat3 R = rotation(rng.unit_vector(), rng.uniform(0.0, 6.2831853));
+              cfg.atoms.add(cfg.box.wrap(o), 0);
+              cfg.atoms.add(cfg.box.wrap(o + R * h1_local), 1);
+              cfg.atoms.add(cfg.box.wrap(o + R * h2_local), 1);
+            }
+  return cfg;
+}
+
+Configuration make_fcc_with_atom_count(std::size_t natoms, double lattice_const,
+                                       double jitter, std::uint64_t seed) {
+  // Smallest cube of conventional cells holding at least natoms; then the
+  // caller gets exactly 4*n^3 atoms (the paper also rounds to lattice blocks).
+  int n = 1;
+  while (static_cast<std::size_t>(4) * n * n * n < natoms) ++n;
+  return make_fcc(n, n, n, lattice_const, kMassCu, jitter, seed);
+}
+
+}  // namespace dp::md

@@ -1,0 +1,57 @@
+#include "md/lj.hpp"
+
+#include <cmath>
+
+namespace dp::md {
+
+LennardJones::LennardJones(double epsilon, double sigma, double cutoff)
+    : eps_(epsilon), sigma_(sigma), rc_(cutoff) {
+  const double sr6 = std::pow(sigma_ / rc_, 6);
+  shift_ = 4.0 * eps_ * (sr6 * sr6 - sr6);
+}
+
+double LennardJones::pair_energy(double r) const {
+  const double sr6 = std::pow(sigma_ / r, 6);
+  return 4.0 * eps_ * (sr6 * sr6 - sr6);
+}
+
+double LennardJones::pair_force(double r) const {
+  const double sr6 = std::pow(sigma_ / r, 6);
+  return 24.0 * eps_ * (2.0 * sr6 * sr6 - sr6) / r;
+}
+
+ForceResult LennardJones::compute(const Box& box, Atoms& atoms, const NeighborList& nlist,
+                                  bool periodic) {
+  ForceResult out;
+  atoms.zero_forces();
+  const double rc2 = rc_ * rc_;
+  const std::size_t n = nlist.n_centers();
+  // With a half list each pair is visited once: full weight plus Newton's
+  // third-law reaction on j. With a full list: half weight per visit.
+  const bool half = nlist.is_half();
+  const double pair_w = half ? 1.0 : 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 ri = atoms.pos[i];
+    Vec3 fi{};
+    for (int j : nlist.neighbors(i)) {
+      Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
+      if (periodic) d = box.min_image(d);
+      const double r2 = norm2(d);
+      if (r2 >= rc2) continue;  // list carries a skin; cut here
+      const double inv_r2 = 1.0 / r2;
+      const double sr6 = std::pow(sigma_ * sigma_ * inv_r2, 3);
+      out.energy += pair_w * (4.0 * eps_ * (sr6 * sr6 - sr6) - shift_);
+      // dU/dr / r  (negative gradient gives force on i along -d)
+      const double f_over_r = 24.0 * eps_ * (2.0 * sr6 * sr6 - sr6) * inv_r2;
+      const Vec3 fij = d * (-f_over_r);  // force on i from j
+      fi += fij;
+      if (half) atoms.force[static_cast<std::size_t>(j)] -= fij;
+      // virial: -w * r_ij (x) f_ij per visit
+      out.virial += outer(d, fij) * (-pair_w);
+    }
+    atoms.force[i] += fi;
+  }
+  return out;
+}
+
+}  // namespace dp::md

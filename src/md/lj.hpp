@@ -1,0 +1,30 @@
+// Shifted Lennard-Jones 12-6 potential.
+//
+// Not part of the DP model — this is the reference potential used to verify
+// the MD substrate (integrator, neighbor list, thermo, domain decomposition)
+// independently of the neural-network machinery.
+#pragma once
+
+#include "md/force_field.hpp"
+
+namespace dp::md {
+
+class LennardJones final : public ForceField {
+ public:
+  /// epsilon [eV], sigma [A], cutoff [A]. Energy is shifted so U(rc) = 0.
+  LennardJones(double epsilon, double sigma, double cutoff);
+
+  ForceResult compute(const Box& box, Atoms& atoms, const NeighborList& nlist,
+                      bool periodic = true) override;
+  double cutoff() const override { return rc_; }
+
+  /// Pair energy at distance r (unshifted), for tests.
+  double pair_energy(double r) const;
+  /// Pair force magnitude (positive = repulsive), for tests.
+  double pair_force(double r) const;
+
+ private:
+  double eps_, sigma_, rc_, shift_;
+};
+
+}  // namespace dp::md

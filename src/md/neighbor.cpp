@@ -1,0 +1,176 @@
+#include "md/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dp::md {
+
+namespace {
+struct CellGrid {
+  int nx, ny, nz;
+  double cx, cy, cz;  // cell sizes
+  int index_of(const Vec3& r) const {
+    int ix = std::min(static_cast<int>(r.x / cx), nx - 1);
+    int iy = std::min(static_cast<int>(r.y / cy), ny - 1);
+    int iz = std::min(static_cast<int>(r.z / cz), nz - 1);
+    ix = std::max(ix, 0);
+    iy = std::max(iy, 0);
+    iz = std::max(iz, 0);
+    return (ix * ny + iy) * nz + iz;
+  }
+};
+}  // namespace
+
+void NeighborList::build_half(const Box& box, const std::vector<Vec3>& pos, bool periodic) {
+  // Build the full list, then keep each pair on its lower-index atom: the
+  // extra pass is cheap next to the distance tests and reuses the same
+  // (well-tested) cell machinery.
+  build(box, pos, SIZE_MAX, periodic);
+  std::vector<int> half_list;
+  std::vector<int> half_offsets(offsets_.size(), 0);
+  half_list.reserve(list_.size() / 2);
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    for (int idx = offsets_[i]; idx < offsets_[i + 1]; ++idx) {
+      const int j = list_[static_cast<std::size_t>(idx)];
+      if (static_cast<std::size_t>(j) > i) half_list.push_back(j);
+    }
+    half_offsets[i + 1] = static_cast<int>(half_list.size());
+  }
+  list_ = std::move(half_list);
+  offsets_ = std::move(half_offsets);
+  half_ = true;
+}
+
+void NeighborList::build(const Box& box, const std::vector<Vec3>& pos, std::size_t n_centers,
+                         bool periodic) {
+  half_ = false;
+  if (n_centers == SIZE_MAX) n_centers = pos.size();
+  DP_CHECK(n_centers <= pos.size());
+  periodic_ = periodic;
+  pos_at_build_ = pos;
+
+  const double cut = build_cutoff();
+  const Vec3 L = box.lengths();
+  const int nx = std::max(1, static_cast<int>(L.x / cut));
+  const int ny = std::max(1, static_cast<int>(L.y / cut));
+  const int nz = std::max(1, static_cast<int>(L.z / cut));
+
+  // The 27-stencil walk needs >= 3 cells per periodic dimension to avoid
+  // visiting the same cell twice; small boxes use the quadratic fallback.
+  if ((periodic && (nx < 3 || ny < 3 || nz < 3)) || (!periodic && (nx * ny * nz < 8))) {
+    build_brute(box, pos, n_centers, periodic);
+    return;
+  }
+
+  CellGrid grid{nx, ny, nz, L.x / nx, L.y / ny, L.z / nz};
+  const int ncells = nx * ny * nz;
+
+  // Bucket every atom (ghosts included) into cells. Non-periodic ghost
+  // positions may lie outside the box; clamp handles the fringe since the
+  // ghost shell is thinner than one cell (cells >= cutoff >= ghost shell).
+  std::vector<int> cell_count(ncells, 0);
+  std::vector<int> atom_cell(pos.size());
+  for (std::size_t a = 0; a < pos.size(); ++a) {
+    const Vec3 r = periodic ? box.wrap(pos[a]) : pos[a];
+    atom_cell[a] = grid.index_of(r);
+    ++cell_count[atom_cell[a]];
+  }
+  std::vector<int> cell_start(ncells + 1, 0);
+  for (int c = 0; c < ncells; ++c) cell_start[c + 1] = cell_start[c] + cell_count[c];
+  std::vector<int> cell_atoms(pos.size());
+  {
+    std::vector<int> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t a = 0; a < pos.size(); ++a) cell_atoms[cursor[atom_cell[a]]++] = a;
+  }
+
+  const double cut2 = cut * cut;
+  offsets_.assign(n_centers + 1, 0);
+  list_.clear();
+  list_.reserve(n_centers * 64);
+
+  for (std::size_t i = 0; i < n_centers; ++i) {
+    const Vec3 ri = pos[i];
+    const int ci = atom_cell[i];
+    const int ix = ci / (ny * nz), iy = (ci / nz) % ny, iz = ci % nz;
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          int jx = ix + dx, jy = iy + dy, jz = iz + dz;
+          if (periodic) {
+            jx = (jx + nx) % nx;
+            jy = (jy + ny) % ny;
+            jz = (jz + nz) % nz;
+          } else if (jx < 0 || jy < 0 || jz < 0 || jx >= nx || jy >= ny || jz >= nz) {
+            continue;
+          }
+          const int cj = (jx * ny + jy) * nz + jz;
+          for (int s = cell_start[cj]; s < cell_start[cj + 1]; ++s) {
+            const int j = cell_atoms[s];
+            if (static_cast<std::size_t>(j) == i) continue;
+            Vec3 d = pos[j] - ri;
+            if (periodic) d = box.min_image(d);
+            if (norm2(d) < cut2) list_.push_back(j);
+          }
+        }
+    offsets_[i + 1] = static_cast<int>(list_.size());
+  }
+}
+
+void NeighborList::build_brute(const Box& box, const std::vector<Vec3>& pos,
+                               std::size_t n_centers, bool periodic) {
+  const double cut2 = build_cutoff() * build_cutoff();
+  offsets_.assign(n_centers + 1, 0);
+  list_.clear();
+  for (std::size_t i = 0; i < n_centers; ++i) {
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      if (j == i) continue;
+      Vec3 d = pos[j] - pos[i];
+      if (periodic) d = box.min_image(d);
+      if (norm2(d) < cut2) list_.push_back(static_cast<int>(j));
+    }
+    offsets_[i + 1] = static_cast<int>(list_.size());
+  }
+}
+
+std::size_t NeighborList::max_neighbors() const {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i)
+    m = std::max(m, static_cast<std::size_t>(offsets_[i + 1] - offsets_[i]));
+  return m;
+}
+
+double NeighborList::mean_neighbors() const {
+  const std::size_t n = n_centers();
+  return n == 0 ? 0.0 : static_cast<double>(list_.size()) / static_cast<double>(n);
+}
+
+bool NeighborList::needs_rebuild(const Box& box, const std::vector<Vec3>& pos) const {
+  if (pos.size() != pos_at_build_.size()) return true;
+  const double limit2 = 0.25 * skin_ * skin_;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    Vec3 d = pos[i] - pos_at_build_[i];
+    if (periodic_) d = box.min_image(d);
+    if (norm2(d) > limit2) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> brute_force_neighbors(const Box& box,
+                                                    const std::vector<Vec3>& pos, double cutoff,
+                                                    std::size_t n_centers, bool periodic) {
+  if (n_centers == SIZE_MAX) n_centers = pos.size();
+  const double cut2 = cutoff * cutoff;
+  std::vector<std::vector<int>> out(n_centers);
+  for (std::size_t i = 0; i < n_centers; ++i)
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      if (j == i) continue;
+      Vec3 d = pos[j] - pos[i];
+      if (periodic) d = box.min_image(d);
+      if (norm2(d) < cut2) out[i].push_back(static_cast<int>(j));
+    }
+  return out;
+}
+
+}  // namespace dp::md

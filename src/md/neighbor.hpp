@@ -1,0 +1,76 @@
+// Cell-list based Verlet neighbor list (full lists, as the DP model needs
+// every neighbor of every atom).
+//
+// Follows the paper's protocol (Sec 4): lists are built with a skin ("2 A
+// buffer region") on top of the model cutoff and rebuilt every
+// `rebuild_every` steps; the skin/2 displacement criterion is checked so a
+// too-fast atom can never silently escape the list.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "md/box.hpp"
+
+namespace dp::md {
+
+class NeighborList {
+ public:
+  /// cutoff = model cutoff + skin.
+  NeighborList(double cutoff, double skin = 2.0) : rc_(cutoff), skin_(skin) {}
+
+  /// Builds full lists for the first `n_centers` atoms (default: all) against
+  /// every atom in `pos` (which may include ghost atoms after the centers).
+  /// `periodic` selects minimum-image distances (serial runs) or plain
+  /// Cartesian differences (domain-decomposed runs with explicit ghosts).
+  void build(const Box& box, const std::vector<Vec3>& pos, std::size_t n_centers = SIZE_MAX,
+             bool periodic = true);
+
+  /// Half lists: each pair appears once, on the lower-index atom. Pairwise
+  /// potentials exploit Newton's third law with these (half the pair
+  /// visits); the DP descriptor needs full lists and must not use this.
+  void build_half(const Box& box, const std::vector<Vec3>& pos, bool periodic = true);
+
+  bool is_half() const { return half_; }
+
+  std::size_t n_centers() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  std::span<const int> neighbors(std::size_t i) const {
+    return {list_.data() + offsets_[i], static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+
+  /// Longest list over all centers (the "real N_m" of the current frame).
+  std::size_t max_neighbors() const;
+  /// Mean list length.
+  double mean_neighbors() const;
+
+  /// True once some atom moved more than skin/2 since the last build().
+  bool needs_rebuild(const Box& box, const std::vector<Vec3>& pos) const;
+
+  double cutoff() const { return rc_; }
+  double skin() const { return skin_; }
+  double build_cutoff() const { return rc_ + skin_; }
+
+ private:
+  void build_cells(const Box& box, const std::vector<Vec3>& pos);
+  void build_brute(const Box& box, const std::vector<Vec3>& pos, std::size_t n_centers,
+                   bool periodic);
+
+  double rc_;
+  double skin_;
+  bool half_ = false;
+  std::vector<int> offsets_;  // CSR: n_centers + 1
+  std::vector<int> list_;
+  std::vector<Vec3> pos_at_build_;
+  bool periodic_ = true;
+};
+
+/// O(N^2) reference used by tests and tiny systems.
+std::vector<std::vector<int>> brute_force_neighbors(const Box& box,
+                                                    const std::vector<Vec3>& pos, double cutoff,
+                                                    std::size_t n_centers = SIZE_MAX,
+                                                    bool periodic = true);
+
+}  // namespace dp::md

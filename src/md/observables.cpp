@@ -1,0 +1,97 @@
+#include "md/observables.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dp::md {
+
+std::size_t Rdf::first_peak() const {
+  // First local maximum above the noise floor.
+  for (std::size_t i = 1; i + 1 < g.size(); ++i)
+    if (g[i] > 0.5 && g[i] >= g[i - 1] && g[i] > g[i + 1]) return i;
+  return 0;
+}
+
+Rdf compute_rdf(const Box& box, const Atoms& atoms, double r_max, int bins, int type_a,
+                int type_b) {
+  DP_CHECK(bins > 0 && r_max > 0);
+  DP_CHECK_MSG(box.accommodates_cutoff(r_max), "rdf r_max must be below half the box");
+  Rdf out;
+  out.r_max = r_max;
+  out.dr = r_max / bins;
+  out.r.resize(static_cast<std::size_t>(bins));
+  out.g.assign(static_cast<std::size_t>(bins), 0.0);
+  for (int b = 0; b < bins; ++b) out.r[static_cast<std::size_t>(b)] = (b + 0.5) * out.dr;
+
+  std::size_t n_a = 0, n_b = 0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (type_a < 0 || atoms.type[i] == type_a) ++n_a;
+    if (type_b < 0 || atoms.type[i] == type_b) ++n_b;
+  }
+  DP_CHECK_MSG(n_a > 0 && n_b > 0, "no atoms of the requested species");
+
+  const double r_max2 = r_max * r_max;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (type_a >= 0 && atoms.type[i] != type_a) continue;
+    for (std::size_t j = 0; j < atoms.size(); ++j) {
+      if (j == i) continue;
+      if (type_b >= 0 && atoms.type[j] != type_b) continue;
+      const Vec3 d = box.min_image(atoms.pos[j] - atoms.pos[i]);
+      const double r2 = norm2(d);
+      if (r2 >= r_max2) continue;
+      const auto bin = static_cast<std::size_t>(std::sqrt(r2) / out.dr);
+      out.g[std::min(bin, out.g.size() - 1)] += 1.0;
+    }
+  }
+
+  // Normalize by the ideal-gas shell count: rho_b * 4 pi r^2 dr per A atom.
+  const double rho_b = static_cast<double>(n_b) / box.volume();
+  for (int b = 0; b < bins; ++b) {
+    const double r_lo = b * out.dr, r_hi = (b + 1) * out.dr;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    out.g[static_cast<std::size_t>(b)] /=
+        static_cast<double>(n_a) * rho_b * shell;
+  }
+  return out;
+}
+
+void MsdAccumulator::reset(const std::vector<Vec3>& positions) {
+  previous_ = positions;
+  displacement_.assign(positions.size(), Vec3{});
+}
+
+void MsdAccumulator::update(const std::vector<Vec3>& positions) {
+  DP_CHECK_MSG(positions.size() == previous_.size(), "atom count changed under MSD");
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    // Per-interval hop via minimum image: valid while atoms move less than
+    // half a box length between updates.
+    displacement_[i] += box_.min_image(positions[i] - previous_[i]);
+    previous_[i] = positions[i];
+  }
+}
+
+double MsdAccumulator::msd() const {
+  if (displacement_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& d : displacement_) s += norm2(d);
+  return s / static_cast<double>(displacement_.size());
+}
+
+void VelocityAutocorrelation::reset(const std::vector<Vec3>& velocities) {
+  v0_ = velocities;
+  norm_ = 0.0;
+  for (const auto& v : v0_) norm_ += norm2(v);
+}
+
+double VelocityAutocorrelation::correlate(const std::vector<Vec3>& velocities) const {
+  DP_CHECK_MSG(velocities.size() == v0_.size(), "atom count changed under VACF");
+  if (norm_ <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < velocities.size(); ++i) s += dot(velocities[i], v0_[i]);
+  return s / norm_;
+}
+
+}  // namespace dp::md

@@ -1,0 +1,62 @@
+// Structural and dynamical observables — the analysis layer a production MD
+// campaign runs on top of the engine (the paper's motivating applications:
+// phase transitions, nucleation, radiation damage all read these).
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+
+namespace dp::md {
+
+/// Radial distribution function g(r).
+struct Rdf {
+  double r_max = 0;
+  double dr = 0;
+  std::vector<double> r;  ///< bin centers
+  std::vector<double> g;  ///< g(r)
+
+  /// Index of the first maximum (the nearest-neighbor peak).
+  std::size_t first_peak() const;
+};
+
+/// Computes g(r) between species `type_a` and `type_b` (-1 = all atoms).
+/// r_max must respect the minimum-image bound (r_max < L/2).
+Rdf compute_rdf(const Box& box, const Atoms& atoms, double r_max, int bins,
+                int type_a = -1, int type_b = -1);
+
+/// Mean-square displacement with periodic unwrapping: call update() every
+/// sampled step; displacements are accumulated through minimum-image hops,
+/// so trajectories may wrap the box arbitrarily often.
+class MsdAccumulator {
+ public:
+  explicit MsdAccumulator(const Box& box) : box_(box) {}
+
+  /// Sets/resets the reference configuration.
+  void reset(const std::vector<Vec3>& positions);
+
+  /// Accounts the motion since the previous update (or reset).
+  void update(const std::vector<Vec3>& positions);
+
+  /// <|r(t) - r(0)|^2> over all tracked atoms [A^2].
+  double msd() const;
+
+ private:
+  Box box_;
+  std::vector<Vec3> previous_;
+  std::vector<Vec3> displacement_;
+};
+
+/// Normalized velocity autocorrelation C(t) = <v(t).v(0)> / <v(0).v(0)>.
+class VelocityAutocorrelation {
+ public:
+  void reset(const std::vector<Vec3>& velocities);
+  double correlate(const std::vector<Vec3>& velocities) const;
+
+ private:
+  std::vector<Vec3> v0_;
+  double norm_ = 0.0;
+};
+
+}  // namespace dp::md

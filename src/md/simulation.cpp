@@ -1,0 +1,77 @@
+#include "md/simulation.hpp"
+
+#include "common/error.hpp"
+
+namespace dp::md {
+
+Simulation::Simulation(Configuration cfg, ForceField& ff, SimulationConfig sim)
+    : cfg_(std::move(cfg)), ff_(ff), sim_(sim), nlist_(ff.cutoff(), sim.skin) {
+  cfg_.atoms.validate();
+  // Minimum image must be unambiguous out to the neighbor build cutoff.
+  DP_CHECK_MSG(cfg_.box.accommodates_cutoff(ff_.cutoff() + sim_.skin),
+               "box too small for cutoff " << ff_.cutoff() << " + skin " << sim_.skin);
+  init_velocities(cfg_.atoms, sim_.temperature, sim_.seed);
+  nlist_.build(cfg_.box, cfg_.atoms.pos);
+  compute_forces();
+}
+
+void Simulation::compute_forces() {
+  last_force_ = ff_.compute(cfg_.box, cfg_.atoms, nlist_);
+  ++force_evals_;
+}
+
+ThermoSample Simulation::sample() const {
+  ThermoSample s;
+  s.step = step_;
+  s.kinetic = kinetic_energy(cfg_.atoms);
+  s.potential = last_force_.energy;
+  s.temperature = temperature(cfg_.atoms);
+  const double n = static_cast<double>(cfg_.atoms.size());
+  const double v = cfg_.box.volume();
+  s.pressure_bar =
+      (n * kBoltzmann * s.temperature + last_force_.virial.trace() / 3.0) / v * kEvPerA3ToBar;
+  return s;
+}
+
+void Simulation::step() {
+  verlet_first_half(cfg_.atoms, cfg_.box, sim_.dt);
+  ++steps_since_rebuild_;
+  if (steps_since_rebuild_ >= sim_.rebuild_every ||
+      nlist_.needs_rebuild(cfg_.box, cfg_.atoms.pos)) {
+    nlist_.build(cfg_.box, cfg_.atoms.pos);
+    steps_since_rebuild_ = 0;
+  }
+  compute_forces();
+  verlet_second_half(cfg_.atoms, sim_.dt);
+  if (sim_.thermostat != nullptr) sim_.thermostat->apply(cfg_.atoms, sim_.dt);
+  if (sim_.barostat != nullptr) {
+    // Isotropic rescale of box + coordinates toward the target pressure;
+    // the neighbor list is invalidated by the deformation.
+    const double mu = sim_.barostat->scale_factor(sample().pressure_bar, sim_.dt);
+    if (mu != 1.0) {
+      cfg_.box = Box(cfg_.box.lengths() * mu);
+      for (auto& r : cfg_.atoms.pos) r *= mu;
+      nlist_.build(cfg_.box, cfg_.atoms.pos);
+      steps_since_rebuild_ = 0;
+      compute_forces();
+    }
+  }
+  ++step_;
+}
+
+const std::vector<ThermoSample>& Simulation::run() {
+  trace_.clear();
+  auto record = [&] {
+    ThermoSample s = sample();
+    trace_.push_back(s);
+    if (on_thermo) on_thermo(step_, s);
+  };
+  record();
+  for (int i = 0; i < sim_.steps; ++i) {
+    step();
+    if (step_ % sim_.thermo_every == 0 || step_ == sim_.steps) record();
+  }
+  return trace_;
+}
+
+}  // namespace dp::md

@@ -1,0 +1,74 @@
+// Serial MD driver implementing the paper's measurement protocol (Sec 4):
+// velocity-Verlet, 99 MD steps = 100 force evaluations, neighbor list with a
+// 2 A skin rebuilt every 50 steps, thermodynamic data sampled every 50 steps.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "md/force_field.hpp"
+#include "md/integrator.hpp"
+#include "md/lattice.hpp"
+#include "md/thermostat.hpp"
+#include "md/units.hpp"
+
+namespace dp::md {
+
+struct SimulationConfig {
+  double dt = 0.001;           ///< time step [ps] (copper 1 fs, water 0.5 fs)
+  int steps = 99;              ///< MD steps
+  double temperature = 330.0;  ///< initial temperature [K]
+  double skin = 2.0;           ///< neighbor-list buffer [A]
+  int rebuild_every = 50;      ///< neighbor rebuild period [steps]
+  int thermo_every = 50;       ///< thermo sampling period [steps]
+  std::uint64_t seed = 2022;
+  Thermostat* thermostat = nullptr;        ///< optional NVT coupling (not owned)
+  BerendsenBarostat* barostat = nullptr;   ///< optional NPT coupling (not owned)
+};
+
+struct ThermoSample {
+  int step = 0;
+  double kinetic = 0.0;    ///< [eV]
+  double potential = 0.0;  ///< [eV]
+  double temperature = 0.0;  ///< [K]
+  double pressure_bar = 0.0;
+  double total() const { return kinetic + potential; }
+};
+
+class Simulation {
+ public:
+  Simulation(Configuration cfg, ForceField& ff, SimulationConfig sim = {});
+
+  /// Runs cfg.steps MD steps; returns the thermo trace (always includes
+  /// step 0 and the final step).
+  const std::vector<ThermoSample>& run();
+
+  /// Advance exactly one step (used by tests probing conservation).
+  void step();
+
+  const Configuration& configuration() const { return cfg_; }
+  Configuration& configuration() { return cfg_; }
+  const std::vector<ThermoSample>& thermo_trace() const { return trace_; }
+  int current_step() const { return step_; }
+  /// Number of force evaluations so far (steps + the initial one).
+  int force_evaluations() const { return force_evals_; }
+
+  /// Optional per-step observer (step index, sample of the current state).
+  std::function<void(int, const ThermoSample&)> on_thermo;
+
+ private:
+  ThermoSample sample() const;
+  void compute_forces();
+
+  Configuration cfg_;
+  ForceField& ff_;
+  SimulationConfig sim_;
+  NeighborList nlist_;
+  ForceResult last_force_;
+  std::vector<ThermoSample> trace_;
+  int step_ = 0;
+  int force_evals_ = 0;
+  int steps_since_rebuild_ = 0;
+};
+
+}  // namespace dp::md

@@ -1,0 +1,82 @@
+// Thermostats for NVT sampling. The paper's measurement protocol is NVE
+// (velocity-Verlet only), but production MLMD campaigns — the applications
+// the paper motivates (phase diagrams, nucleation) — run NVT; both are
+// provided.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "md/atoms.hpp"
+
+namespace dp::md {
+
+class Thermostat {
+ public:
+  virtual ~Thermostat() = default;
+  /// Adjust velocities after the force update of a step of length dt [ps].
+  virtual void apply(Atoms& atoms, double dt) = 0;
+};
+
+/// Langevin dynamics: velocity friction + matched Gaussian noise
+/// (fluctuation-dissipation). `damping` is the relaxation time [ps].
+class LangevinThermostat final : public Thermostat {
+ public:
+  LangevinThermostat(double temperature, double damping, std::uint64_t seed = 7);
+  void apply(Atoms& atoms, double dt) override;
+  double temperature() const { return t_target_; }
+
+ private:
+  double t_target_;
+  double damping_;
+  Rng rng_;
+};
+
+/// Berendsen weak-coupling rescaling: drives T toward the target with time
+/// constant tau. Cheap and stable, not canonical — standard equilibration
+/// tool.
+class BerendsenThermostat final : public Thermostat {
+ public:
+  BerendsenThermostat(double temperature, double tau);
+  void apply(Atoms& atoms, double dt) override;
+
+ private:
+  double t_target_;
+  double tau_;
+};
+
+/// Nose-Hoover thermostat (single chain): the standard canonical-ensemble
+/// coupling for production NVT. The thermostat variable xi evolves with the
+/// instantaneous kinetic energy and rescales velocities each step.
+class NoseHooverThermostat final : public Thermostat {
+ public:
+  /// `tau` is the coupling period [ps] (sets the thermostat mass).
+  NoseHooverThermostat(double temperature, double tau);
+  void apply(Atoms& atoms, double dt) override;
+  double xi() const { return xi_; }
+
+ private:
+  double t_target_;
+  double tau_;
+  double xi_ = 0.0;  ///< thermostat friction variable [1/ps]
+};
+
+/// Berendsen barostat: isotropic box/coordinate rescaling toward a target
+/// pressure. Applied by the Simulation driver (it must rescale the box);
+/// exposed as a separate interface because it changes the volume.
+class BerendsenBarostat {
+ public:
+  /// target pressure [bar]; tau [ps]; compressibility [1/bar]
+  /// (4.6e-5 1/bar is liquid water; metals are ~1e-6).
+  BerendsenBarostat(double pressure_bar, double tau, double compressibility = 4.6e-5);
+
+  /// Returns the linear box-scaling factor for this step.
+  double scale_factor(double current_pressure_bar, double dt) const;
+
+ private:
+  double p_target_;
+  double tau_;
+  double kappa_;
+};
+
+}  // namespace dp::md

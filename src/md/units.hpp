@@ -1,0 +1,26 @@
+// Unit system: LAMMPS "metal" units, which is what DeePMD-kit/LAMMPS runs use.
+//   length  Angstrom        energy  eV
+//   time    picosecond      mass    g/mol (amu)
+//   temperature Kelvin      pressure bar (derived)
+#pragma once
+
+namespace dp::md {
+
+/// Boltzmann constant [eV/K].
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// Acceleration conversion: (eV/Angstrom) / amu -> Angstrom/ps^2.
+inline constexpr double kForceToAccel = 9648.5332;
+
+/// Kinetic energy conversion: amu * (Angstrom/ps)^2 -> eV.
+inline constexpr double kMv2ToEv = 1.0364269e-4;
+
+/// Pressure conversion: eV/Angstrom^3 -> bar.
+inline constexpr double kEvPerA3ToBar = 1.6021766e6;
+
+/// Atomic masses [g/mol] for the paper's systems.
+inline constexpr double kMassCu = 63.546;
+inline constexpr double kMassO = 15.9994;
+inline constexpr double kMassH = 1.00794;
+
+}  // namespace dp::md

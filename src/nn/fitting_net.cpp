@@ -1,0 +1,74 @@
+#include "nn/fitting_net.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dp::nn {
+
+FittingNet::FittingNet(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+                       Activation act)
+    : in_dim_(in_dim) {
+  DP_CHECK(in_dim > 0);
+  std::size_t in = in_dim;
+  for (std::size_t w : hidden) {
+    const Shortcut sc = (w == in) ? Shortcut::Identity : Shortcut::None;
+    layers_.emplace_back(in, w, act, sc);
+    in = w;
+  }
+  layers_.emplace_back(in, 1, Activation::Linear, Shortcut::None);
+}
+
+void FittingNet::init_random(Rng& rng) {
+  for (auto& layer : layers_) layer.init_random(rng);
+}
+
+void FittingNet::set_activation(Activation a) {
+  // The final layer stays linear: it is the energy read-out.
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) layers_[l].set_activation(a);
+}
+
+double FittingNet::forward(const double* d, Workspace& ws) const {
+  const std::size_t L = layers_.size();
+  ws.inputs.resize(L);
+  ws.acts.resize(L);
+  ws.inputs[0].assign(d, d + in_dim_);
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& layer = layers_[l];
+    ws.acts[l].resize(layer.out_dim());
+    AlignedVector<double> out(layer.out_dim());
+    layer.forward_row(ws.inputs[l].data(), out.data(), ws.acts[l].data());
+    if (l + 1 < L)
+      ws.inputs[l + 1] = std::move(out);
+    else
+      return out[0];
+  }
+  return 0.0;  // unreachable: constructor guarantees at least one layer
+}
+
+void FittingNet::backward(const Workspace& ws, double* g_d,
+                          std::vector<DenseLayer::Grads>* grads, double seed) const {
+  const std::size_t L = layers_.size();
+  DP_CHECK_MSG(ws.inputs.size() == L, "backward() without a preceding forward()");
+  if (grads != nullptr) DP_CHECK(grads->size() == L);
+  auto& g_out = const_cast<Workspace&>(ws).grad_a;
+  auto& g_in = const_cast<Workspace&>(ws).grad_b;
+  g_out.assign(1, seed);  // dLoss/dE
+  for (std::size_t l = L; l-- > 0;) {
+    g_in.assign(layers_[l].in_dim(), 0.0);
+    layers_[l].backward_row(g_out.data(), ws.acts[l].data(), g_in.data(),
+                            ws.inputs[l].data(),
+                            grads != nullptr ? &(*grads)[l] : nullptr);
+    std::swap(g_out, g_in);
+  }
+  std::copy(g_out.begin(), g_out.end(), g_d);
+}
+
+double FittingNet::flops_per_eval() const {
+  double flops = 0.0;
+  for (const auto& layer : layers_)
+    flops += static_cast<double>(layer.in_dim()) * static_cast<double>(layer.out_dim());
+  return flops;
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,55 @@
+// The fitting net: maps the flattened symmetry-preserving descriptor D_i to
+// the atomic energy E_i (paper Sec 2.1, Fig 1 (d)).
+//
+// Hidden layers share one width and use identity shortcuts; the output layer
+// is linear to a single scalar. Reverse-mode through the net yields dE/dD,
+// the seed of the force back-propagation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/dense_layer.hpp"
+
+namespace dp::nn {
+
+class FittingNet {
+ public:
+  FittingNet() = default;
+  /// in_dim = M< * M (flattened descriptor); hidden e.g. {240, 240, 240}.
+  FittingNet(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+             Activation act = Activation::Tanh);
+
+  void init_random(Rng& rng);
+
+  std::size_t input_dim() const { return in_dim_; }
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  void set_activation(Activation a);
+
+  /// Per-thread forward/backward state: inputs to and activations of every
+  /// layer, retained for the backward pass.
+  struct Workspace {
+    std::vector<AlignedVector<double>> inputs;  // inputs[l]: input row of layer l
+    std::vector<AlignedVector<double>> acts;    // acts[l]: act(u) of layer l
+    AlignedVector<double> grad_a, grad_b;       // ping-pong gradient buffers
+  };
+
+  /// E = N(d); records everything backward() needs into ws.
+  double forward(const double* d, Workspace& ws) const;
+
+  /// g_d[j] = seed * dE/dD_j given the workspace of the preceding forward().
+  /// When `grads` is non-null (one entry per layer, pre-init'ed), parameter
+  /// gradients are accumulated — the training path.
+  void backward(const Workspace& ws, double* g_d,
+                std::vector<DenseLayer::Grads>* grads = nullptr, double seed = 1.0) const;
+
+  /// Multiply-add count of one forward evaluation.
+  double flops_per_eval() const;
+
+ private:
+  std::size_t in_dim_ = 0;
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,112 @@
+#include "nn/gemm.hpp"
+
+#include <cstring>
+
+namespace dp::nn {
+
+namespace {
+// The k-inner accumulation order below streams B row-by-row, which is the
+// cache-friendly order for row-major operands of the sizes used here.
+inline void gemm_kernel(const double* a, const double* b, double* c,
+                        std::size_t m, std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(double));
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      const double* brow = b + p * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+}  // namespace
+
+void gemm(const double* a, const double* b, double* c,
+          std::size_t m, std::size_t k, std::size_t n) {
+  gemm_kernel(a, b, c, m, k, n, /*accumulate=*/false);
+}
+
+void gemm_acc(const double* a, const double* b, double* c,
+              std::size_t m, std::size_t k, std::size_t n) {
+  gemm_kernel(a, b, c, m, k, n, /*accumulate=*/true);
+}
+
+void gemm_tn_acc(const double* a, const double* b, double* c,
+                 std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * m;
+    const double* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      double* crow = c + i * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tn(const double* a, const double* b, double* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+  std::memset(c, 0, m * n * sizeof(double));
+  // C += A^T B accumulated as a sum over k rank-1 updates, each touching one
+  // row of A and one row of B — exactly the outer-product form the fused
+  // kernel of the paper uses (Fig 4 (c)).
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * m;
+    const double* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      double* crow = c + i * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const double* a, const double* b, double* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void affine(const double* x, const double* w, const double* bias, double* y,
+            std::size_t k, std::size_t n) {
+  if (bias != nullptr) {
+    std::memcpy(y, bias, n * sizeof(double));
+  } else {
+    std::memset(y, 0, n * sizeof(double));
+  }
+  gemv_acc(x, w, y, k, n);
+}
+
+void gemv_acc(const double* x, const double* w, double* y, std::size_t k, std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double xv = x[p];
+    const double* wrow = w + p * n;
+#pragma omp simd
+    for (std::size_t j = 0; j < n; ++j) y[j] += xv * wrow[j];
+  }
+}
+
+void gemv_t(const double* g_out, const double* w, double* g_in, std::size_t k, std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* wrow = w + p * n;
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t j = 0; j < n; ++j) acc += g_out[j] * wrow[j];
+    g_in[p] = acc;
+  }
+}
+
+}  // namespace dp::nn

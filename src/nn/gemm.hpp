@@ -1,0 +1,45 @@
+// Small dense linear algebra kernels.
+//
+// The matrices in the DP pipeline are small-by-skinny (N_m x 4, N_m x M,
+// hidden widths <= 240), so a register-blocked loop nest beats calling out to
+// a full BLAS for this workload and keeps the library dependency-free.
+#pragma once
+
+#include <cstddef>
+
+namespace dp::nn {
+
+/// C[m x n] = A[m x k] * B[k x n]   (row-major, C overwritten)
+void gemm(const double* a, const double* b, double* c,
+          std::size_t m, std::size_t k, std::size_t n);
+
+/// C[m x n] += A[m x k] * B[k x n]
+void gemm_acc(const double* a, const double* b, double* c,
+              std::size_t m, std::size_t k, std::size_t n);
+
+/// C[m x n] = A^T[k x m] * B[k x n]  — A stored as k x m row-major.
+/// This is the R~^T G contraction shape: k = N_m rows are reduced.
+void gemm_tn(const double* a, const double* b, double* c,
+             std::size_t m, std::size_t k, std::size_t n);
+
+/// C[m x n] += A^T[k x m] * B[k x n] — accumulating variant (per-type blocks
+/// of the environment matrix are contracted into one A matrix).
+void gemm_tn_acc(const double* a, const double* b, double* c,
+                 std::size_t m, std::size_t k, std::size_t n);
+
+/// C[m x n] = A[m x k] * B^T[n x k]  — B stored as n x k row-major.
+void gemm_nt(const double* a, const double* b, double* c,
+             std::size_t m, std::size_t k, std::size_t n);
+
+/// y[n] = x[k] * W[k x n] + b[n]   (b may be nullptr)
+void affine(const double* x, const double* w, const double* bias, double* y,
+            std::size_t k, std::size_t n);
+
+/// y[n] += x[k] * W[k x n]
+void gemv_acc(const double* x, const double* w, double* y, std::size_t k, std::size_t n);
+
+/// g_in[k] = g_out[n] * W^T  i.e. g_in[j] = sum_n g_out[i] W[j,i] — the
+/// reverse-mode counterpart of `affine`.
+void gemv_t(const double* g_out, const double* w, double* g_in, std::size_t k, std::size_t n);
+
+}  // namespace dp::nn

@@ -1,0 +1,113 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace dp::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44504d44;  // "DMPD"
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DP_CHECK_MSG(static_cast<bool>(is), "unexpected end of model stream");
+  return v;
+}
+
+void write_layer(std::ostream& os, const DenseLayer& layer) {
+  write_pod<std::uint64_t>(os, layer.in_dim());
+  write_pod<std::uint64_t>(os, layer.out_dim());
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(layer.activation()));
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(layer.shortcut()));
+  os.write(reinterpret_cast<const char*>(layer.weights().data()),
+           static_cast<std::streamsize>(layer.weights().size() * sizeof(double)));
+  os.write(reinterpret_cast<const char*>(layer.bias().data()),
+           static_cast<std::streamsize>(layer.bias().size() * sizeof(double)));
+}
+
+void read_layer_into(std::istream& is, DenseLayer& layer) {
+  const auto in = read_pod<std::uint64_t>(is);
+  const auto out = read_pod<std::uint64_t>(is);
+  const auto act = static_cast<Activation>(read_pod<std::uint32_t>(is));
+  const auto sc = static_cast<Shortcut>(read_pod<std::uint32_t>(is));
+  DP_CHECK_MSG(in == layer.in_dim() && out == layer.out_dim(),
+               "layer shape mismatch while loading model");
+  DP_CHECK(sc == layer.shortcut());
+  layer.set_activation(act);
+  is.read(reinterpret_cast<char*>(layer.weights().data()),
+          static_cast<std::streamsize>(layer.weights().size() * sizeof(double)));
+  is.read(reinterpret_cast<char*>(layer.bias().data()),
+          static_cast<std::streamsize>(layer.bias().size() * sizeof(double)));
+  DP_CHECK_MSG(static_cast<bool>(is), "unexpected end of model stream");
+}
+
+}  // namespace
+
+void save(std::ostream& os, const EmbeddingNet& net) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod<std::uint64_t>(os, net.widths().size());
+  for (std::size_t w : net.widths()) write_pod<std::uint64_t>(os, w);
+  for (const auto& layer : net.layers()) write_layer(os, layer);
+}
+
+void save(std::ostream& os, const FittingNet& net) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod<std::uint64_t>(os, net.input_dim());
+  // hidden widths = all layers except the final linear read-out
+  write_pod<std::uint64_t>(os, net.layers().size() - 1);
+  for (std::size_t l = 0; l + 1 < net.layers().size(); ++l)
+    write_pod<std::uint64_t>(os, net.layers()[l].out_dim());
+  for (const auto& layer : net.layers()) write_layer(os, layer);
+}
+
+EmbeddingNet load_embedding(std::istream& is) {
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic, "bad model magic");
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion, "unsupported model version");
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<std::size_t> widths(n);
+  for (auto& w : widths) w = read_pod<std::uint64_t>(is);
+  EmbeddingNet net(widths);
+  for (auto& layer : net.layers()) read_layer_into(is, layer);
+  return net;
+}
+
+FittingNet load_fitting(std::istream& is) {
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic, "bad model magic");
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion, "unsupported model version");
+  const auto in_dim = read_pod<std::uint64_t>(is);
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<std::size_t> hidden(n);
+  for (auto& w : hidden) w = read_pod<std::uint64_t>(is);
+  FittingNet net(in_dim, hidden);
+  for (auto& layer : net.layers()) read_layer_into(is, layer);
+  return net;
+}
+
+void save_to_file(const std::string& path, const EmbeddingNet& e, const FittingNet& f) {
+  std::ofstream os(path, std::ios::binary);
+  DP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  save(os, e);
+  save(os, f);
+}
+
+void load_from_file(const std::string& path, EmbeddingNet& e, FittingNet& f) {
+  std::ifstream is(path, std::ios::binary);
+  DP_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  e = load_embedding(is);
+  f = load_fitting(is);
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,23 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+namespace dp::nn {
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  DP_CHECK(same_shape(a, b));
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(a.data()[i] - b.data()[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i] * a.data()[i];
+  return std::sqrt(s);
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,86 @@
+#include "parallel/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dp::par {
+
+Decomp::Decomp(const md::Box& box, std::array<int, 3> grid) : box_(box), grid_(grid) {
+  DP_CHECK(grid[0] >= 1 && grid[1] >= 1 && grid[2] >= 1);
+  const Vec3 L = box_.lengths();
+  cell_ = {L.x / grid_[0], L.y / grid_[1], L.z / grid_[2]};
+}
+
+std::array<int, 3> Decomp::choose_grid(const md::Box& box, int nranks) {
+  DP_CHECK(nranks >= 1);
+  const Vec3 L = box.lengths();
+  std::array<int, 3> best{1, 1, nranks};
+  double best_score = -1.0;
+  for (int nx = 1; nx <= nranks; ++nx) {
+    if (nranks % nx != 0) continue;
+    for (int ny = 1; ny * nx <= nranks; ++ny) {
+      if ((nranks / nx) % ny != 0) continue;
+      const int nz = nranks / (nx * ny);
+      // Score = min/max sub-domain edge: 1.0 is a perfect cube.
+      const double ex = L.x / nx, ey = L.y / ny, ez = L.z / nz;
+      const double score = std::min({ex, ey, ez}) / std::max({ex, ey, ez});
+      if (score > best_score) {
+        best_score = score;
+        best = {nx, ny, nz};
+      }
+    }
+  }
+  return best;
+}
+
+std::array<int, 3> Decomp::coords_of(int rank) const {
+  DP_CHECK(rank >= 0 && rank < nranks());
+  return {rank / (grid_[1] * grid_[2]), (rank / grid_[2]) % grid_[1], rank % grid_[2]};
+}
+
+int Decomp::rank_of(const std::array<int, 3>& c) const {
+  return (c[0] * grid_[1] + c[1]) * grid_[2] + c[2];
+}
+
+int Decomp::owner_of(const Vec3& pos) const {
+  const Vec3 p = box_.wrap(pos);
+  std::array<int, 3> c;
+  for (int d = 0; d < 3; ++d) {
+    c[static_cast<std::size_t>(d)] =
+        std::min(static_cast<int>(p[static_cast<std::size_t>(d)] /
+                                  cell_[static_cast<std::size_t>(d)]),
+                 grid_[static_cast<std::size_t>(d)] - 1);
+  }
+  return rank_of(c);
+}
+
+Vec3 Decomp::lo(int rank) const {
+  const auto c = coords_of(rank);
+  return {c[0] * cell_.x, c[1] * cell_.y, c[2] * cell_.z};
+}
+
+Vec3 Decomp::hi(int rank) const {
+  const auto c = coords_of(rank);
+  return {(c[0] + 1) * cell_.x, (c[1] + 1) * cell_.y, (c[2] + 1) * cell_.z};
+}
+
+int Decomp::neighbor(int rank, int dim, int dir) const {
+  auto c = coords_of(rank);
+  const int n = grid_[static_cast<std::size_t>(dim)];
+  c[static_cast<std::size_t>(dim)] = ((c[static_cast<std::size_t>(dim)] + dir) % n + n) % n;
+  return rank_of(c);
+}
+
+double Decomp::min_extent() const { return std::min({cell_.x, cell_.y, cell_.z}); }
+
+double Decomp::ghost_fraction(double halo_width) const {
+  // Volume of the shell of width h around a cell, relative to the cell.
+  const double vx = cell_.x, vy = cell_.y, vz = cell_.z;
+  const double inner = vx * vy * vz;
+  const double outer = (vx + 2 * halo_width) * (vy + 2 * halo_width) * (vz + 2 * halo_width);
+  return (outer - inner) / inner;
+}
+
+}  // namespace dp::par

@@ -1,0 +1,49 @@
+// 3D Cartesian domain decomposition: each rank owns one orthorhombic
+// sub-region of the global box (paper Fig 1 (a)).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "md/box.hpp"
+
+namespace dp::par {
+
+class Decomp {
+ public:
+  /// grid[d] ranks along dimension d; grid[0]*grid[1]*grid[2] == nranks.
+  Decomp(const md::Box& box, std::array<int, 3> grid);
+
+  /// Picks the grid with the most-cubic sub-domains for nranks ranks.
+  static std::array<int, 3> choose_grid(const md::Box& box, int nranks);
+
+  int nranks() const { return grid_[0] * grid_[1] * grid_[2]; }
+  const std::array<int, 3>& grid() const { return grid_; }
+
+  std::array<int, 3> coords_of(int rank) const;
+  int rank_of(const std::array<int, 3>& coords) const;
+
+  /// Owning rank of a (wrapped) position.
+  int owner_of(const Vec3& pos) const;
+
+  /// Sub-region bounds of a rank: [lo, hi) per dimension.
+  Vec3 lo(int rank) const;
+  Vec3 hi(int rank) const;
+
+  /// Face neighbor in dimension d, direction dir (+1/-1), periodic wrap.
+  int neighbor(int rank, int dim, int dir) const;
+
+  /// Smallest sub-domain extent — the halo width must not exceed it.
+  double min_extent() const;
+
+  /// Ghost-shell volume fraction: the analytic communication-to-computation
+  /// proxy the paper's Sec 6.4.1 argument is built on.
+  double ghost_fraction(double halo_width) const;
+
+ private:
+  md::Box box_;
+  std::array<int, 3> grid_;
+  Vec3 cell_;
+};
+
+}  // namespace dp::par

@@ -1,0 +1,160 @@
+#include "parallel/distributed_md.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "md/integrator.hpp"
+#include "md/units.hpp"
+
+namespace dp::par {
+
+DistributedRunResult run_distributed_md(int nranks, const md::Configuration& global,
+                                        const ForceFieldFactory& factory,
+                                        const md::SimulationConfig& sim,
+                                        const DistributedOptions& opts) {
+  DistributedRunResult result;
+  md::Configuration init = global;
+  init.atoms.validate();
+  if (opts.init_velocities) md::init_velocities(init.atoms, sim.temperature, sim.seed);
+
+  std::array<int, 3> grid = opts.grid;
+  if (grid[0] == 0) grid = Decomp::choose_grid(init.box, nranks);
+  const Decomp decomp(init.box, grid);
+  DP_CHECK_MSG(decomp.nranks() == nranks, "grid does not match rank count");
+
+  const std::size_t n_global = init.atoms.size();
+  const double global_volume = init.box.volume();
+
+  std::mutex result_mu;
+  struct Gathered {
+    std::vector<std::int64_t> ids;
+    std::vector<Vec3> pos, vel, force;
+  } gathered;
+  if (opts.gather_state) {
+    gathered.pos.resize(n_global);
+    gathered.vel.resize(n_global);
+    gathered.force.resize(n_global);
+  }
+
+  WallTimer wall;
+  result.comm = run_parallel(nranks, [&](Communicator& comm) {
+    const int rank = comm.rank();
+    auto ff = factory();
+    const double halo = ff->cutoff() + sim.skin;
+
+    // Take ownership of this rank's atoms (ids track the global index).
+    md::Atoms atoms;
+    atoms.mass_by_type = init.atoms.mass_by_type;
+    std::vector<std::int64_t> ids;
+    for (std::size_t a = 0; a < n_global; ++a) {
+      if (decomp.owner_of(init.atoms.pos[a]) != rank) continue;
+      atoms.add(init.box.wrap(init.atoms.pos[a]), init.atoms.type[a]);
+      atoms.vel.back() = init.atoms.vel[a];
+      ids.push_back(static_cast<std::int64_t>(a));
+    }
+
+    HaloExchange halo_ex(init.box, decomp, rank, halo);
+    md::NeighborList nlist(ff->cutoff(), sim.skin);
+    std::size_t n_local = atoms.size();
+    std::size_t max_local = 0, max_ghost = 0;
+
+    auto rebuild = [&] {
+      atoms.resize(n_local);  // drop ghosts
+      migrate(comm, init.box, decomp, rank, atoms, &ids);
+      n_local = atoms.size();
+      halo_ex.exchange_ghosts(comm, atoms);
+      nlist.build(init.box, atoms.pos, n_local, /*periodic=*/false);
+      max_local = std::max(max_local, n_local);
+      max_ghost = std::max(max_ghost, halo_ex.n_ghost());
+    };
+
+    md::ForceResult local_force;
+    auto compute = [&] {
+      local_force = ff->compute(init.box, atoms, nlist, /*periodic=*/false);
+      halo_ex.reduce_forces(comm, atoms);
+    };
+
+    std::vector<md::ThermoSample> thermo;
+    auto sample = [&](int step) {
+      // Local contributions -> one fused allreduce.
+      std::vector<double> contrib(12, 0.0);
+      double ke = 0.0;
+      for (std::size_t a = 0; a < n_local; ++a)
+        ke += 0.5 * atoms.mass(a) * norm2(atoms.vel[a]);
+      contrib[0] = ke * md::kMv2ToEv;
+      contrib[1] = local_force.energy;
+      contrib[2] = static_cast<double>(n_local);
+      for (std::size_t k = 0; k < 9; ++k) contrib[3 + k] = local_force.virial.m[k];
+      const auto total = comm.allreduce_sum(contrib);
+      md::ThermoSample s;
+      s.step = step;
+      s.kinetic = total[0];
+      s.potential = total[1];
+      const double n_atoms = total[2];
+      s.temperature = n_atoms > 1
+                          ? 2.0 * s.kinetic / ((3.0 * n_atoms - 3.0) * md::kBoltzmann)
+                          : 0.0;
+      const double virial_trace = total[3] + total[7] + total[11];
+      s.pressure_bar = (n_atoms * md::kBoltzmann * s.temperature + virial_trace / 3.0) /
+                       global_volume * md::kEvPerA3ToBar;
+      thermo.push_back(s);
+    };
+
+    rebuild();
+    compute();
+    sample(0);
+
+    int since_rebuild = 0;
+    for (int step = 1; step <= sim.steps; ++step) {
+      // Half-kick + drift on local atoms only (ghosts are re-derived).
+      for (std::size_t a = 0; a < n_local; ++a) {
+        const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
+        atoms.vel[a] += atoms.force[a] * sc;
+        atoms.pos[a] += atoms.vel[a] * sim.dt;
+      }
+      ++since_rebuild;
+      if (since_rebuild >= sim.rebuild_every) {
+        rebuild();
+        since_rebuild = 0;
+      } else {
+        halo_ex.update_ghost_positions(comm, atoms);
+      }
+      compute();
+      for (std::size_t a = 0; a < n_local; ++a) {
+        const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
+        atoms.vel[a] += atoms.force[a] * sc;
+      }
+      if (step % sim.thermo_every == 0 || step == sim.steps) sample(step);
+    }
+
+    const double max_local_global = comm.allreduce_max(static_cast<double>(max_local));
+    const double max_ghost_global = comm.allreduce_max(static_cast<double>(max_ghost));
+    const double mean_local = static_cast<double>(n_global) / nranks;
+
+    std::lock_guard lock(result_mu);
+    if (rank == 0) {
+      result.thermo = thermo;
+      result.max_local_atoms = static_cast<std::size_t>(max_local_global);
+      result.max_ghost_atoms = static_cast<std::size_t>(max_ghost_global);
+      result.load_imbalance = mean_local > 0 ? max_local_global / mean_local : 1.0;
+    }
+    if (opts.gather_state) {
+      for (std::size_t a = 0; a < n_local; ++a) {
+        const auto id = static_cast<std::size_t>(ids[a]);
+        gathered.pos[id] = atoms.pos[a];
+        gathered.vel[id] = atoms.vel[a];
+        gathered.force[id] = atoms.force[a];
+      }
+    }
+  });
+  result.wall_seconds = wall.seconds();
+  if (opts.gather_state) {
+    result.final_pos = std::move(gathered.pos);
+    result.final_vel = std::move(gathered.vel);
+    result.final_force = std::move(gathered.force);
+  }
+  return result;
+}
+
+}  // namespace dp::par

@@ -1,0 +1,182 @@
+#include "parallel/halo.hpp"
+
+#include <cmath>
+
+namespace dp::par {
+
+HaloExchange::HaloExchange(const md::Box& box, const Decomp& decomp, int rank,
+                           double halo_width)
+    : box_(box), decomp_(decomp), rank_(rank), halo_(halo_width) {
+  DP_CHECK_MSG(halo_width <= decomp.min_extent(),
+               "halo width " << halo_width << " exceeds sub-domain extent "
+                             << decomp.min_extent() << " — use fewer ranks");
+  lo_ = decomp.lo(rank);
+  hi_ = decomp.hi(rank);
+}
+
+void HaloExchange::exchange_ghosts(Communicator& comm, md::Atoms& atoms) {
+  n_local_ = atoms.size();
+  stages_.clear();
+  const auto coords = decomp_.coords_of(rank_);
+  const Vec3 L = box_.lengths();
+
+  int tag = 0;
+  for (int dim = 0; dim < 3; ++dim) {
+    // Only atoms present before this dimension's pair of stages are
+    // candidates: ghosts received in the +d stage must not bounce back in
+    // the -d stage (they belong to that very neighbor).
+    const std::size_t candidates = atoms.size();
+    for (int dir : {+1, -1}) {
+      Stage st;
+      st.tag = tag++;
+      st.send_to = decomp_.neighbor(rank_, dim, dir);
+      st.recv_from = decomp_.neighbor(rank_, dim, -dir);
+      const int n_grid = decomp_.grid()[static_cast<std::size_t>(dim)];
+      const bool crossing = (dir > 0) ? (coords[static_cast<std::size_t>(dim)] == n_grid - 1)
+                                      : (coords[static_cast<std::size_t>(dim)] == 0);
+      st.shift = {};
+      if (crossing) st.shift[static_cast<std::size_t>(dim)] = (dir > 0) ? -L[static_cast<std::size_t>(dim)] : L[static_cast<std::size_t>(dim)];
+
+      // Slab selection over everything currently held (locals + prior
+      // ghosts): that is what propagates edge/corner ghosts.
+      const double edge = (dir > 0) ? hi_[static_cast<std::size_t>(dim)] - halo_
+                                    : lo_[static_cast<std::size_t>(dim)] + halo_;
+      std::vector<double> payload;
+      for (std::size_t a = 0; a < candidates; ++a) {
+        const double c = atoms.pos[a][static_cast<std::size_t>(dim)];
+        const bool in_slab = (dir > 0) ? (c >= edge) : (c < edge);
+        if (!in_slab) continue;
+        st.send_idx.push_back(static_cast<int>(a));
+        const Vec3 p = atoms.pos[a] + st.shift;
+        payload.push_back(p.x);
+        payload.push_back(p.y);
+        payload.push_back(p.z);
+        payload.push_back(static_cast<double>(atoms.type[a]));
+      }
+      comm.send_vec(st.send_to, st.tag, payload);
+      const auto incoming = comm.recv_vec<double>(st.recv_from, st.tag);
+      DP_CHECK(incoming.size() % 4 == 0);
+      st.recv_begin = atoms.size();
+      st.recv_count = incoming.size() / 4;
+      for (std::size_t k = 0; k < st.recv_count; ++k) {
+        atoms.pos.push_back({incoming[4 * k], incoming[4 * k + 1], incoming[4 * k + 2]});
+        atoms.vel.push_back({});
+        atoms.force.push_back({});
+        atoms.type.push_back(static_cast<int>(incoming[4 * k + 3]));
+      }
+      stages_.push_back(std::move(st));
+    }
+  }
+  n_ghost_ = atoms.size() - n_local_;
+}
+
+void HaloExchange::update_ghost_positions(Communicator& comm, md::Atoms& atoms) {
+  for (const Stage& st : stages_) {
+    std::vector<double> payload;
+    payload.reserve(3 * st.send_idx.size());
+    for (int a : st.send_idx) {
+      const Vec3 p = atoms.pos[static_cast<std::size_t>(a)] + st.shift;
+      payload.push_back(p.x);
+      payload.push_back(p.y);
+      payload.push_back(p.z);
+    }
+    comm.send_vec(st.send_to, 200 + st.tag, payload);
+    const auto incoming = comm.recv_vec<double>(st.recv_from, 200 + st.tag);
+    DP_CHECK(incoming.size() == 3 * st.recv_count);
+    for (std::size_t k = 0; k < st.recv_count; ++k)
+      atoms.pos[st.recv_begin + k] = {incoming[3 * k], incoming[3 * k + 1],
+                                      incoming[3 * k + 2]};
+  }
+}
+
+void HaloExchange::reduce_forces(Communicator& comm, md::Atoms& atoms) {
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    const Stage& st = *it;
+    // Return the forces accumulated on the ghosts this stage created...
+    std::vector<double> payload;
+    payload.reserve(3 * st.recv_count);
+    for (std::size_t k = 0; k < st.recv_count; ++k) {
+      const Vec3& f = atoms.force[st.recv_begin + k];
+      payload.push_back(f.x);
+      payload.push_back(f.y);
+      payload.push_back(f.z);
+    }
+    comm.send_vec(st.recv_from, 400 + st.tag, payload);
+    // ... and fold the returned forces into the atoms we sent out.
+    const auto incoming = comm.recv_vec<double>(st.send_to, 400 + st.tag);
+    DP_CHECK(incoming.size() == 3 * st.send_idx.size());
+    for (std::size_t k = 0; k < st.send_idx.size(); ++k) {
+      atoms.force[static_cast<std::size_t>(st.send_idx[k])] +=
+          Vec3{incoming[3 * k], incoming[3 * k + 1], incoming[3 * k + 2]};
+    }
+  }
+}
+
+void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int rank,
+             md::Atoms& atoms, std::vector<std::int64_t>* ids) {
+  // Wrap everything first so coordinate comparisons are global.
+  for (auto& p : atoms.pos) p = box.wrap(p);
+  const auto coords = decomp.coords_of(rank);
+  const auto grid = decomp.grid();
+
+  int tag = 600;
+  for (int dim = 0; dim < 3; ++dim) {
+    const int n_grid = grid[static_cast<std::size_t>(dim)];
+    if (n_grid == 1) continue;
+    const double cell = box.lengths()[static_cast<std::size_t>(dim)] / n_grid;
+    const int my_c = coords[static_cast<std::size_t>(dim)];
+
+    std::vector<double> up, down;
+    md::Atoms kept;
+    kept.mass_by_type = atoms.mass_by_type;
+    std::vector<std::int64_t> kept_ids;
+    auto pack = [&](std::vector<double>& buf, std::size_t a) {
+      const Vec3& p = atoms.pos[a];
+      const Vec3& v = atoms.vel[a];
+      buf.insert(buf.end(), {p.x, p.y, p.z, v.x, v.y, v.z,
+                             static_cast<double>(atoms.type[a]),
+                             ids ? static_cast<double>((*ids)[a]) : 0.0});
+    };
+    for (std::size_t a = 0; a < atoms.size(); ++a) {
+      const int c = std::min(static_cast<int>(atoms.pos[a][static_cast<std::size_t>(dim)] / cell),
+                             n_grid - 1);
+      if (c == my_c) {
+        kept.pos.push_back(atoms.pos[a]);
+        kept.vel.push_back(atoms.vel[a]);
+        kept.force.push_back(atoms.force[a]);
+        kept.type.push_back(atoms.type[a]);
+        if (ids) kept_ids.push_back((*ids)[a]);
+      } else {
+        // Shortest periodic direction towards the owner.
+        const int fwd = ((c - my_c) % n_grid + n_grid) % n_grid;
+        pack(fwd <= n_grid / 2 ? up : down, a);
+      }
+    }
+    const int up_rank = decomp.neighbor(rank, dim, +1);
+    const int down_rank = decomp.neighbor(rank, dim, -1);
+    comm.send_vec(up_rank, tag, up);
+    comm.send_vec(down_rank, tag + 1, down);
+    for (auto [src, t] : {std::pair{down_rank, tag}, std::pair{up_rank, tag + 1}}) {
+      const auto incoming = comm.recv_vec<double>(src, t);
+      DP_CHECK(incoming.size() % 8 == 0);
+      for (std::size_t k = 0; k < incoming.size() / 8; ++k) {
+        const double* rec = incoming.data() + 8 * k;
+        kept.pos.push_back({rec[0], rec[1], rec[2]});
+        kept.vel.push_back({rec[3], rec[4], rec[5]});
+        kept.force.push_back({});
+        kept.type.push_back(static_cast<int>(rec[6]));
+        if (ids) kept_ids.push_back(static_cast<std::int64_t>(rec[7]));
+      }
+    }
+    atoms = std::move(kept);
+    if (ids) *ids = std::move(kept_ids);
+    tag += 2;
+  }
+
+  // Post-condition: one hop per dimension was enough.
+  for (const auto& p : atoms.pos)
+    DP_CHECK_MSG(decomp.owner_of(p) == rank, "atom travelled more than one sub-domain per "
+                                             "migration; migrate more often");
+}
+
+}  // namespace dp::par

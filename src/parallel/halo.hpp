@@ -1,0 +1,65 @@
+// Ghost-region (halo) exchange and atom migration.
+//
+// The staged 6-direction scheme: ghosts travel +x, -x, then +y, -y (seeing
+// the x ghosts, which populates edges), then +z, -z (corners). Positions sent
+// across a periodic boundary are shifted by the box length so ghosts sit
+// geometrically adjacent to the receiving sub-domain; force reduction walks
+// the same plan backwards, so every ghost force lands on its owner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "parallel/decomp.hpp"
+#include "parallel/minimpi.hpp"
+
+namespace dp::par {
+
+class HaloExchange {
+ public:
+  /// halo_width = model cutoff + neighbor skin; must fit in one sub-domain.
+  HaloExchange(const md::Box& box, const Decomp& decomp, int rank, double halo_width);
+
+  /// Appends ghost atoms to `atoms` (positions possibly outside the box) and
+  /// records the exchange plan. `atoms` must hold exactly the local atoms.
+  void exchange_ghosts(Communicator& comm, md::Atoms& atoms);
+
+  /// Re-sends current positions along the recorded plan (between neighbor
+  /// list rebuilds, when membership hasn't changed).
+  void update_ghost_positions(Communicator& comm, md::Atoms& atoms);
+
+  /// Sends ghost forces back along the reversed plan, accumulating into the
+  /// owners' force arrays; ghost forces are consumed.
+  void reduce_forces(Communicator& comm, md::Atoms& atoms);
+
+  std::size_t n_local() const { return n_local_; }
+  std::size_t n_ghost() const { return n_ghost_; }
+
+ private:
+  struct Stage {
+    int send_to = -1, recv_from = -1;
+    int tag = 0;
+    std::vector<int> send_idx;  ///< indices into the atom array at send time
+    Vec3 shift;                 ///< periodic shift applied to sent positions
+    std::size_t recv_begin = 0, recv_count = 0;
+  };
+
+  md::Box box_;
+  const Decomp& decomp_;
+  int rank_;
+  double halo_;
+  Vec3 lo_, hi_;
+  std::vector<Stage> stages_;
+  std::size_t n_local_ = 0, n_ghost_ = 0;
+};
+
+/// Moves atoms that left this rank's sub-domain to their new owners (one
+/// staged hop per dimension; callers migrate often enough that atoms never
+/// travel more than one sub-domain per migration). `ids` (optional) carries
+/// opaque per-atom identifiers along.
+void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int rank,
+             md::Atoms& atoms, std::vector<std::int64_t>* ids = nullptr);
+
+}  // namespace dp::par

@@ -1,0 +1,207 @@
+#include "parallel/minimpi.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace dp::par {
+
+namespace {
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::byte> payload;
+};
+}  // namespace
+
+class World {
+ public:
+  explicit World(int nranks)
+      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {
+    DP_CHECK(nranks >= 1);
+  }
+
+  int size() const { return nranks_; }
+
+  void send(int src, int dest, int tag, const void* data, std::size_t bytes) {
+    DP_CHECK_MSG(dest >= 0 && dest < nranks_, "send to invalid rank " << dest);
+    Message msg{src, tag, {}};
+    msg.payload.resize(bytes);
+    std::memcpy(msg.payload.data(), data, bytes);
+    auto& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard lock(box.mu);
+      box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+    stats_messages_.fetch_add(1, std::memory_order_relaxed);
+    stats_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::vector<std::byte> recv(int me, int src, int tag) {
+    auto& box = mailboxes_[static_cast<std::size_t>(me)];
+    std::unique_lock lock(box.mu);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          auto payload = std::move(it->payload);
+          box.queue.erase(it);
+          return payload;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  void barrier() {
+    std::unique_lock lock(barrier_mu_);
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == nranks_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      stats_barriers_.fetch_add(1, std::memory_order_relaxed);
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+    }
+  }
+
+  /// Generic allreduce over a double vector: rank-ordered contributions into
+  /// a shared accumulator between two barriers.
+  std::vector<double> allreduce(const std::vector<double>& x, bool take_max) {
+    {
+      std::lock_guard lock(reduce_mu_);
+      if (reduce_pending_ == 0) {
+        reduce_buf_ = x;
+      } else {
+        DP_CHECK_MSG(reduce_buf_.size() == x.size(), "allreduce size mismatch across ranks");
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          if (take_max)
+            reduce_buf_[i] = std::max(reduce_buf_[i], x[i]);
+          else
+            reduce_buf_[i] += x[i];
+        }
+      }
+      ++reduce_pending_;
+    }
+    barrier();  // all contributions in
+    std::vector<double> out;
+    {
+      std::lock_guard lock(reduce_mu_);
+      out = reduce_buf_;
+    }
+    barrier();  // all copies out before the buffer is reused
+    {
+      std::lock_guard lock(reduce_mu_);
+      if (reduce_pending_ != 0) {
+        reduce_pending_ = 0;
+        stats_reductions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    barrier();
+    return out;
+  }
+
+  CommStats stats() const {
+    return {stats_messages_.load(), stats_bytes_.load(), stats_barriers_.load(),
+            stats_reductions_.load()};
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+
+  std::mutex reduce_mu_;
+  std::vector<double> reduce_buf_;
+  int reduce_pending_ = 0;
+
+  std::atomic<std::uint64_t> stats_messages_{0};
+  std::atomic<std::uint64_t> stats_bytes_{0};
+  std::atomic<std::uint64_t> stats_barriers_{0};
+  std::atomic<std::uint64_t> stats_reductions_{0};
+};
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
+  world_->send(rank_, dest, tag, data, bytes);
+}
+
+std::vector<std::byte> Communicator::recv(int src, int tag) {
+  return world_->recv(rank_, src, tag);
+}
+
+void Communicator::barrier() { world_->barrier(); }
+
+std::vector<double> Communicator::broadcast(const std::vector<double>& x, int root) {
+  // Built on tagged point-to-point: root sends to everyone (self included).
+  constexpr int kTag = 1 << 20;
+  if (rank_ == root)
+    for (int r = 0; r < size(); ++r) send_vec(r, kTag, x);
+  return recv_vec<double>(root, kTag);
+}
+
+std::vector<double> Communicator::gatherv(const std::vector<double>& x, int root) {
+  constexpr int kTag = (1 << 20) + 1;
+  send_vec(root, kTag, x);
+  std::vector<double> out;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      // recv() matches by source, so rank order is preserved.
+      const auto part = recv_vec<double>(r, kTag);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+double Communicator::allreduce_sum(double x) {
+  return world_->allreduce({x}, /*take_max=*/false)[0];
+}
+
+std::vector<double> Communicator::allreduce_sum(const std::vector<double>& x) {
+  return world_->allreduce(x, /*take_max=*/false);
+}
+
+std::uint64_t Communicator::allreduce_sum(std::uint64_t x) {
+  return static_cast<std::uint64_t>(
+      world_->allreduce({static_cast<double>(x)}, /*take_max=*/false)[0]);
+}
+
+double Communicator::allreduce_max(double x) {
+  return world_->allreduce({x}, /*take_max=*/true)[0];
+}
+
+CommStats run_parallel(int nranks, const std::function<void(Communicator&)>& fn) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      Communicator comm(&world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return world.stats();
+}
+
+}  // namespace dp::par

@@ -1,0 +1,86 @@
+// minimpi — an in-process message-passing runtime.
+//
+// Stands in for MPI on machines without one (see DESIGN.md substitutions):
+// ranks are threads, point-to-point messages are queued byte buffers matched
+// by (source, tag), and collectives are built on a shared barrier. What the
+// scaling experiments need from MPI — the halo-exchange *pattern* and its
+// accounted byte volume — is preserved exactly; the transport is shared
+// memory.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dp::par {
+
+/// Aggregate communication counters (per world, summed over ranks).
+struct CommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t reductions = 0;
+};
+
+class World;
+
+/// Per-rank handle, valid inside run_parallel's callback.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking tagged send/recv of raw bytes (send never blocks: buffered).
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+  std::vector<std::byte> recv(int src, int tag);
+
+  template <class T>
+  void send_vec(int dest, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <class T>
+  std::vector<T> recv_vec(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv(src, tag);
+    DP_CHECK_MSG(bytes.size() % sizeof(T) == 0, "message size not a multiple of element size");
+    std::vector<T> v(bytes.size() / sizeof(T));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  void barrier();
+
+  /// Root's buffer is copied to every rank (returns the root's data).
+  std::vector<double> broadcast(const std::vector<double>& x, int root);
+
+  /// Concatenates every rank's contribution in rank order; the full vector
+  /// is returned on `root` (empty elsewhere).
+  std::vector<double> gatherv(const std::vector<double>& x, int root);
+
+  /// Sum-reduction available on every rank after the call.
+  double allreduce_sum(double x);
+  std::vector<double> allreduce_sum(const std::vector<double>& x);
+  std::uint64_t allreduce_sum(std::uint64_t x);
+  double allreduce_max(double x);
+
+ private:
+  friend class World;
+  friend CommStats run_parallel(int, const std::function<void(Communicator&)>&);
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// Runs `fn(comm)` on `nranks` concurrent ranks; rethrows the first rank
+/// failure after joining. Returns the accumulated communication statistics.
+CommStats run_parallel(int nranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace dp::par

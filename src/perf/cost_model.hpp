@@ -1,0 +1,54 @@
+// Analytic per-atom cost model of the three inference paths.
+//
+// All constants trace back to the kernel structure (see the per-term
+// comments in the .cpp) and to the paper's own counts: the baseline
+// embedding costs N_m (d1 + 10 d1^2) MACs per atom (Sec 2.2), the tabulated
+// one 56 N_m d1 (Sec 3.2), and the baseline's memory is dominated by several
+// live copies of the N_m x M embedding matrix (Sec 2.2: > 95% of footprint).
+#pragma once
+
+#include "common/cost.hpp"
+#include "dp/model_config.hpp"
+
+namespace dp::perf {
+
+enum class Path { Baseline, Tabulated, Fused };
+
+/// A physical workload: model + the ambient-conditions neighbor statistics
+/// that determine padding (the copper model reserves N_m = 500 but ambient
+/// FCC fills ~180 — Sec 3.4.2's redundancy).
+struct WorkloadSpec {
+  dp::core::ModelConfig config;
+  double real_neighbors = 100;  ///< mean filled slots per atom
+  double density = 0.1;         ///< atoms per cubic Angstrom
+  double dt_fs = 1.0;           ///< MD time step [fs]
+  std::string name;
+
+  /// Paper water system: rc = 6 A, N_m = 138, ~91 real neighbors at ambient
+  /// density, dt = 0.5 fs.
+  static WorkloadSpec water();
+  /// Paper copper system: rc = 8 A, N_m = 500 (high-pressure reserve),
+  /// ~179 real neighbors in ambient FCC, dt = 1.0 fs.
+  static WorkloadSpec copper();
+};
+
+/// Per-atom, per-force-evaluation cost decomposition.
+struct PathCosts {
+  KernelCost env_mat;
+  KernelCost embedding;  ///< embedding net / tabulation / fused contraction
+  KernelCost descriptor_fit;
+  KernelCost prod_force;
+  KernelCost total() const { return env_mat + embedding + descriptor_fit + prod_force; }
+};
+
+PathCosts per_atom_costs(const WorkloadSpec& w, Path path);
+
+/// Device-resident bytes per atom — what bounds the system size per device
+/// (the paper's x26 copper capacity jump on V100, Sec 6.1.2).
+double bytes_per_atom(const WorkloadSpec& w, Path path);
+
+/// Fixed per-rank overhead: model weights / graph / buffers (Sec 3.5.4:
+/// 48 graph copies exhausted the A64FX without MPI+OpenMP).
+double bytes_per_rank_overhead(const WorkloadSpec& w, Path path);
+
+}  // namespace dp::perf

@@ -1,0 +1,90 @@
+#include "perf/machine.hpp"
+
+#include <algorithm>
+
+namespace dp::perf {
+
+Machine Machine::v100() {
+  Machine m;
+  m.name = "V100";
+  m.peak_flops = 7.0e12;
+  m.mem_bandwidth = 900e9;
+  m.flop_efficiency = 0.22;  // paper: 43.7 PFLOPS = 22.8% of Summit peak
+  m.mem_efficiency = 0.94;  // paper Sec 6.1.3: optimized kernel hits 94%
+  m.power_watts = 369;      // paper Sec 6.3
+  m.memory_bytes = 16e9;
+  return m;
+}
+
+Machine Machine::a64fx() {
+  Machine m;
+  m.name = "A64FX";
+  m.peak_flops = 3.38e12;
+  m.mem_bandwidth = 1024e9;
+  // Calibrated so the single-node water TtS and the normalized Table 2
+  // ratios match the paper (absolute TtS ratio A64FX/V100 = 1.73).
+  m.flop_efficiency = 0.176;
+  m.mem_efficiency = 0.50;
+  m.power_watts = 165;  // paper Sec 6.3
+  m.memory_bytes = 32e9;
+  return m;
+}
+
+Machine Machine::mi250x() {
+  Machine m;
+  m.name = "MI250X";
+  m.peak_flops = 47.9e12;
+  m.mem_bandwidth = 3.2e12;
+  m.flop_efficiency = 0.22;  // carried over from the V100 calibration
+  m.mem_efficiency = 0.80;
+  m.power_watts = 560;
+  m.memory_bytes = 128e9;
+  return m;
+}
+
+MachineSystem MachineSystem::summit() {
+  MachineSystem s;
+  s.name = "Summit";
+  s.device = Machine::v100();
+  s.max_nodes = 4560;  // the scale used in the paper
+  s.devices_per_node = 6;
+  s.ranks_per_node = 6;
+  s.network_bw = 25e9;
+  s.network_latency = 1.5e-6;
+  s.per_rank_step_overhead = 2.5e-3;
+  return s;
+}
+
+MachineSystem MachineSystem::fugaku() {
+  MachineSystem s;
+  s.name = "Fugaku";
+  s.device = Machine::a64fx();
+  s.max_nodes = 157986;
+  s.devices_per_node = 1;
+  s.ranks_per_node = 16;  // the paper's optimal 16 x 3 hybrid configuration
+  s.network_bw = 40e9;
+  s.network_latency = 1.0e-6;
+  s.per_rank_step_overhead = 8.0e-3;  // TF graph execution per step on CPU ranks
+  return s;
+}
+
+MachineSystem MachineSystem::frontier() {
+  MachineSystem s;
+  s.name = "Frontier";
+  s.device = Machine::mi250x();
+  s.max_nodes = 9408;
+  s.devices_per_node = 4;
+  s.ranks_per_node = 8;  // one rank per GCD
+  s.network_bw = 100e9;
+  s.network_latency = 1.5e-6;
+  s.per_rank_step_overhead = 2.5e-3;
+  return s;
+}
+
+double roofline_seconds(const KernelCost& cost, const Machine& m) {
+  const double t_flops = cost.flops / (m.peak_flops * m.flop_efficiency);
+  const double t_bytes = cost.bytes_total() / (m.mem_bandwidth * m.mem_efficiency);
+  return std::max(t_flops, t_bytes);
+}
+
+}  // namespace dp::perf

@@ -1,0 +1,97 @@
+#include "perf/scaling_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dp::perf {
+
+ScalingModel::ScalingModel(MachineSystem system, WorkloadSpec workload, Path path)
+    : system_(std::move(system)), workload_(std::move(workload)), path_(path) {
+  per_atom_ = per_atom_costs(workload_, path).total();
+  // Each rank owns an equal slice of its node's devices (Summit: one V100
+  // per rank; Fugaku: 1/16 of the A64FX per rank).
+  rank_device_ = system_.device;
+  const double share =
+      static_cast<double>(system_.devices_per_node) / system_.ranks_per_node;
+  rank_device_.peak_flops *= share;
+  rank_device_.mem_bandwidth *= share;
+  rank_device_.memory_bytes *= share;
+}
+
+double ScalingModel::ghost_atoms_per_rank(double atoms_per_rank) const {
+  // Cubic sub-domain of the right volume; ghost shell of one cutoff width.
+  const double volume = atoms_per_rank / workload_.density;
+  const double w = std::cbrt(volume);
+  const double h = workload_.config.rcut;
+  const double shell = std::pow(w + 2.0 * h, 3) - volume;
+  return shell * workload_.density;
+}
+
+ScalePoint ScalingModel::point(std::size_t natoms, int nodes) const {
+  DP_CHECK(nodes >= 1);
+  ScalePoint p;
+  p.nodes = nodes;
+  p.atoms = natoms;
+  const double ranks = static_cast<double>(nodes) * system_.ranks_per_node;
+  p.atoms_per_rank = static_cast<double>(natoms) / ranks;
+
+  // Compute: local atoms + ghost-atom env-mat/prod-force work is already
+  // attributed to their owners; roofline on the per-rank device slice.
+  p.compute_seconds = roofline_seconds(per_atom_ * p.atoms_per_rank, rank_device_);
+
+  // Communication per step: ghosts are refreshed (positions out, forces
+  // back: 6 doubles each) through the node's injection bandwidth shared by
+  // its ranks, plus the 6-stage latency.
+  const double ghosts = ghost_atoms_per_rank(p.atoms_per_rank);
+  const double bytes = ghosts * 6.0 * 8.0;
+  const double rank_net_bw = system_.network_bw / system_.ranks_per_node;
+  p.comm_seconds = bytes / rank_net_bw + 12.0 * system_.network_latency;
+
+  p.step_seconds = p.compute_seconds + p.comm_seconds + system_.per_rank_step_overhead;
+  p.tts_s_step_atom = p.step_seconds / static_cast<double>(natoms);
+  p.ns_per_day = workload_.dt_fs * 1e-6 * (86400.0 / p.step_seconds);
+  p.pflops = per_atom_.flops * static_cast<double>(natoms) / p.step_seconds / 1e15;
+  return p;
+}
+
+std::vector<ScalePoint> ScalingModel::strong_curve(std::size_t natoms,
+                                                   const std::vector<int>& nodes) const {
+  std::vector<ScalePoint> out;
+  out.reserve(nodes.size());
+  for (int n : nodes) out.push_back(point(natoms, n));
+  if (!out.empty()) {
+    const double base = out.front().step_seconds * out.front().nodes;
+    for (auto& p : out) p.efficiency = base / (p.step_seconds * p.nodes);
+  }
+  return out;
+}
+
+std::vector<ScalePoint> ScalingModel::weak_curve(std::size_t atoms_per_rank,
+                                                 const std::vector<int>& nodes) const {
+  std::vector<ScalePoint> out;
+  out.reserve(nodes.size());
+  for (int n : nodes) {
+    const std::size_t natoms =
+        atoms_per_rank * static_cast<std::size_t>(n) * system_.ranks_per_node;
+    out.push_back(point(natoms, n));
+  }
+  if (!out.empty()) {
+    const double base = out.front().step_seconds;
+    for (auto& p : out) p.efficiency = base / p.step_seconds;
+  }
+  return out;
+}
+
+std::size_t ScalingModel::max_atoms_per_rank() const {
+  const double capacity =
+      rank_device_.memory_bytes - bytes_per_rank_overhead(workload_, path_);
+  DP_CHECK_MSG(capacity > 0, "per-rank overhead exceeds device memory");
+  return static_cast<std::size_t>(capacity / bytes_per_atom(workload_, path_));
+}
+
+std::size_t ScalingModel::max_atoms(int nodes) const {
+  return max_atoms_per_rank() * static_cast<std::size_t>(nodes) * system_.ranks_per_node;
+}
+
+}  // namespace dp::perf

@@ -1,0 +1,65 @@
+// Strong/weak scaling projector (paper Sec 6.4, Figs 9-11, Table 1).
+//
+// Per-step time of one rank = roofline(compute over local atoms)
+//                           + ghost-exchange communication.
+// The ghost model is the paper's own Sec 3.3/6.4.1 argument: computation
+// scales with the sub-region volume, communication with the ghost shell.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+
+namespace dp::perf {
+
+struct ScalePoint {
+  int nodes = 0;
+  std::size_t atoms = 0;
+  double atoms_per_rank = 0;
+  double compute_seconds = 0;  ///< per MD step
+  double comm_seconds = 0;
+  double step_seconds = 0;
+  double efficiency = 1.0;        ///< parallel efficiency vs the curve's base point
+  double ns_per_day = 0;          ///< simulated time per wall-clock day
+  double tts_s_step_atom = 0;     ///< the paper's headline metric
+  double pflops = 0;              ///< achieved double-precision PFLOPS
+};
+
+class ScalingModel {
+ public:
+  ScalingModel(MachineSystem system, WorkloadSpec workload, Path path);
+
+  /// One configuration: natoms spread over `nodes` nodes.
+  ScalePoint point(std::size_t natoms, int nodes) const;
+
+  /// Strong scaling: fixed total atoms, increasing node counts. Efficiency
+  /// is relative to the first entry.
+  std::vector<ScalePoint> strong_curve(std::size_t natoms, const std::vector<int>& nodes) const;
+
+  /// Weak scaling: fixed atoms per rank.
+  std::vector<ScalePoint> weak_curve(std::size_t atoms_per_rank,
+                                     const std::vector<int>& nodes) const;
+
+  /// Memory-capacity bound: the largest system `nodes` nodes can hold.
+  std::size_t max_atoms(int nodes) const;
+
+  /// Atoms per rank that exactly fill the per-rank memory (weak-scaling
+  /// operating point of Fig 11 / Table 1).
+  std::size_t max_atoms_per_rank() const;
+
+  double ghost_atoms_per_rank(double atoms_per_rank) const;
+
+  const MachineSystem& system() const { return system_; }
+  const WorkloadSpec& workload() const { return workload_; }
+
+ private:
+  MachineSystem system_;
+  WorkloadSpec workload_;
+  Path path_;
+  KernelCost per_atom_;
+  Machine rank_device_;  ///< per-rank slice of the node's devices
+};
+
+}  // namespace dp::perf

@@ -1,0 +1,132 @@
+#include "tab/compressed_model.hpp"
+
+#include <cstring>
+
+#include "common/cost.hpp"
+#include "common/timer.hpp"
+#include "dp/descriptor.hpp"
+#include "dp/prod_force.hpp"
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+
+namespace dp::tab {
+
+using core::AtomKernelScratch;
+using core::EnvMat;
+using core::ModelConfig;
+
+CompressedDP::CompressedDP(const TabulatedDP& tabulated, bool use_blocked_layout,
+                           core::EnvMatKernel env_kernel)
+    : tab_(tabulated), blocked_(use_blocked_layout), env_kernel_(env_kernel) {}
+
+md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
+                                      const md::NeighborList& nlist, bool periodic) {
+  ScopedTimer timer("compressed.compute");
+  const core::DPModel& model = tab_.model();
+  const ModelConfig& cfg = model.config();
+  {
+    ScopedTimer t("compressed.env_mat");
+    build_env_mat(cfg, box, atoms, nlist, env_, env_kernel_, periodic);
+  }
+  const std::size_t n = env_.n_atoms;
+  const std::size_t m = cfg.m();
+  const std::size_t m_sub = cfg.axis_neuron;
+  const int nm = cfg.nm();
+  const double scale = 1.0 / static_cast<double>(nm);
+
+  // ---- Tabulated embedding: G and dG/ds materialized over every slot
+  // (padding included — no redundancy removal yet at this step) ------------
+  std::vector<nn::Matrix> g_by_type(static_cast<std::size_t>(cfg.ntypes));
+  std::vector<nn::Matrix> dg_by_type(static_cast<std::size_t>(cfg.ntypes));
+  embedding_bytes_ = 0;
+  {
+    ScopedTimer t("compressed.tabulation");
+    for (int ty = 0; ty < cfg.ntypes; ++ty) {
+      const TabulatedEmbedding& table = tab_.table(ty);
+      const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
+      const int off = cfg.type_offset(ty);
+      const std::size_t rows = n * static_cast<std::size_t>(sel_t);
+      nn::Matrix& g = g_by_type[static_cast<std::size_t>(ty)];
+      nn::Matrix& dg = dg_by_type[static_cast<std::size_t>(ty)];
+      g.resize(rows, m);
+      dg.resize(rows, m);
+      for (std::size_t i = 0; i < n; ++i)
+        for (int k = 0; k < sel_t; ++k) {
+          const double s = env_.rmat_row(i, off + k)[0];
+          const std::size_t row = i * static_cast<std::size_t>(sel_t) + static_cast<std::size_t>(k);
+          if (blocked_)
+            table.eval_with_deriv_blocked(s, g.row(row), dg.row(row));
+          else
+            table.eval_with_deriv(s, g.row(row), dg.row(row));
+        }
+      embedding_bytes_ += (g.size() + dg.size()) * sizeof(double);
+      CostRegistry::instance().add(
+          "compressed.tabulation",
+          {static_cast<double>(rows) * 14.0 * static_cast<double>(m),
+           static_cast<double>(rows) * 6.0 * static_cast<double>(m) * sizeof(double),
+           2.0 * static_cast<double>(rows) * static_cast<double>(m) * sizeof(double)});
+    }
+  }
+
+  // ---- Per-atom descriptor + fit + backward (same dataflow as baseline) --
+  atom_energy_.assign(n, 0.0);
+  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
+  md::ForceResult out;
+  {
+    ScopedTimer t("compressed.descriptor_fit");
+    AlignedVector<double> a_mat(4 * m), g_a(4 * m);
+    AlignedVector<double> g_g;  // dE/dG rows of one atom's block
+    AtomKernelScratch scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memset(a_mat.data(), 0, 4 * m * sizeof(double));
+      for (int ty = 0; ty < cfg.ntypes; ++ty) {
+        const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
+        const int off = cfg.type_offset(ty);
+        nn::gemm_tn_acc(env_.rmat_row(i, off),
+                        g_by_type[static_cast<std::size_t>(ty)].row(
+                            i * static_cast<std::size_t>(sel_t)),
+                        a_mat.data(), 4, static_cast<std::size_t>(sel_t), m);
+      }
+      for (double& v : a_mat) v *= scale;
+
+      atom_energy_[i] = core::descriptor_fit_atom(model.fitting(atoms.type[i]), a_mat.data(),
+                                                  m, m_sub, scale, scratch, g_a.data());
+      out.energy += atom_energy_[i];
+
+      for (int ty = 0; ty < cfg.ntypes; ++ty) {
+        const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
+        const int off = cfg.type_offset(ty);
+        const std::size_t row0 = i * static_cast<std::size_t>(sel_t);
+        // g_rmat_block (sel x 4) = G_block * g_a^T
+        nn::gemm_nt(g_by_type[static_cast<std::size_t>(ty)].row(row0), g_a.data(),
+                    g_rmat.data() +
+                        (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off)) * 4,
+                    static_cast<std::size_t>(sel_t), m, 4);
+        // dE/dG_block = R~_block * g_a, then dE/ds = <dE/dG, dG/ds> per row.
+        g_g.resize(static_cast<std::size_t>(sel_t) * m);
+        nn::gemm(env_.rmat_row(i, off), g_a.data(), g_g.data(),
+                 static_cast<std::size_t>(sel_t), 4, m);
+        for (int k = 0; k < sel_t; ++k) {
+          const double* gg = g_g.data() + static_cast<std::size_t>(k) * m;
+          const double* dg = dg_by_type[static_cast<std::size_t>(ty)].row(
+              row0 + static_cast<std::size_t>(k));
+          double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+          for (std::size_t b = 0; b < m; ++b) acc += gg[b] * dg[b];
+          g_rmat[(i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4] +=
+              acc;
+        }
+      }
+    }
+  }
+
+  {
+    ScopedTimer t("compressed.prod_force");
+    atoms.zero_forces();
+    prod_force(env_, g_rmat.data(), atoms.force);
+    prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+  }
+  return out;
+}
+
+}  // namespace dp::tab

@@ -1,0 +1,46 @@
+// The "tabulation only" inference path — the first optimization step of
+// Fig 7 / Fig 8.
+//
+// The embedding net's GEMM pipeline is replaced by the quintic table, but the
+// dataflow is otherwise the baseline's: the embedding matrix G (and now its
+// derivative dG/ds) are still fully materialized over all N_m slots and
+// contracted with GEMMs. Kernel fusion and redundancy removal come later
+// (src/fused) — keeping the steps separate is what lets the benches reproduce
+// the paper's step-by-step speedup decomposition.
+#pragma once
+
+#include <vector>
+
+#include "dp/env_mat.hpp"
+#include "md/force_field.hpp"
+#include "tab/tabulated_model.hpp"
+
+namespace dp::tab {
+
+class CompressedDP final : public md::ForceField {
+ public:
+  /// `use_blocked_layout` selects the SVE-style transposed coefficient table
+  /// (Sec 3.5.1) instead of the AoS layout — results are identical.
+  /// `env_kernel` picks the ProdEnvMatA implementation (the Fig 7/8 "other
+  /// optimizations" step toggles it).
+  explicit CompressedDP(const TabulatedDP& tabulated, bool use_blocked_layout = false,
+                        core::EnvMatKernel env_kernel = core::EnvMatKernel::Optimized);
+
+  md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
+                          bool periodic = true) override;
+  double cutoff() const override { return tab_.model().config().rcut; }
+
+  const std::vector<double>& atom_energies() const { return atom_energy_; }
+  const core::EnvMat& env() const { return env_; }
+  std::size_t embedding_bytes() const { return embedding_bytes_; }
+
+ private:
+  const TabulatedDP& tab_;
+  bool blocked_;
+  core::EnvMatKernel env_kernel_;
+  core::EnvMat env_;
+  std::vector<double> atom_energy_;
+  std::size_t embedding_bytes_ = 0;
+};
+
+}  // namespace dp::tab

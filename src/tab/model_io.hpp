@@ -1,0 +1,31 @@
+// The compressed-model bundle: model weights + the quintic tables in one
+// file, the deployable artifact of "dp compress" (the paper quotes its size
+// — 33 MB for water at interval 0.01 — as the tradeoff against accuracy).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tab/tabulated_model.hpp"
+
+namespace dp::tab {
+
+/// Writes model + spec + per-type tables.
+void save_compressed_model(const std::string& path, const TabulatedDP& tabulated);
+
+/// A loaded bundle owning both the model and its tables. The tables are the
+/// stored ones (bit-identical to what was saved), not re-sampled.
+class CompressedModel {
+ public:
+  static CompressedModel load(const std::string& path);
+
+  const core::DPModel& model() const { return *model_; }
+  const TabulatedDP& tabulated() const { return *tabulated_; }
+
+ private:
+  CompressedModel() = default;
+  std::unique_ptr<core::DPModel> model_;
+  std::unique_ptr<TabulatedDP> tabulated_;
+};
+
+}  // namespace dp::tab

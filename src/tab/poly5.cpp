@@ -1,0 +1,25 @@
+#include "tab/poly5.hpp"
+
+#include "common/error.hpp"
+
+namespace dp::tab {
+
+Poly5 fit_quintic(double h, double f0, double d0, double s0, double f1, double d1,
+                  double s1) {
+  DP_CHECK(h > 0.0);
+  Poly5 c;
+  c[0] = f0;
+  c[1] = d0;
+  c[2] = 0.5 * s0;
+  // Residuals at t = h after the left-node Taylor part.
+  const double A = f1 - (c[0] + h * (c[1] + h * c[2]));
+  const double B = d1 - (c[1] + 2.0 * c[2] * h);
+  const double C = s1 - 2.0 * c[2];
+  const double h2 = h * h, h3 = h2 * h;
+  c[3] = (20.0 * A - 8.0 * B * h + C * h2) / (2.0 * h3);
+  c[4] = (-30.0 * A + 14.0 * B * h - 2.0 * C * h2) / (2.0 * h3 * h);
+  c[5] = (12.0 * A - 6.0 * B * h + C * h2) / (2.0 * h3 * h2);
+  return c;
+}
+
+}  // namespace dp::tab

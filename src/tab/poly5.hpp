@@ -1,0 +1,36 @@
+// Quintic Hermite segments (paper Sec 3.2).
+//
+// On each interval the embedding net is replaced by a fifth-order polynomial
+// whose value, first and second derivative match the network at both nodes —
+// six conditions, six coefficients, so each segment is uniquely determined
+// and the piecewise function is globally C2.
+#pragma once
+
+#include <array>
+
+namespace dp::tab {
+
+/// Coefficients of  f(t) = sum_k c[k] t^k  in the local coordinate
+/// t = x - x0, t in [0, h].
+using Poly5 = std::array<double, 6>;
+
+/// Fits the unique quintic with f(0)=f0, f'(0)=d0, f''(0)=s0 and
+/// f(h)=f1, f'(h)=d1, f''(h)=s1.
+Poly5 fit_quintic(double h, double f0, double d0, double s0, double f1, double d1, double s1);
+
+/// Horner evaluation.
+inline double eval_poly5(const Poly5& c, double t) {
+  return c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
+}
+
+/// First derivative.
+inline double eval_poly5_deriv(const Poly5& c, double t) {
+  return c[1] + t * (2 * c[2] + t * (3 * c[3] + t * (4 * c[4] + t * 5 * c[5])));
+}
+
+/// Second derivative.
+inline double eval_poly5_deriv2(const Poly5& c, double t) {
+  return 2 * c[2] + t * (6 * c[3] + t * (12 * c[4] + t * 20 * c[5]));
+}
+
+}  // namespace dp::tab

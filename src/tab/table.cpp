@@ -1,0 +1,179 @@
+#include "tab/table.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "tab/poly5.hpp"
+
+namespace dp::tab {
+
+TabulatedEmbedding::TabulatedEmbedding(const nn::EmbeddingNet& net,
+                                       const TabulationSpec& spec) {
+  DP_CHECK(spec.hi > spec.lo && spec.interval > 0.0);
+  m_ = net.output_dim();
+  m_pad_ = (m_ + kLane - 1) / kLane * kLane;
+  lo_ = spec.lo;
+  hi_ = spec.hi;
+  n_ = static_cast<std::size_t>(std::ceil((hi_ - lo_) / spec.interval - 1e-12));
+  DP_CHECK(n_ >= 1);
+  h_ = (hi_ - lo_) / static_cast<double>(n_);
+  inv_h_ = 1.0 / h_;
+
+  coef_.assign(n_ * m_ * 6, 0.0);
+
+  // Jets of the reference network at all n_+1 nodes.
+  AlignedVector<double> g0(m_), d0(m_), s0(m_), g1(m_), d1(m_), s1(m_);
+  net.eval_jet(lo_, g0.data(), d0.data(), s0.data());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double x1 = lo_ + h_ * static_cast<double>(i + 1);
+    net.eval_jet(x1, g1.data(), d1.data(), s1.data());
+    for (std::size_t ch = 0; ch < m_; ++ch) {
+      const Poly5 c = fit_quintic(h_, g0[ch], d0[ch], s0[ch], g1[ch], d1[ch], s1[ch]);
+      double* dst = coef_.data() + (i * m_ + ch) * 6;
+      for (int k = 0; k < 6; ++k) dst[k] = c[k];
+    }
+    std::swap(g0, g1);
+    std::swap(d0, d1);
+    std::swap(s0, s1);
+  }
+  rebuild_blocked();
+}
+
+void TabulatedEmbedding::rebuild_blocked() {
+  // Blocked layout: the k-th coefficient of channel ch lands in stream k of
+  // block ch/16 at lane ch%16 — the per-16 transpose of Sec 3.5.1.
+  coef_blocked_.assign(n_ * m_pad_ * 6, 0.0);
+  const std::size_t nblk = m_pad_ / kLane;
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t ch = 0; ch < m_; ++ch) {
+      const std::size_t b = ch / kLane, l = ch % kLane;
+      const double* src = coef_.data() + (i * m_ + ch) * 6;
+      double* blk = coef_blocked_.data() + ((i * nblk + b) * 6) * kLane;
+      for (std::size_t k = 0; k < 6; ++k) blk[k * kLane + l] = src[k];
+    }
+}
+
+std::size_t TabulatedEmbedding::locate(double s, double& t) const {
+  double u = (s - lo_) * inv_h_;
+  std::size_t i;
+  if (u < 0.0) {
+    i = 0;
+    ++extrapolations_;
+  } else if (u >= static_cast<double>(n_)) {
+    i = n_ - 1;
+    if (s > hi_) ++extrapolations_;
+  } else {
+    i = static_cast<std::size_t>(u);
+  }
+  t = s - (lo_ + h_ * static_cast<double>(i));
+  return i;
+}
+
+void TabulatedEmbedding::eval(double s, double* g) const {
+  double t;
+  const std::size_t i = locate(s, t);
+  const double* base = coef_.data() + i * m_ * 6;
+  for (std::size_t ch = 0; ch < m_; ++ch) {
+    const double* c = base + ch * 6;
+    g[ch] = c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
+  }
+}
+
+void TabulatedEmbedding::eval_with_deriv(double s, double* g, double* dg) const {
+  double t;
+  const std::size_t i = locate(s, t);
+  const double* base = coef_.data() + i * m_ * 6;
+  for (std::size_t ch = 0; ch < m_; ++ch) {
+    const double* c = base + ch * 6;
+    g[ch] = c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
+    dg[ch] = c[1] + t * (2 * c[2] + t * (3 * c[3] + t * (4 * c[4] + t * 5 * c[5])));
+  }
+}
+
+void TabulatedEmbedding::eval_blocked(double s, double* g) const {
+  double t;
+  const std::size_t i = locate(s, t);
+  const std::size_t nblk = m_pad_ / kLane;
+  const double* base = coef_blocked_.data() + i * nblk * 6 * kLane;
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const double* c = base + b * 6 * kLane;
+    const std::size_t ch0 = b * kLane;
+    const std::size_t lanes = (ch0 + kLane <= m_) ? kLane : (m_ - ch0);
+#pragma omp simd
+    for (std::size_t l = 0; l < lanes; ++l) {
+      g[ch0 + l] =
+          c[0 * kLane + l] +
+          t * (c[1 * kLane + l] +
+               t * (c[2 * kLane + l] +
+                    t * (c[3 * kLane + l] + t * (c[4 * kLane + l] + t * c[5 * kLane + l]))));
+    }
+  }
+}
+
+void TabulatedEmbedding::eval_with_deriv_blocked(double s, double* g, double* dg) const {
+  double t;
+  const std::size_t i = locate(s, t);
+  const std::size_t nblk = m_pad_ / kLane;
+  const double* base = coef_blocked_.data() + i * nblk * 6 * kLane;
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const double* c = base + b * 6 * kLane;
+    const std::size_t ch0 = b * kLane;
+    const std::size_t lanes = (ch0 + kLane <= m_) ? kLane : (m_ - ch0);
+#pragma omp simd
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const double c1 = c[1 * kLane + l], c2 = c[2 * kLane + l], c3 = c[3 * kLane + l],
+                   c4 = c[4 * kLane + l], c5 = c[5 * kLane + l];
+      g[ch0 + l] = c[0 * kLane + l] + t * (c1 + t * (c2 + t * (c3 + t * (c4 + t * c5))));
+      dg[ch0 + l] = c1 + t * (2 * c2 + t * (3 * c3 + t * (4 * c4 + t * 5 * c5)));
+    }
+  }
+}
+
+namespace {
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DP_CHECK_MSG(static_cast<bool>(is), "truncated table stream");
+  return v;
+}
+constexpr std::uint32_t kTableMagic = 0x44505442;  // "DPTB"
+}  // namespace
+
+void TabulatedEmbedding::save(std::ostream& os) const {
+  write_pod(os, kTableMagic);
+  write_pod<std::uint64_t>(os, m_);
+  write_pod<std::uint64_t>(os, n_);
+  write_pod(os, lo_);
+  write_pod(os, hi_);
+  os.write(reinterpret_cast<const char*>(coef_.data()),
+           static_cast<std::streamsize>(coef_.size() * sizeof(double)));
+}
+
+TabulatedEmbedding TabulatedEmbedding::load(std::istream& is) {
+  DP_CHECK_MSG(read_pod<std::uint32_t>(is) == kTableMagic, "bad table magic");
+  TabulatedEmbedding t;
+  t.m_ = read_pod<std::uint64_t>(is);
+  t.n_ = read_pod<std::uint64_t>(is);
+  t.lo_ = read_pod<double>(is);
+  t.hi_ = read_pod<double>(is);
+  DP_CHECK(t.m_ > 0 && t.n_ > 0 && t.hi_ > t.lo_);
+  t.m_pad_ = (t.m_ + kLane - 1) / kLane * kLane;
+  t.h_ = (t.hi_ - t.lo_) / static_cast<double>(t.n_);
+  t.inv_h_ = 1.0 / t.h_;
+  t.coef_.resize(t.n_ * t.m_ * 6);
+  is.read(reinterpret_cast<char*>(t.coef_.data()),
+          static_cast<std::streamsize>(t.coef_.size() * sizeof(double)));
+  DP_CHECK_MSG(static_cast<bool>(is), "truncated table stream");
+  t.rebuild_blocked();
+  return t;
+}
+
+}  // namespace dp::tab

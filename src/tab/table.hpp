@@ -1,0 +1,85 @@
+// Tabulated embedding net (paper Sec 3.2 / 3.5.1).
+//
+// The whole map g : R -> R^M is replaced by M quintic Hermite splines on a
+// uniform grid over the physical range of s(r). Building the table samples
+// the reference network's value, first and second derivative at the nodes
+// (forward-mode jets), so the spline is C2 and its derivative — used for
+// forces — is the exact gradient of the tabulated energy.
+//
+// Two coefficient layouts are kept:
+//   * AoS: the 6 coefficients of one (interval, channel) stored contiguously;
+//   * blocked: per interval, channels grouped in lanes-of-16 with the 6
+//     coefficient streams transposed (the A64FX layout of Sec 3.5.1 that
+//     feeds 512-bit SVE loads; on x86 it vectorizes the same way).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "common/aligned.hpp"
+#include "nn/embedding_net.hpp"
+
+namespace dp::tab {
+
+struct TabulationSpec {
+  double lo = 0.0;        ///< lower bound of the tabulated domain of s
+  double hi = 1.0;        ///< upper bound
+  double interval = 0.01; ///< node spacing (the paper sweeps 0.1/0.01/0.001)
+};
+
+class TabulatedEmbedding {
+ public:
+  TabulatedEmbedding() = default;
+  TabulatedEmbedding(const nn::EmbeddingNet& net, const TabulationSpec& spec);
+
+  std::size_t output_dim() const { return m_; }
+  std::size_t n_intervals() const { return n_; }
+  double interval() const { return h_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Table size in bytes (AoS copy only — what a deployment would ship).
+  std::size_t bytes() const { return coef_.size() * sizeof(double); }
+
+  /// g[0..M): tabulated g(s). s outside [lo, hi] extrapolates with the edge
+  /// segment (smoothly) and is counted in extrapolations().
+  void eval(double s, double* g) const;
+
+  /// Value and d/ds together (one table walk — the fused kernels want both).
+  void eval_with_deriv(double s, double* g, double* dg) const;
+
+  /// Same results from the blocked (SVE-style) layout.
+  void eval_blocked(double s, double* g) const;
+  void eval_with_deriv_blocked(double s, double* g, double* dg) const;
+
+  std::size_t extrapolations() const { return extrapolations_; }
+
+  /// Raw AoS coefficients [(interval * M + channel) * 6 + k] — consumed by
+  /// the single-precision table and by serialization.
+  const AlignedVector<double>& coefficients() const { return coef_; }
+
+  /// Binary (de)serialization — the shipped artifact of "dp compress".
+  void save(std::ostream& os) const;
+  static TabulatedEmbedding load(std::istream& is);
+
+ private:
+  /// Locates the segment and local coordinate for s.
+  std::size_t locate(double s, double& t) const;
+  /// Rebuilds the blocked (SVE-style) layout from the AoS coefficients.
+  void rebuild_blocked();
+
+  std::size_t m_ = 0;       // channels
+  std::size_t m_pad_ = 0;   // channels padded to a multiple of kLane
+  std::size_t n_ = 0;       // intervals
+  double lo_ = 0, hi_ = 1, h_ = 1, inv_h_ = 1;
+  AlignedVector<double> coef_;          // AoS: [(i * m + ch) * 6 + k]
+  AlignedVector<double> coef_blocked_;  // [(i * nblk + b) * 6 + k][lane]
+  mutable std::size_t extrapolations_ = 0;
+
+ public:
+  /// Lane width of the blocked layout: 16 structures per transpose group
+  /// (two 512-bit vectors of doubles), as chosen in the paper for the dual
+  /// FP pipelines of A64FX.
+  static constexpr std::size_t kLane = 16;
+};
+
+}  // namespace dp::tab

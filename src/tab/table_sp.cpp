@@ -1,0 +1,78 @@
+#include "tab/table_sp.hpp"
+
+namespace dp::tab {
+
+TabulatedEmbeddingSP::TabulatedEmbeddingSP(const TabulatedEmbedding& ref)
+    : m_(ref.output_dim()),
+      n_(ref.n_intervals()),
+      lo_(static_cast<float>(ref.lo())),
+      h_(static_cast<float>(ref.interval())),
+      inv_h_(1.0f / static_cast<float>(ref.interval())) {
+  const auto& src = ref.coefficients();
+  coef_.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) coef_[i] = static_cast<float>(src[i]);
+}
+
+void TabulatedEmbeddingSP::eval(float s, float* g) const {
+  float t;
+  const std::size_t i = locate(s, t);
+  const float* base = coef_.data() + i * m_ * 6;
+#pragma omp simd
+  for (std::size_t ch = 0; ch < m_; ++ch) {
+    const float* c = base + ch * 6;
+    g[ch] = c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
+  }
+}
+
+void TabulatedEmbeddingSP::eval_with_deriv(float s, float* g, float* dg) const {
+  float t;
+  const std::size_t i = locate(s, t);
+  const float* base = coef_.data() + i * m_ * 6;
+  for (std::size_t ch = 0; ch < m_; ++ch) {
+    const float* c = base + ch * 6;
+    g[ch] = c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
+    dg[ch] = c[1] + t * (2 * c[2] + t * (3 * c[3] + t * (4 * c[4] + t * 5 * c[5])));
+  }
+}
+
+TabulatedEmbeddingHP::TabulatedEmbeddingHP(const TabulatedEmbedding& ref)
+    : m_(ref.output_dim()),
+      n_(ref.n_intervals()),
+      lo_(static_cast<float>(ref.lo())),
+      h_(static_cast<float>(ref.interval())),
+      inv_h_(1.0f / static_cast<float>(ref.interval())) {
+  const auto& src = ref.coefficients();
+  coef_.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    coef_[i] = static_cast<half_t>(static_cast<float>(src[i]));
+}
+
+void TabulatedEmbeddingHP::eval(float s, float* g) const {
+  float t;
+  const std::size_t i = locate(s, t);
+  const half_t* base = coef_.data() + i * m_ * 6;
+  for (std::size_t ch = 0; ch < m_; ++ch) {
+    const half_t* c = base + ch * 6;
+    const float c0 = static_cast<float>(c[0]), c1 = static_cast<float>(c[1]),
+                c2 = static_cast<float>(c[2]), c3 = static_cast<float>(c[3]),
+                c4 = static_cast<float>(c[4]), c5 = static_cast<float>(c[5]);
+    g[ch] = c0 + t * (c1 + t * (c2 + t * (c3 + t * (c4 + t * c5))));
+  }
+}
+
+void TabulatedEmbeddingHP::eval_with_deriv(float s, float* g, float* dg) const {
+  float t;
+  const std::size_t i = locate(s, t);
+  const half_t* base = coef_.data() + i * m_ * 6;
+  for (std::size_t ch = 0; ch < m_; ++ch) {
+    const half_t* c = base + ch * 6;
+    const float c1 = static_cast<float>(c[1]), c2 = static_cast<float>(c[2]),
+                c3 = static_cast<float>(c[3]), c4 = static_cast<float>(c[4]),
+                c5 = static_cast<float>(c[5]);
+    g[ch] = static_cast<float>(c[0]) +
+            t * (c1 + t * (c2 + t * (c3 + t * (c4 + t * c5))));
+    dg[ch] = c1 + t * (2 * c2 + t * (3 * c3 + t * (4 * c4 + t * 5 * c5)));
+  }
+}
+
+}  // namespace dp::tab

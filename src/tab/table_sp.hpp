@@ -1,0 +1,86 @@
+// Single-precision coefficient table — the storage half of the paper's
+// mixed-precision variants (Table 1 lists mixed-single / mixed-half rows for
+// the baseline; making the *optimized* code mixed-precision is the paper's
+// stated future work, explored here).
+//
+// Coefficients are truncated to float; evaluation runs in float and is
+// reduced in double by the callers. Table memory halves.
+#pragma once
+
+#include "common/aligned.hpp"
+#include "tab/table.hpp"
+
+namespace dp::tab {
+
+class TabulatedEmbeddingSP {
+ public:
+  TabulatedEmbeddingSP() = default;
+  explicit TabulatedEmbeddingSP(const TabulatedEmbedding& ref);
+
+  std::size_t output_dim() const { return m_; }
+  std::size_t bytes() const { return coef_.size() * sizeof(float); }
+  double interval() const { return h_; }
+
+  /// g[0..M) in float.
+  void eval(float s, float* g) const;
+  void eval_with_deriv(float s, float* g, float* dg) const;
+
+ private:
+  std::size_t locate(float s, float& t) const {
+    float u = (s - lo_) * inv_h_;
+    std::size_t i;
+    if (u < 0.0f) {
+      i = 0;
+    } else if (u >= static_cast<float>(n_)) {
+      i = n_ - 1;
+    } else {
+      i = static_cast<std::size_t>(u);
+    }
+    t = s - (lo_ + h_ * static_cast<float>(i));
+    return i;
+  }
+
+  std::size_t m_ = 0, n_ = 0;
+  float lo_ = 0, h_ = 1, inv_h_ = 1;
+  AlignedVector<float> coef_;  // [(i * m + ch) * 6 + k]
+};
+
+/// Half-precision (IEEE fp16) coefficient storage — the analog of the
+/// paper's mixed-half arithmetic (Table 1). Coefficients are stored as
+/// _Float16 and widened to float for evaluation: another 2x memory saving
+/// over the single-precision table, at a visible accuracy cost (the paper:
+/// "the mixed-precision versions of code still has accuracy problems").
+class TabulatedEmbeddingHP {
+ public:
+  using half_t = _Float16;
+
+  TabulatedEmbeddingHP() = default;
+  explicit TabulatedEmbeddingHP(const TabulatedEmbedding& ref);
+
+  std::size_t output_dim() const { return m_; }
+  std::size_t bytes() const { return coef_.size() * sizeof(half_t); }
+
+  void eval(float s, float* g) const;
+  void eval_with_deriv(float s, float* g, float* dg) const;
+
+ private:
+  std::size_t locate(float s, float& t) const {
+    float u = (s - lo_) * inv_h_;
+    std::size_t i;
+    if (u < 0.0f) {
+      i = 0;
+    } else if (u >= static_cast<float>(n_)) {
+      i = n_ - 1;
+    } else {
+      i = static_cast<std::size_t>(u);
+    }
+    t = s - (lo_ + h_ * static_cast<float>(i));
+    return i;
+  }
+
+  std::size_t m_ = 0, n_ = 0;
+  float lo_ = 0, h_ = 1, inv_h_ = 1;
+  AlignedVector<half_t> coef_;
+};
+
+}  // namespace dp::tab

@@ -1,0 +1,40 @@
+#include "tab/tabulated_model.hpp"
+
+#include "common/error.hpp"
+#include "dp/switch_fn.hpp"
+
+namespace dp::tab {
+
+TabulatedDP::TabulatedDP(const core::DPModel& model, const TabulationSpec& spec)
+    : model_(model), spec_(spec) {
+  tables_.reserve(model.n_embedding_nets());
+  const int nt = model.config().ntypes;
+  if (model.config().type_one_side) {
+    for (int t = 0; t < nt; ++t) tables_.emplace_back(model.embedding(t), spec);
+  } else {
+    for (int c = 0; c < nt; ++c)
+      for (int t = 0; t < nt; ++t)
+        tables_.emplace_back(model.embedding_pair(c, t), spec);
+  }
+}
+
+TabulatedDP::TabulatedDP(const core::DPModel& model, const TabulationSpec& spec,
+                         std::vector<TabulatedEmbedding> tables)
+    : model_(model), spec_(spec), tables_(std::move(tables)) {
+  DP_CHECK_MSG(tables_.size() == model.n_embedding_nets(),
+               "one table per embedding net required");
+  for (const auto& t : tables_)
+    DP_CHECK_MSG(t.output_dim() == model.config().m(), "table/model width mismatch");
+}
+
+std::size_t TabulatedDP::total_bytes() const {
+  std::size_t b = 0;
+  for (const auto& t : tables_) b += t.bytes();
+  return b;
+}
+
+double TabulatedDP::s_max(const core::ModelConfig& cfg, double r_min) {
+  return core::switch_fn(r_min, cfg.rcut_smth, cfg.rcut).s;
+}
+
+}  // namespace dp::tab

@@ -1,0 +1,122 @@
+#include "train/dataset.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "md/eam.hpp"
+#include "md/lj.hpp"
+
+namespace dp::train {
+
+Dataset Dataset::lj_copper(int n_frames, int cells, double jitter, std::uint64_t seed) {
+  DP_CHECK(n_frames > 0);
+  Dataset out;
+  out.frames.reserve(static_cast<std::size_t>(n_frames));
+  md::LennardJones lj(0.4, 2.34, 4.5);
+  for (int f = 0; f < n_frames; ++f) {
+    Frame frame;
+    frame.sys = md::make_fcc(cells, cells, cells, 3.7, 63.546, jitter,
+                             seed + static_cast<std::uint64_t>(f) * 7919);
+    md::NeighborList nl(lj.cutoff(), 0.5);
+    nl.build(frame.sys.box, frame.sys.atoms.pos);
+    frame.energy = lj.compute(frame.sys.box, frame.sys.atoms, nl).energy;
+    frame.forces = frame.sys.atoms.force;
+    out.frames.push_back(std::move(frame));
+  }
+  return out;
+}
+
+Dataset Dataset::eam_copper(int n_frames, int cells, double jitter, std::uint64_t seed) {
+  DP_CHECK(n_frames > 0);
+  Dataset out;
+  out.frames.reserve(static_cast<std::size_t>(n_frames));
+  md::SuttonChen::Params p;
+  p.rcut = 6.0;  // shortened so 3-cell boxes satisfy the min-image bound
+  p.rcut_smth = 5.0;
+  md::SuttonChen eam(p);
+  for (int f = 0; f < n_frames; ++f) {
+    Frame frame;
+    frame.sys = md::make_fcc(cells, cells, cells, 3.61, 63.546, jitter,
+                             seed + static_cast<std::uint64_t>(f) * 7919);
+    md::NeighborList nl(eam.cutoff(), 0.5);
+    nl.build(frame.sys.box, frame.sys.atoms.pos);
+    frame.energy = eam.compute(frame.sys.box, frame.sys.atoms, nl).energy;
+    frame.forces = frame.sys.atoms.force;
+    out.frames.push_back(std::move(frame));
+  }
+  return out;
+}
+
+namespace {
+double angular_three_body_energy(const md::Box& box, const md::Atoms& atoms, double rc) {
+  md::NeighborList nl(rc, 0.3);
+  nl.build(box, atoms.pos);
+  double e = 0.0;
+  std::vector<Vec3> ds;
+  std::vector<double> rs;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    ds.clear();
+    rs.clear();
+    for (int j : nl.neighbors(i)) {
+      Vec3 d = box.min_image(atoms.pos[static_cast<std::size_t>(j)] - atoms.pos[i]);
+      const double r = norm(d);
+      if (r < rc) {
+        ds.push_back(d);
+        rs.push_back(r);
+      }
+    }
+    for (std::size_t a = 0; a < ds.size(); ++a)
+      for (std::size_t b = a + 1; b < ds.size(); ++b) {
+        const double h = std::pow(1.0 - rs[a] / rc, 2) * std::pow(1.0 - rs[b] / rc, 2);
+        const double ct = dot(ds[a], ds[b]) / (rs[a] * rs[b]);
+        // Tetrahedral-flavored minimum at cos theta = -1/3.
+        e += 0.5 * h * (ct + 1.0 / 3.0) * (ct + 1.0 / 3.0);
+      }
+  }
+  return e;
+}
+}  // namespace
+
+Dataset Dataset::angular_copper(int n_frames, int cells, double jitter, std::uint64_t seed,
+                                double rcut) {
+  DP_CHECK(n_frames > 0);
+  Dataset out;
+  out.frames.reserve(static_cast<std::size_t>(n_frames));
+  for (int f = 0; f < n_frames; ++f) {
+    Frame frame;
+    frame.sys = md::make_fcc(cells, cells, cells, 3.7, 63.546, jitter,
+                             seed + static_cast<std::uint64_t>(f) * 7919);
+    frame.energy = angular_three_body_energy(frame.sys.box, frame.sys.atoms, rcut);
+    out.frames.push_back(std::move(frame));
+  }
+  return out;
+}
+
+Dataset Dataset::split_holdout(int every_k) {
+  DP_CHECK(every_k >= 2);
+  Dataset held;
+  std::vector<Frame> kept;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i % static_cast<std::size_t>(every_k) == 0)
+      held.frames.push_back(std::move(frames[i]));
+    else
+      kept.push_back(std::move(frames[i]));
+  }
+  frames = std::move(kept);
+  return held;
+}
+
+void Dataset::energy_stats(double& mean_per_atom, double& stddev_per_atom) const {
+  DP_CHECK(!frames.empty());
+  double sum = 0, sum2 = 0;
+  for (const auto& f : frames) {
+    const double e = f.energy / static_cast<double>(f.sys.atoms.size());
+    sum += e;
+    sum2 += e * e;
+  }
+  const double n = static_cast<double>(frames.size());
+  mean_per_atom = sum / n;
+  stddev_per_atom = std::sqrt(std::max(0.0, sum2 / n - mean_per_atom * mean_per_atom));
+}
+
+}  // namespace dp::train

@@ -1,0 +1,59 @@
+// Training data for the energy model.
+//
+// DeePMD-kit trains on DFT-labelled frames; this library has no DFT, so the
+// reference labels come from the in-tree Lennard-Jones potential (see
+// DESIGN.md substitutions: the training machinery — not the physics of the
+// labels — is what is being reproduced). Frames are thermally disordered
+// lattice snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/lattice.hpp"
+
+namespace dp::train {
+
+struct Frame {
+  md::Configuration sys;
+  double energy = 0.0;            ///< reference total energy [eV]
+  std::vector<Vec3> forces;       ///< reference forces [eV/A]
+};
+
+struct Dataset {
+  std::vector<Frame> frames;
+
+  std::size_t size() const { return frames.size(); }
+
+  /// Disordered FCC frames labelled with Lennard-Jones energies.
+  /// `jitter` controls the configurational diversity.
+  static Dataset lj_copper(int n_frames, int cells = 3, double jitter = 0.15,
+                           std::uint64_t seed = 1234);
+
+  /// Disordered FCC frames labelled with the many-body Sutton-Chen EAM —
+  /// the more realistic copper reference (DP models exist to capture
+  /// exactly this kind of many-body PES).
+  static Dataset eam_copper(int n_frames, int cells = 3, double jitter = 0.15,
+                            std::uint64_t seed = 1234);
+
+  /// Disordered FCC frames labelled with a purely ANGULAR three-body
+  /// energy: sum over i, j<k of h(r_ij) h(r_ik) (cos theta_jik - c0)^2.
+  /// Energy labels only (no forces). In principle radial descriptors (BP
+  /// G2, se_r) cannot represent this surface while se_a can; in practice,
+  /// total-energy-only supervision at unit-test scale does not resolve the
+  /// difference (all models regress toward the ensemble mean), so this
+  /// generator is provided as a data utility for larger studies, not as a
+  /// shipped discriminating experiment.
+  static Dataset angular_copper(int n_frames, int cells = 2, double jitter = 0.25,
+                                std::uint64_t seed = 1234, double rcut = 4.0);
+
+  /// Deterministic split: every k-th frame goes to the returned held-out
+  /// set and is removed from this one.
+  Dataset split_holdout(int every_k);
+
+  /// Mean and variance of per-atom reference energies (for normalization
+  /// and for baseline "predict the mean" comparisons).
+  void energy_stats(double& mean_per_atom, double& stddev_per_atom) const;
+};
+
+}  // namespace dp::train

@@ -1,0 +1,57 @@
+#include "train/deviation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dp::train {
+
+ModelDeviation::ModelDeviation(std::vector<md::ForceField*> ensemble)
+    : ensemble_(std::move(ensemble)) {
+  DP_CHECK_MSG(ensemble_.size() >= 2, "model deviation needs at least two models");
+  for (auto* m : ensemble_) {
+    DP_CHECK(m != nullptr);
+    DP_CHECK_MSG(m->cutoff() == ensemble_.front()->cutoff(),
+                 "ensemble members must share one cutoff");
+  }
+}
+
+DeviationResult ModelDeviation::evaluate(const md::Box& box, const md::Atoms& atoms,
+                                         const md::NeighborList& nlist,
+                                         bool periodic) const {
+  const std::size_t n = atoms.size();
+  const std::size_t k = ensemble_.size();
+
+  std::vector<std::vector<Vec3>> forces(k);
+  std::vector<double> energies(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    md::Atoms work = atoms;  // each member evaluates the same frozen frame
+    energies[m] = ensemble_[m]->compute(box, work, nlist, periodic).energy /
+                  static_cast<double>(n);
+    forces[m] = work.force;
+  }
+
+  DeviationResult out;
+  double mean_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 mean{};
+    for (std::size_t m = 0; m < k; ++m) mean += forces[m][i];
+    mean *= 1.0 / static_cast<double>(k);
+    double var = 0.0;
+    for (std::size_t m = 0; m < k; ++m) var += norm2(forces[m][i] - mean);
+    const double dev = std::sqrt(var / static_cast<double>(k));
+    out.max_force_dev = std::max(out.max_force_dev, dev);
+    mean_acc += dev;
+  }
+  out.mean_force_dev = n > 0 ? mean_acc / static_cast<double>(n) : 0.0;
+
+  double e_mean = 0.0;
+  for (double e : energies) e_mean += e;
+  e_mean /= static_cast<double>(k);
+  double e_var = 0.0;
+  for (double e : energies) e_var += (e - e_mean) * (e - e_mean);
+  out.energy_dev = std::sqrt(e_var / static_cast<double>(k));
+  return out;
+}
+
+}  // namespace dp::train

@@ -1,0 +1,39 @@
+// Model deviation — the committee-disagreement metric of DP-GEN (the
+// paper's copper model was generated with it, Ref [40]): an ensemble of
+// models trained from different seeds predicts forces; the maximum standard
+// deviation over atoms flags configurations that need new first-principles
+// labels.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "md/force_field.hpp"
+
+namespace dp::train {
+
+struct DeviationResult {
+  double max_force_dev = 0.0;   ///< max over atoms of the force std-dev [eV/A]
+  double mean_force_dev = 0.0;  ///< mean over atoms
+  double energy_dev = 0.0;      ///< std-dev of per-atom energy across models
+};
+
+/// Evaluates every ensemble member on the same configuration and reduces
+/// the per-atom force spread. Members must share the cutoff.
+class ModelDeviation {
+ public:
+  explicit ModelDeviation(std::vector<md::ForceField*> ensemble);
+
+  DeviationResult evaluate(const md::Box& box, const md::Atoms& atoms,
+                           const md::NeighborList& nlist, bool periodic = true) const;
+
+  /// DP-GEN-style selection: candidate if lo <= max_force_dev < hi.
+  static bool is_candidate(const DeviationResult& r, double lo, double hi) {
+    return r.max_force_dev >= lo && r.max_force_dev < hi;
+  }
+
+ private:
+  std::vector<md::ForceField*> ensemble_;
+};
+
+}  // namespace dp::train

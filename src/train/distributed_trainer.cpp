@@ -1,0 +1,53 @@
+#include "train/distributed_trainer.hpp"
+
+#include <cmath>
+#include <mutex>
+
+namespace dp::train {
+
+DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
+                                         const Dataset& data, TrainConfig cfg, int epochs) {
+  DP_CHECK(nranks >= 1 && epochs >= 0 && !data.frames.empty());
+  DistributedTrainResult result;
+  result.epoch_rmse.resize(static_cast<std::size_t>(epochs));
+
+  std::mutex out_mu;
+  result.comm = par::run_parallel(nranks, [&](par::Communicator& comm) {
+    // Every rank trains a replica; replicas march in lockstep.
+    core::DPModel replica = model;
+    EnergyTrainer trainer(replica, cfg);
+
+    ModelGrads grads, scratch;
+    grads.init(replica);
+    scratch.init(replica);
+    const double n_frames = static_cast<double>(data.size());
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      grads.zero();
+      double se_local = 0.0;
+      for (std::size_t idx = static_cast<std::size_t>(comm.rank()); idx < data.size();
+           idx += static_cast<std::size_t>(comm.size())) {
+        se_local += accumulate_frame_gradients(replica, data.frames[idx], cfg,
+                                               1.0 / n_frames, grads, scratch);
+      }
+      // Global gradient + loss: one fused allreduce over the flat view.
+      std::vector<double> flat = grads.to_vector();
+      flat.push_back(se_local);
+      const auto total = comm.allreduce_sum(flat);
+      const double se_global = total.back();
+      std::vector<double> grad_global(total.begin(), total.end() - 1);
+      grads.from_vector(grad_global);
+      trainer.apply(grads);
+      if (comm.rank() == 0)
+        result.epoch_rmse[static_cast<std::size_t>(epoch)] = std::sqrt(se_global / n_frames);
+    }
+
+    if (comm.rank() == 0) {
+      std::lock_guard lock(out_mu);
+      model = replica;
+    }
+  });
+  return result;
+}
+
+}  // namespace dp::train

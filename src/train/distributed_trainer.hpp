@@ -1,0 +1,27 @@
+// Data-parallel training over minimpi: frames are sharded across ranks,
+// per-shard gradients are allreduce-summed, and every rank applies the same
+// optimizer step to its model replica — the standard synchronous
+// data-parallel scheme of distributed DNN training (the other half of the
+// paper's "HPC + AI" theme).
+#pragma once
+
+#include <vector>
+
+#include "parallel/minimpi.hpp"
+#include "train/trainer.hpp"
+
+namespace dp::train {
+
+struct DistributedTrainResult {
+  std::vector<double> epoch_rmse;  ///< global per-atom energy RMSE per epoch
+  par::CommStats comm;
+};
+
+/// Trains `model` in place for `epochs` full-batch passes on `nranks`
+/// in-process ranks. Deterministic shard split (round-robin by index);
+/// replicas stay synchronized because every rank sees the identical summed
+/// gradient and runs the identical optimizer state.
+DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
+                                         const Dataset& data, TrainConfig cfg, int epochs);
+
+}  // namespace dp::train

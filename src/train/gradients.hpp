@@ -1,0 +1,42 @@
+// Parameter gradients of the total energy — reverse mode through the whole
+// DP pipeline (fitting net -> descriptor adjoint -> embedding nets), the
+// training counterpart of the inference backward pass.
+#pragma once
+
+#include <vector>
+
+#include "dp/dp_model.hpp"
+#include "dp/env_mat.hpp"
+#include "md/neighbor.hpp"
+#include "nn/dense_layer.hpp"
+
+namespace dp::train {
+
+/// Gradient buffers mirroring a DPModel's parameters.
+struct ModelGrads {
+  std::vector<std::vector<nn::DenseLayer::Grads>> embed;  // [type][layer]
+  std::vector<std::vector<nn::DenseLayer::Grads>> fit;    // [type][layer]
+
+  void init(const core::DPModel& model);
+  void zero();
+  /// grads += other (mini-batch accumulation across threads/frames).
+  void add(const ModelGrads& other);
+  /// grads += factor * other.
+  void add_scaled(const ModelGrads& other, double factor);
+  double squared_norm() const;
+
+  /// Flat view for collectives (data-parallel training): values in a fixed
+  /// deterministic order.
+  std::vector<double> to_vector() const;
+  void from_vector(const std::vector<double>& flat);
+};
+
+/// Evaluates E_pred of one configuration and, when grads != nullptr,
+/// accumulates seed * dE/d(parameters). `seed` is dLoss/dE supplied by the
+/// loss function (two-pass usage: first call with grads = nullptr to get E,
+/// then with the loss derivative).
+double energy_with_gradients(const core::DPModel& model, const md::Box& box,
+                             const md::Atoms& atoms, const md::NeighborList& nlist,
+                             double seed = 1.0, ModelGrads* grads = nullptr);
+
+}  // namespace dp::train

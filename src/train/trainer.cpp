@@ -1,0 +1,164 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dp/baseline_model.hpp"
+
+namespace dp::train {
+
+EnergyTrainer::EnergyTrainer(core::DPModel& model, TrainConfig cfg)
+    : model_(model), cfg_(cfg), rng_(cfg.seed) {
+  m1_.init(model_);
+  m2_.init(model_);
+}
+
+namespace {
+/// Walks (parameters, gradient, moment1, moment2) in lockstep and applies
+/// one Adam step with bias correction.
+void adam_layer(nn::DenseLayer& layer, const nn::DenseLayer::Grads& g,
+                nn::DenseLayer::Grads& m1, nn::DenseLayer::Grads& m2,
+                const TrainConfig& c, double bias1, double bias2) {
+  auto update = [&](double* p, const double* gr, double* mo1, double* mo2, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      mo1[k] = c.beta1 * mo1[k] + (1.0 - c.beta1) * gr[k];
+      mo2[k] = c.beta2 * mo2[k] + (1.0 - c.beta2) * gr[k] * gr[k];
+      const double mhat = mo1[k] / bias1;
+      const double vhat = mo2[k] / bias2;
+      p[k] -= c.learning_rate * mhat / (std::sqrt(vhat) + c.epsilon);
+    }
+  };
+  update(layer.weights().data(), g.w.data(), m1.w.data(), m2.w.data(), g.w.size());
+  update(layer.bias().data(), g.b.data(), m1.b.data(), m2.b.data(), g.b.size());
+}
+}  // namespace
+
+void EnergyTrainer::apply_update(const ModelGrads& grads) {
+  ++step_;
+  const double bias1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(step_));
+  const int ntypes = model_.config().ntypes;
+  for (int t = 0; t < ntypes; ++t) {
+    auto& enet = model_.embedding(t);
+    for (std::size_t l = 0; l < enet.layers().size(); ++l)
+      adam_layer(enet.layers()[l], grads.embed[static_cast<std::size_t>(t)][l],
+                 m1_.embed[static_cast<std::size_t>(t)][l],
+                 m2_.embed[static_cast<std::size_t>(t)][l], cfg_, bias1, bias2);
+    auto& fnet = model_.fitting(t);
+    for (std::size_t l = 0; l < fnet.layers().size(); ++l)
+      adam_layer(fnet.layers()[l], grads.fit[static_cast<std::size_t>(t)][l],
+                 m1_.fit[static_cast<std::size_t>(t)][l],
+                 m2_.fit[static_cast<std::size_t>(t)][l], cfg_, bias1, bias2);
+  }
+}
+
+double accumulate_frame_gradients(core::DPModel& model, const Frame& frame,
+                                  const TrainConfig& cfg, double weight, ModelGrads& grads,
+                                  ModelGrads& scratch) {
+  const double n_atoms = static_cast<double>(frame.sys.atoms.size());
+  md::NeighborList nl(model.config().rcut, cfg.skin);
+  nl.build(frame.sys.box, frame.sys.atoms.pos);
+
+  // ---- Energy term: prediction, then gradient with the seed folded in.
+  const double e_pred = energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl);
+  const double delta = (e_pred - frame.energy) / n_atoms;
+  const double seed = cfg.pref_e * 2.0 * delta / n_atoms * weight;
+  if (cfg.pref_e > 0.0)
+    energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl, seed, &grads);
+
+  // ---- Force term: directional derivative of the parameter gradient
+  // along lambda = coefficient * (F_pred - F_ref).
+  if (cfg.pref_f > 0.0 && !frame.forces.empty()) {
+    core::BaselineDP ff(model);
+    md::Atoms atoms = frame.sys.atoms;
+    ff.compute(frame.sys.box, atoms, nl);
+    // lambda_i = (2 pref_f / 3N) (F_pred - F_ref); since F = -dE/dr,
+    // dL_F/dtheta = -d/dalpha g_theta(r + alpha lambda)|_0.
+    std::vector<Vec3> lambda(atoms.size());
+    const double coeff = 2.0 * cfg.pref_f / (3.0 * n_atoms) * weight;
+    double lmax = 0.0;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      lambda[i] = (atoms.force[i] - frame.forces[i]) * coeff;
+      lmax = std::max(lmax, norm(lambda[i]));
+    }
+    if (lmax > 0.0) {
+      const double eps = cfg.force_probe / lmax;
+      md::Atoms shifted = frame.sys.atoms;
+      auto probe = [&](double sign, double w) {
+        for (std::size_t i = 0; i < shifted.pos.size(); ++i)
+          shifted.pos[i] = frame.sys.atoms.pos[i] + lambda[i] * (sign * eps);
+        scratch.zero();
+        energy_with_gradients(model, frame.sys.box, shifted, nl, 1.0, &scratch);
+        grads.add_scaled(scratch, w);
+      };
+      // dL_F/dtheta = -[g(+eps) - g(-eps)] / (2 eps)  (FD-verified sign).
+      probe(+1.0, -1.0 / (2.0 * eps));
+      probe(-1.0, +1.0 / (2.0 * eps));
+    }
+  }
+  return delta * delta;
+}
+
+double EnergyTrainer::epoch(const Dataset& data) {
+  DP_CHECK(!data.frames.empty());
+  std::vector<std::size_t> order(data.frames.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng_.uniform_index(i)]);
+
+  ModelGrads batch_grads, probe_grads;
+  batch_grads.init(model_);
+  probe_grads.init(model_);
+
+  double se = 0.0;
+  std::size_t in_batch = 0;
+  batch_grads.zero();
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    se += accumulate_frame_gradients(model_, data.frames[order[idx]], cfg_,
+                                     1.0 / static_cast<double>(cfg_.batch_size),
+                                     batch_grads, probe_grads);
+    if (++in_batch == static_cast<std::size_t>(cfg_.batch_size) ||
+        idx + 1 == order.size()) {
+      apply_update(batch_grads);
+      batch_grads.zero();
+      in_batch = 0;
+    }
+  }
+  return std::sqrt(se / static_cast<double>(data.frames.size()));
+}
+
+double EnergyTrainer::evaluate_forces(const Dataset& data) const {
+  DP_CHECK(!data.frames.empty());
+  double sf = 0.0;
+  std::size_t n_total = 0;
+  for (const auto& frame : data.frames) {
+    DP_CHECK_MSG(!frame.forces.empty(), "dataset has no force labels");
+    md::NeighborList nl(model_.config().rcut, cfg_.skin);
+    nl.build(frame.sys.box, frame.sys.atoms.pos);
+    core::BaselineDP ff(model_);
+    md::Atoms atoms = frame.sys.atoms;
+    ff.compute(frame.sys.box, atoms, nl);
+    for (std::size_t i = 0; i < atoms.size(); ++i)
+      sf += norm2(atoms.force[i] - frame.forces[i]);
+    n_total += atoms.size();
+  }
+  return std::sqrt(sf / (3.0 * static_cast<double>(n_total)));
+}
+
+double EnergyTrainer::evaluate(const Dataset& data) const {
+  DP_CHECK(!data.frames.empty());
+  double se = 0.0;
+  for (const auto& frame : data.frames) {
+    md::NeighborList nl(model_.config().rcut, cfg_.skin);
+    nl.build(frame.sys.box, frame.sys.atoms.pos);
+    const double e_pred =
+        energy_with_gradients(model_, frame.sys.box, frame.sys.atoms, nl);
+    const double delta =
+        (e_pred - frame.energy) / static_cast<double>(frame.sys.atoms.size());
+    se += delta * delta;
+  }
+  return std::sqrt(se / static_cast<double>(data.frames.size()));
+}
+
+}  // namespace dp::train

@@ -1,0 +1,54 @@
+#include "common/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dp {
+namespace {
+
+TEST(KernelCost, Accumulation) {
+  KernelCost a{100.0, 10.0, 5.0};
+  KernelCost b{50.0, 20.0, 5.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops, 150.0);
+  EXPECT_DOUBLE_EQ(a.bytes_read, 30.0);
+  EXPECT_DOUBLE_EQ(a.bytes_written, 10.0);
+  EXPECT_DOUBLE_EQ(a.bytes_total(), 40.0);
+}
+
+TEST(KernelCost, Intensity) {
+  KernelCost c{200.0, 80.0, 20.0};
+  EXPECT_DOUBLE_EQ(c.intensity(), 2.0);
+  KernelCost zero;
+  EXPECT_DOUBLE_EQ(zero.intensity(), 0.0);
+}
+
+TEST(KernelCost, Scaling) {
+  KernelCost c{10.0, 4.0, 2.0};
+  KernelCost d = c * 3.0;
+  EXPECT_DOUBLE_EQ(d.flops, 30.0);
+  EXPECT_DOUBLE_EQ(d.bytes_read, 12.0);
+}
+
+TEST(CostRegistry, AddGetTotal) {
+  auto& reg = CostRegistry::instance();
+  reg.clear();
+  reg.add("gemm", {100.0, 50.0, 25.0});
+  reg.add("gemm", {100.0, 50.0, 25.0});
+  reg.add("tanh", {10.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(reg.get("gemm").flops, 200.0);
+  const auto t = reg.total();
+  EXPECT_DOUBLE_EQ(t.flops, 210.0);
+  EXPECT_DOUBLE_EQ(t.bytes_read, 105.0);
+  EXPECT_EQ(reg.entries().size(), 2u);
+  reg.clear();
+  EXPECT_DOUBLE_EQ(reg.total().flops, 0.0);
+}
+
+TEST(CostRegistry, MissingNameIsZero) {
+  auto& reg = CostRegistry::instance();
+  reg.clear();
+  EXPECT_DOUBLE_EQ(reg.get("nope").flops, 0.0);
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,109 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMomentsReasonable) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, GaussianMomentsReasonable) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sum2 = 0, sum4 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.15);  // normal kurtosis
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.gaussian(2.0, 3.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 9.0, 0.3);
+}
+
+TEST(Rng, UnitVectorIsUnitAndIsotropic) {
+  Rng rng(19);
+  const int n = 50000;
+  Vec3 mean{};
+  for (int i = 0; i < n; ++i) {
+    Vec3 u = rng.unit_vector();
+    EXPECT_NEAR(norm(u), 1.0, 1e-12);
+    mean += u;
+  }
+  mean *= 1.0 / n;
+  EXPECT_NEAR(norm(mean), 0.0, 0.02);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(29);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace dp

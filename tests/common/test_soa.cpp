@@ -1,0 +1,70 @@
+#include "common/soa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dp {
+namespace {
+
+std::vector<double> random_aos(std::size_t n, std::size_t width, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n * width);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(Soa, ReferenceTransposeIsCorrect) {
+  const std::size_t n = 5, w = 3;
+  std::vector<double> aos(n * w);
+  for (std::size_t i = 0; i < aos.size(); ++i) aos[i] = static_cast<double>(i);
+  std::vector<double> soa(n * w);
+  aos_to_soa_reference(aos.data(), soa.data(), n, w);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < w; ++c) EXPECT_DOUBLE_EQ(soa[c * n + i], aos[i * w + c]);
+}
+
+TEST(Soa, ReferenceRoundTrip) {
+  const std::size_t n = 17, w = 7;
+  auto aos = random_aos(n, w, 1);
+  std::vector<double> soa(n * w), back(n * w);
+  aos_to_soa_reference(aos.data(), soa.data(), n, w);
+  soa_to_aos_reference(soa.data(), back.data(), n, w);
+  EXPECT_EQ(aos, back);
+}
+
+TEST(Soa, BlockedDerivMatchesReference) {
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 100u, 137u}) {
+    auto aos = random_aos(n, kDerivWidth, 2 + n);
+    std::vector<double> want(n * kDerivWidth), got(n * kDerivWidth);
+    aos_to_soa_reference(aos.data(), want.data(), n, kDerivWidth);
+    aos_to_soa_deriv(aos.data(), got.data(), n);
+    EXPECT_EQ(want, got) << "n=" << n;
+  }
+}
+
+TEST(Soa, BlockedDerivRoundTrip) {
+  for (std::size_t n : {8u, 24u, 129u}) {
+    auto aos = random_aos(n, kDerivWidth, 77 + n);
+    std::vector<double> soa(n * kDerivWidth), back(n * kDerivWidth);
+    aos_to_soa_deriv(aos.data(), soa.data(), n);
+    soa_to_aos_deriv(soa.data(), back.data(), n);
+    EXPECT_EQ(aos, back) << "n=" << n;
+  }
+}
+
+TEST(Soa, BlockedInverseMatchesReference) {
+  const std::size_t n = 41;
+  auto aos = random_aos(n, kDerivWidth, 5);
+  std::vector<double> soa(n * kDerivWidth);
+  aos_to_soa_reference(aos.data(), soa.data(), n, kDerivWidth);
+  std::vector<double> want(n * kDerivWidth), got(n * kDerivWidth);
+  soa_to_aos_reference(soa.data(), want.data(), n, kDerivWidth);
+  soa_to_aos_deriv(soa.data(), got.data(), n);
+  EXPECT_EQ(want, got);
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,91 @@
+#include "common/tanh_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dp {
+namespace {
+
+TEST(TanhTable, DefaultAccuracyBelowPaperBound) {
+  // The paper (Sec 3.5.3) reports ~1e-7 error for the tabulated tanh. The
+  // scheme's error floor is the saturation jump 1 - tanh(8) = 2.25e-7 at the
+  // x_max = 8 cutoff the paper prescribes; the interpolation error proper is
+  // well below it.
+  EXPECT_LT(default_tanh_table().measured_max_error(), 2.5e-7);
+}
+
+TEST(TanhTable, InterpolationErrorWellBelowSaturationFloor) {
+  // Probe strictly inside [0, 7.5]: pure interpolation error, no cutoff.
+  const auto& t = default_tanh_table();
+  double max_err = 0.0;
+  for (int i = 0; i <= 10000; ++i) {
+    const double x = 7.5 * i / 10000.0;
+    max_err = std::max(max_err, std::fabs(t.eval(x) - std::tanh(x)));
+  }
+  EXPECT_LT(max_err, 2.0e-8);
+}
+
+TEST(TanhTable, OddSymmetry) {
+  const auto& t = default_tanh_table();
+  for (double x : {0.1, 0.7, 1.9, 3.3, 7.99}) {
+    EXPECT_DOUBLE_EQ(t.eval(-x), -t.eval(x));
+  }
+}
+
+TEST(TanhTable, SaturatesBeyondXMax) {
+  const auto& t = default_tanh_table();
+  EXPECT_DOUBLE_EQ(t.eval(8.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.eval(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.eval(-8.0), -1.0);
+  EXPECT_DOUBLE_EQ(t.eval(-1e9), -1.0);
+}
+
+TEST(TanhTable, ZeroIsExact) {
+  EXPECT_DOUBLE_EQ(default_tanh_table().eval(0.0), 0.0);
+}
+
+TEST(TanhTable, ErrorShrinksWithMoreIntervals) {
+  const TanhTable coarse(8.0, 64);
+  const TanhTable mid(8.0, 256);
+  const TanhTable fine(8.0, 2048);
+  const double ec = coarse.measured_max_error();
+  const double em = mid.measured_max_error();
+  const double ef = fine.measured_max_error();
+  EXPECT_GT(ec, em);
+  EXPECT_GT(em, ef);
+  // Quadratic interpolation converges as h^3: 4x finer -> ~64x smaller.
+  EXPECT_LT(em, ec / 30.0);
+}
+
+TEST(TanhTable, DerivativeMatchesSech2) {
+  const auto& t = default_tanh_table();
+  for (double x : {-3.0, -0.5, 0.0, 0.4, 1.5, 6.0}) {
+    const double exact = 1.0 - std::tanh(x) * std::tanh(x);
+    EXPECT_NEAR(t.deriv(x), exact, 1e-6);
+  }
+}
+
+TEST(TanhTable, BatchMatchesScalar) {
+  const auto& t = default_tanh_table();
+  std::vector<double> x, y;
+  for (int i = -50; i <= 50; ++i) x.push_back(0.21 * i);
+  y.resize(x.size());
+  t.eval_batch(x.data(), y.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], t.eval(x[i]));
+}
+
+TEST(TanhTable, ContinuousAcrossNodes) {
+  const TanhTable t(8.0, 128);
+  const double h = 8.0 / 128;
+  for (int k = 1; k < 128; ++k) {
+    const double x = k * h;
+    const double below = t.eval(x - 1e-12);
+    const double above = t.eval(x + 1e-12);
+    EXPECT_NEAR(below, above, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,77 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dp {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+}
+
+TEST(WallTimer, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.01);
+}
+
+TEST(TimerRegistry, AccumulatesNamedSections) {
+  auto& reg = TimerRegistry::instance();
+  reg.clear();
+  reg.add("alpha", 0.5);
+  reg.add("alpha", 0.25);
+  reg.add("beta", 1.0);
+  const auto a = reg.get("alpha");
+  EXPECT_DOUBLE_EQ(a.total_seconds, 0.75);
+  EXPECT_EQ(a.calls, 2u);
+  EXPECT_DOUBLE_EQ(a.mean_seconds(), 0.375);
+  EXPECT_DOUBLE_EQ(reg.get("beta").total_seconds, 1.0);
+  EXPECT_EQ(reg.get("missing").calls, 0u);
+}
+
+TEST(TimerRegistry, SortedByTotal) {
+  auto& reg = TimerRegistry::instance();
+  reg.clear();
+  reg.add("small", 0.1);
+  reg.add("large", 2.0);
+  reg.add("mid", 0.5);
+  const auto sorted = reg.sorted_by_total();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "large");
+  EXPECT_EQ(sorted[2].first, "small");
+}
+
+TEST(ScopedTimer, ReportsOnDestruction) {
+  auto& reg = TimerRegistry::instance();
+  reg.clear();
+  {
+    ScopedTimer t("scoped_section");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto s = reg.get("scoped_section");
+  EXPECT_EQ(s.calls, 1u);
+  EXPECT_GT(s.total_seconds, 0.003);
+}
+
+TEST(TimePerCall, ReturnsPositivePerCallTime) {
+  volatile double sink = 0.0;
+  const double per_call = time_per_call(
+      [&] {
+        double s = 0;
+        for (int i = 0; i < 1000; ++i) s += i * 0.5;
+        sink = s;
+      },
+      0.01, 100000);
+  EXPECT_GT(per_call, 0.0);
+  EXPECT_LT(per_call, 0.1);
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,89 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace dp {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  Vec3 c = a + b;
+  EXPECT_DOUBLE_EQ(c.x, 5);
+  EXPECT_DOUBLE_EQ(c.y, 7);
+  EXPECT_DOUBLE_EQ(c.z, 9);
+  c = b - a;
+  EXPECT_DOUBLE_EQ(c.x, 3);
+  c = a * 2.0;
+  EXPECT_DOUBLE_EQ(c.z, 6);
+  c = -a;
+  EXPECT_DOUBLE_EQ(c.x, -1);
+}
+
+TEST(Vec3, DotCrossNorm) {
+  Vec3 a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+  Vec3 c = cross(a, b);
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec3{3, 4, 0}), 25.0);
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(a[0], 1);
+  EXPECT_DOUBLE_EQ(a[1], 2);
+  EXPECT_DOUBLE_EQ(a[2], 3);
+  a[1] = 7;
+  EXPECT_DOUBLE_EQ(a.y, 7);
+}
+
+TEST(Mat3, IdentityAndMultiply) {
+  Mat3 I = Mat3::identity();
+  Vec3 v{1, 2, 3};
+  Vec3 w = I * v;
+  EXPECT_DOUBLE_EQ(w.x, 1);
+  EXPECT_DOUBLE_EQ(w.y, 2);
+  EXPECT_DOUBLE_EQ(w.z, 3);
+  Mat3 II = I * I;
+  EXPECT_DOUBLE_EQ(II.trace(), 3.0);
+}
+
+TEST(Mat3, OuterProductTrace) {
+  Vec3 a{1, 2, 3};
+  Mat3 M = outer(a, a);
+  EXPECT_DOUBLE_EQ(M.trace(), norm2(a));
+  EXPECT_DOUBLE_EQ(M(0, 1), M(1, 0));
+}
+
+TEST(Mat3, TransposeRoundTrip) {
+  Mat3 M;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) M(r, c) = static_cast<double>(3 * r + c);
+  Mat3 T = M.transposed().transposed();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(T(r, c), M(r, c));
+}
+
+TEST(Rotation, PreservesNormAndOrthogonal) {
+  Mat3 R = rotation({1, 1, 1}, 0.7);
+  Vec3 v{0.3, -1.2, 2.5};
+  EXPECT_NEAR(norm(R * v), norm(v), 1e-12);
+  Mat3 RtR = R.transposed() * R;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(RtR(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Rotation, QuarterTurnAboutZ) {
+  Mat3 R = rotation({0, 0, 1}, std::numbers::pi / 2);
+  Vec3 v = R * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,244 @@
+#include "dp/baseline_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+
+namespace dp::core {
+namespace {
+
+md::Configuration jittered_copper() {
+  return md::make_fcc(4, 4, 4, 3.634, 63.546, /*jitter=*/0.1, 21);
+}
+
+/// An isolated cluster in a huge box: lets us test rotations, which periodic
+/// boundaries would otherwise break.
+md::Configuration random_cluster(int n, int ntypes, std::uint64_t seed) {
+  md::Configuration sys;
+  sys.box = md::Box(100, 100, 100);
+  sys.atoms.mass_by_type.assign(static_cast<std::size_t>(ntypes), 10.0);
+  Rng rng(seed);
+  const Vec3 center{50, 50, 50};
+  for (int i = 0; i < n; ++i) {
+    // Rejection-free: uniform in a ball of radius 4, min spacing enforced.
+    for (;;) {
+      Vec3 r = center + rng.unit_vector() * (4.0 * std::cbrt(rng.uniform()));
+      bool ok = true;
+      for (const auto& p : sys.atoms.pos)
+        if (norm(p - r) < 0.8) ok = false;
+      if (ok) {
+        sys.atoms.add(r, static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(ntypes))));
+        break;
+      }
+    }
+  }
+  return sys;
+}
+
+struct Evaluated {
+  double energy;
+  std::vector<Vec3> forces;
+  Mat3 virial;
+  std::vector<double> atom_e;
+};
+
+Evaluated evaluate(const DPModel& model, md::Configuration& sys, double skin = 1.0) {
+  BaselineDP ff(model);
+  md::NeighborList nl(ff.cutoff(), skin);
+  nl.build(sys.box, sys.atoms.pos);
+  auto res = ff.compute(sys.box, sys.atoms, nl);
+  return {res.energy, sys.atoms.force, res.virial, ff.atom_energies()};
+}
+
+TEST(BaselineDP, Deterministic) {
+  DPModel model(ModelConfig::tiny(), 5);
+  auto sys = jittered_copper();
+  auto a = evaluate(model, sys);
+  auto b = evaluate(model, sys);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  for (std::size_t i = 0; i < a.forces.size(); ++i)
+    EXPECT_DOUBLE_EQ(norm(a.forces[i] - b.forces[i]), 0.0);
+}
+
+TEST(BaselineDP, EnergyIsSumOfAtomEnergies) {
+  DPModel model(ModelConfig::tiny(), 5);
+  auto sys = jittered_copper();
+  auto r = evaluate(model, sys);
+  const double sum = std::accumulate(r.atom_e.begin(), r.atom_e.end(), 0.0);
+  EXPECT_NEAR(r.energy, sum, 1e-10);
+}
+
+TEST(BaselineDP, ForcesAreNegativeGradient) {
+  DPModel model(ModelConfig::tiny(), 6);
+  auto sys = jittered_copper();
+  BaselineDP ff(model);
+  md::NeighborList nl(ff.cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  ff.compute(sys.box, sys.atoms, nl);
+  const auto forces = sys.atoms.force;
+
+  const double h = 1e-6;
+  for (std::size_t i : {0ul, 13ul, 100ul}) {
+    for (int d = 0; d < 3; ++d) {
+      const Vec3 pos0 = sys.atoms.pos[i];
+      sys.atoms.pos[i][d] = pos0[d] + h;
+      const double ep = ff.compute(sys.box, sys.atoms, nl).energy;
+      sys.atoms.pos[i][d] = pos0[d] - h;
+      const double em = ff.compute(sys.box, sys.atoms, nl).energy;
+      sys.atoms.pos[i] = pos0;
+      EXPECT_NEAR(forces[i][d], -(ep - em) / (2 * h), 2e-6) << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(BaselineDP, ForcesAreNegativeGradientTwoTypes) {
+  ModelConfig cfg = ModelConfig::tiny(2);
+  DPModel model(cfg, 7);
+  auto sys = md::make_water(1, 1, 1, 8);
+  BaselineDP ff(model);
+  md::NeighborList nl(ff.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  ff.compute(sys.box, sys.atoms, nl);
+  const auto forces = sys.atoms.force;
+
+  const double h = 1e-6;
+  for (std::size_t i : {0ul, 1ul, 50ul}) {
+    for (int d = 0; d < 3; ++d) {
+      const Vec3 pos0 = sys.atoms.pos[i];
+      sys.atoms.pos[i][d] = pos0[d] + h;
+      const double ep = ff.compute(sys.box, sys.atoms, nl).energy;
+      sys.atoms.pos[i][d] = pos0[d] - h;
+      const double em = ff.compute(sys.box, sys.atoms, nl).energy;
+      sys.atoms.pos[i] = pos0;
+      EXPECT_NEAR(forces[i][d], -(ep - em) / (2 * h), 2e-6) << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(BaselineDP, NewtonThirdLaw) {
+  DPModel model(ModelConfig::tiny(), 8);
+  auto sys = jittered_copper();
+  auto r = evaluate(model, sys);
+  Vec3 total{};
+  for (const auto& f : r.forces) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-9);
+}
+
+TEST(BaselineDP, TranslationInvariance) {
+  DPModel model(ModelConfig::tiny(), 9);
+  auto sys = jittered_copper();
+  auto base = evaluate(model, sys);
+
+  md::Configuration shifted = sys;
+  const Vec3 t{1.37, -0.52, 2.9};
+  for (auto& r : shifted.atoms.pos) r = shifted.box.wrap(r + t);
+  auto moved = evaluate(model, shifted);
+
+  EXPECT_NEAR(base.energy, moved.energy, 1e-9);
+  for (std::size_t i = 0; i < base.forces.size(); ++i)
+    EXPECT_NEAR(norm(base.forces[i] - moved.forces[i]), 0.0, 1e-9);
+}
+
+TEST(BaselineDP, PermutationInvariance) {
+  DPModel model(ModelConfig::tiny(2), 10);
+  auto sys = random_cluster(24, 2, 11);
+  auto base = evaluate(model, sys);
+
+  // Reverse atom order (a permutation that also mixes the types).
+  md::Configuration perm = sys;
+  std::reverse(perm.atoms.pos.begin(), perm.atoms.pos.end());
+  std::reverse(perm.atoms.type.begin(), perm.atoms.type.end());
+  auto permuted = evaluate(model, perm);
+
+  EXPECT_NEAR(base.energy, permuted.energy, 1e-9);
+  const std::size_t n = sys.atoms.size();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(norm(base.forces[i] - permuted.forces[n - 1 - i]), 0.0, 1e-9);
+}
+
+TEST(BaselineDP, RotationInvarianceAndCovariantForces) {
+  DPModel model(ModelConfig::tiny(), 12);
+  auto sys = random_cluster(20, 1, 13);
+  auto base = evaluate(model, sys);
+
+  Rng rng(14);
+  const Mat3 R = rotation(rng.unit_vector(), 1.234);
+  const Vec3 c{50, 50, 50};
+  md::Configuration rotated = sys;
+  for (auto& r : rotated.atoms.pos) r = c + R * (r - c);
+  auto rot = evaluate(model, rotated);
+
+  EXPECT_NEAR(base.energy, rot.energy, 1e-9);
+  for (std::size_t i = 0; i < base.forces.size(); ++i) {
+    const Vec3 expected = R * base.forces[i];
+    EXPECT_NEAR(norm(expected - rot.forces[i]), 0.0, 1e-9) << "atom " << i;
+  }
+}
+
+TEST(BaselineDP, VirialMatchesStrainDerivative) {
+  DPModel model(ModelConfig::tiny(), 15);
+  auto sys = jittered_copper();
+  auto base = evaluate(model, sys, 1.5);
+
+  const double h = 1e-6;
+  auto energy_scaled = [&](double s) {
+    md::Configuration scaled = sys;
+    scaled.box = md::Box(sys.box.lengths() * s);
+    for (auto& r : scaled.atoms.pos) r *= s;
+    return evaluate(model, scaled, 1.5).energy;
+  };
+  const double dE_ds = (energy_scaled(1 + h) - energy_scaled(1 - h)) / (2 * h);
+  EXPECT_NEAR(base.virial.trace(), -dE_ds, 1e-4 * std::max(1.0, std::abs(dE_ds)));
+}
+
+TEST(BaselineDP, EnvKernelChoiceDoesNotChangeResults) {
+  DPModel model(ModelConfig::tiny(), 16);
+  auto sys = jittered_copper();
+  BaselineDP opt(model, EnvMatKernel::Optimized);
+  BaselineDP ref(model, EnvMatKernel::Baseline);
+  md::NeighborList nl(opt.cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  const double e_opt = opt.compute(sys.box, sys.atoms, nl).energy;
+  const double e_ref = ref.compute(sys.box, sys.atoms, nl).energy;
+  EXPECT_DOUBLE_EQ(e_opt, e_ref);
+}
+
+TEST(BaselineDP, MaterializesEmbeddingMatrix) {
+  // The baseline's defining trait: G (n x N_m x M) lives in memory.
+  DPModel model(ModelConfig::tiny(), 17);
+  auto sys = jittered_copper();
+  BaselineDP ff(model);
+  md::NeighborList nl(ff.cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  ff.compute(sys.box, sys.atoms, nl);
+  const auto& cfg = model.config();
+  const std::size_t g_bytes =
+      sys.atoms.size() * static_cast<std::size_t>(cfg.nm()) * cfg.m() * sizeof(double);
+  EXPECT_GE(ff.embedding_bytes(), g_bytes);
+}
+
+TEST(BaselineDP, NveEnergyConservation) {
+  // The full pipeline (env mat + nets + backward) must integrate stably.
+  DPModel model(ModelConfig::tiny(), 18);
+  auto sys = md::make_fcc(4, 4, 4, 3.634, 63.546, 0.02, 19);
+  BaselineDP ff(model);
+  md::SimulationConfig sc;
+  sc.dt = 0.0005;
+  sc.steps = 60;
+  sc.temperature = 100.0;
+  sc.thermo_every = 10;
+  sc.skin = 1.0;
+  md::Simulation sim(sys, ff, sc);
+  const auto& trace = sim.run();
+  const double e0 = trace.front().total();
+  double scale = std::max(1.0, std::abs(e0));
+  for (const auto& s : trace) EXPECT_NEAR(s.total(), e0, 1e-5 * scale) << "step " << s.step;
+}
+
+}  // namespace
+}  // namespace dp::core

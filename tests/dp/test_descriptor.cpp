@@ -1,0 +1,103 @@
+#include "dp/descriptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dp::core {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+TEST(Descriptor, ForwardMatchesNaive) {
+  const std::size_t m = 12, ms = 5;
+  auto a = random_vec(4 * m, 1);
+  std::vector<double> d(ms * m);
+  descriptor_forward(a.data(), m, ms, d.data());
+  for (std::size_t p = 0; p < ms; ++p)
+    for (std::size_t q = 0; q < m; ++q) {
+      double want = 0;
+      for (std::size_t c = 0; c < 4; ++c) want += a[c * m + p] * a[c * m + q];
+      EXPECT_NEAR(d[p * m + q], want, 1e-13);
+    }
+}
+
+TEST(Descriptor, FullSubMatrixIsSymmetric) {
+  // With m_sub == m, D = A^T A is symmetric positive semidefinite.
+  const std::size_t m = 8;
+  auto a = random_vec(4 * m, 2);
+  std::vector<double> d(m * m);
+  descriptor_forward(a.data(), m, m, d.data());
+  for (std::size_t p = 0; p < m; ++p) {
+    EXPECT_GE(d[p * m + p], 0.0);
+    for (std::size_t q = 0; q < m; ++q) EXPECT_NEAR(d[p * m + q], d[q * m + p], 1e-13);
+  }
+}
+
+TEST(Descriptor, BackwardMatchesFiniteDifference) {
+  const std::size_t m = 10, ms = 4;
+  auto a = random_vec(4 * m, 3);
+  auto g_d = random_vec(ms * m, 4);
+
+  std::vector<double> g_a(4 * m);
+  descriptor_backward(a.data(), g_d.data(), m, ms, g_a.data());
+
+  auto objective = [&](const std::vector<double>& amat) {
+    std::vector<double> d(ms * m);
+    descriptor_forward(amat.data(), m, ms, d.data());
+    double j = 0;
+    for (std::size_t k = 0; k < d.size(); ++k) j += g_d[k] * d[k];
+    return j;
+  };
+
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < 4 * m; ++k) {
+    auto ap = a, am = a;
+    ap[k] += h;
+    am[k] -= h;
+    EXPECT_NEAR(g_a[k], (objective(ap) - objective(am)) / (2 * h), 1e-7) << "k=" << k;
+  }
+}
+
+TEST(Descriptor, ZeroAGivesZeroDescriptorAndGradient) {
+  const std::size_t m = 6, ms = 3;
+  std::vector<double> a(4 * m, 0.0), d(ms * m, 99.0), g_d(ms * m, 1.0), g_a(4 * m, 99.0);
+  descriptor_forward(a.data(), m, ms, d.data());
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 0.0);
+  descriptor_backward(a.data(), g_d.data(), m, ms, g_a.data());
+  for (double v : g_a) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Descriptor, RotationInvarianceOfA) {
+  // D depends on A only through A^T A over the 3 directional rows + the
+  // scalar row; rotating the 3 directional rows of A leaves D unchanged.
+  const std::size_t m = 8, ms = 4;
+  auto a = random_vec(4 * m, 5);
+  Rng rng(6);
+  const Mat3 R = rotation(rng.unit_vector(), 0.83);
+
+  std::vector<double> a_rot(4 * m);
+  // Row 0 (the s-row) is invariant; rows 1..3 rotate as a vector.
+  for (std::size_t q = 0; q < m; ++q) {
+    a_rot[q] = a[q];
+    Vec3 v{a[1 * m + q], a[2 * m + q], a[3 * m + q]};
+    Vec3 w = R * v;
+    a_rot[1 * m + q] = w.x;
+    a_rot[2 * m + q] = w.y;
+    a_rot[3 * m + q] = w.z;
+  }
+  std::vector<double> d0(ms * m), d1(ms * m);
+  descriptor_forward(a.data(), m, ms, d0.data());
+  descriptor_forward(a_rot.data(), m, ms, d1.data());
+  for (std::size_t k = 0; k < d0.size(); ++k) EXPECT_NEAR(d0[k], d1[k], 1e-12);
+}
+
+}  // namespace
+}  // namespace dp::core

@@ -1,0 +1,162 @@
+// Edge cases and randomized property fuzzing across the inference paths:
+// isolated atoms (zero neighbors), single-atom systems, sparse gases, and
+// random (configuration, model) draws all satisfying force-gradient
+// consistency.
+#include <gtest/gtest.h>
+
+#include "dp/baseline_model.hpp"
+#include "fused/fused_model.hpp"
+#include "md/lattice.hpp"
+#include "tab/compressed_model.hpp"
+
+namespace dp {
+namespace {
+
+using core::BaselineDP;
+using core::DPModel;
+using core::ModelConfig;
+using fused::FusedDP;
+using tab::TabulatedDP;
+using tab::TabulationSpec;
+
+TEST(EdgeCases, IsolatedAtomHasFiniteEnergyAndZeroForce) {
+  DPModel model(ModelConfig::tiny(), 1);
+  TabulatedDP tab(model, {0.0, TabulatedDP::s_max(model.config(), 0.9), 0.01});
+  md::Configuration sys;
+  sys.box = md::Box(50, 50, 50);
+  sys.atoms.mass_by_type = {63.546};
+  sys.atoms.add({25, 25, 25}, 0);
+
+  for (int which = 0; which < 2; ++which) {
+    std::unique_ptr<md::ForceField> ff;
+    if (which == 0)
+      ff = std::make_unique<BaselineDP>(model);
+    else
+      ff = std::make_unique<FusedDP>(tab);
+    md::NeighborList nl(ff->cutoff(), 1.0);
+    nl.build(sys.box, sys.atoms.pos);
+    const auto res = ff->compute(sys.box, sys.atoms, nl);
+    EXPECT_TRUE(std::isfinite(res.energy)) << "path " << which;
+    EXPECT_NEAR(norm(sys.atoms.force[0]), 0.0, 1e-12) << "path " << which;
+  }
+}
+
+TEST(EdgeCases, IsolatedAtomEnergiesAgreeAcrossPaths) {
+  // Zero neighbors: baseline feeds the all-padded environment through the
+  // net; fused skips everything. Both must produce the same fit(D = 0).
+  DPModel model(ModelConfig::tiny(), 2);
+  TabulatedDP tab(model, {0.0, TabulatedDP::s_max(model.config(), 0.9), 0.005});
+  md::Configuration sys;
+  sys.box = md::Box(50, 50, 50);
+  sys.atoms.mass_by_type = {1.0};
+  sys.atoms.add({10, 10, 10}, 0);
+  BaselineDP base(model);
+  FusedDP fusedp(tab);
+  md::NeighborList nl(base.cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  md::Atoms a = sys.atoms, b = sys.atoms;
+  EXPECT_NEAR(base.compute(sys.box, a, nl).energy, fusedp.compute(sys.box, b, nl).energy,
+              1e-12);
+}
+
+TEST(EdgeCases, TwoDistantAtomsDoNotInteract) {
+  DPModel model(ModelConfig::tiny(), 3);
+  TabulatedDP tab(model, {0.0, TabulatedDP::s_max(model.config(), 0.9), 0.01});
+  FusedDP ff(tab);
+  md::Configuration sys;
+  sys.box = md::Box(60, 60, 60);
+  sys.atoms.mass_by_type = {1.0};
+  sys.atoms.add({10, 10, 10}, 0);
+  sys.atoms.add({40, 40, 40}, 0);
+  md::NeighborList nl(ff.cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  const double e2 = ff.compute(sys.box, sys.atoms, nl).energy;
+
+  md::Configuration lone = sys;
+  lone.atoms.resize(1);
+  md::NeighborList nl1(ff.cutoff(), 1.0);
+  nl1.build(lone.box, lone.atoms.pos);
+  const double e1 = ff.compute(lone.box, lone.atoms, nl1).energy;
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+}
+
+TEST(EdgeCases, NeighborOverflowIsCountedAndBounded) {
+  ModelConfig cfg = ModelConfig::tiny();
+  cfg.sel = {3};  // far fewer slots than real neighbors
+  DPModel model(cfg, 4);
+  TabulatedDP tab(model, {0.0, TabulatedDP::s_max(cfg, 0.9), 0.01});
+  FusedDP ff(tab);
+  auto sys = md::make_fcc(4, 4, 4, 3.634, 63.546, 0.05, 5);
+  md::NeighborList nl(ff.cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  const auto res = ff.compute(sys.box, sys.atoms, nl);
+  EXPECT_TRUE(std::isfinite(res.energy));
+  EXPECT_GT(ff.env().overflow, 0u);
+  // With the distance sort, exactly the 3 closest neighbors fill each block.
+  for (std::size_t i = 0; i < sys.atoms.size(); ++i)
+    EXPECT_EQ(ff.env().count(i, 0), 3);
+}
+
+// Randomized property fuzz: arbitrary small gases and model shapes must all
+// pass the force-gradient check on every path.
+class FuzzProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzProperties, ForcesMatchGradientOnRandomSystems) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+
+  ModelConfig cfg = ModelConfig::tiny(1 + static_cast<int>(rng.uniform_index(2)));
+  cfg.rcut = rng.uniform(3.0, 5.0);
+  cfg.rcut_smth = rng.uniform(0.3, 0.8) * cfg.rcut;
+  const auto d1 = static_cast<std::size_t>(2 + rng.uniform_index(4));
+  cfg.embed_widths = {d1, 2 * d1, 4 * d1};
+  cfg.axis_neuron = 1 + rng.uniform_index(4);
+  DPModel model(cfg, seed * 13 + 1);
+  TabulatedDP tab(model, {0.0, TabulatedDP::s_max(cfg, 0.8), 0.01});
+
+  // Random gas with a minimum-distance floor (keeps s in the table domain).
+  md::Configuration sys;
+  const double L = 22.0;
+  sys.box = md::Box(L, L, L);
+  sys.atoms.mass_by_type.assign(static_cast<std::size_t>(cfg.ntypes), 10.0);
+  const int n = 20 + static_cast<int>(rng.uniform_index(30));
+  for (int i = 0; i < n; ++i) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      Vec3 r{rng.uniform(0, L), rng.uniform(0, L), rng.uniform(0, L)};
+      bool ok = true;
+      for (const auto& p : sys.atoms.pos)
+        if (norm(sys.box.min_image(p - r)) < 1.0) ok = false;
+      if (!ok) continue;
+      sys.atoms.add(r, static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(cfg.ntypes))));
+      break;
+    }
+  }
+
+  FusedDP ff(tab);
+  md::NeighborList nl(ff.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  ff.compute(sys.box, sys.atoms, nl);
+  const auto forces = sys.atoms.force;
+
+  Vec3 total{};
+  for (const auto& f : forces) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-10);
+
+  const double h = 1e-6;
+  const std::size_t probe = rng.uniform_index(sys.atoms.size());
+  for (int d = 0; d < 3; ++d) {
+    const Vec3 pos0 = sys.atoms.pos[probe];
+    sys.atoms.pos[probe][d] = pos0[d] + h;
+    const double ep = ff.compute(sys.box, sys.atoms, nl).energy;
+    sys.atoms.pos[probe][d] = pos0[d] - h;
+    const double em = ff.compute(sys.box, sys.atoms, nl).energy;
+    sys.atoms.pos[probe] = pos0;
+    EXPECT_NEAR(forces[probe][d], -(ep - em) / (2 * h), 5e-6)
+        << "seed " << seed << " atom " << probe << " dim " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDraws, FuzzProperties, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace dp

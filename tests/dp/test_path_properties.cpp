@@ -1,0 +1,165 @@
+// Property sweep over every inference path: the four implementations
+// (baseline network, tabulated-unfused, fused, mixed-precision) and both
+// physical system shapes must all satisfy the DP model's invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "dp/baseline_model.hpp"
+#include "fused/fused_model.hpp"
+#include "fused/mixed_model.hpp"
+#include "md/lattice.hpp"
+#include "tab/compressed_model.hpp"
+
+namespace dp {
+namespace {
+
+enum class PathKind { Baseline, Compressed, Fused, Mixed };
+
+struct PathCase {
+  PathKind kind;
+  int ntypes;
+  const char* name;
+};
+
+std::ostream& operator<<(std::ostream& os, const PathCase& c) { return os << c.name; }
+
+class PathProperties : public ::testing::TestWithParam<PathCase> {
+ protected:
+  void SetUp() override {
+    const auto& p = GetParam();
+    model_ = std::make_unique<core::DPModel>(core::ModelConfig::tiny(p.ntypes), 17);
+    tab_ = std::make_unique<tab::TabulatedDP>(
+        *model_, tab::TabulationSpec{
+                     0.0, tab::TabulatedDP::s_max(model_->config(), 0.9), 0.01});
+    switch (p.kind) {
+      case PathKind::Baseline:
+        ff_ = std::make_unique<core::BaselineDP>(*model_);
+        break;
+      case PathKind::Compressed:
+        ff_ = std::make_unique<tab::CompressedDP>(*tab_);
+        break;
+      case PathKind::Fused:
+        ff_ = std::make_unique<fused::FusedDP>(*tab_);
+        break;
+      case PathKind::Mixed:
+        ff_ = std::make_unique<fused::MixedFusedDP>(*tab_);
+        break;
+    }
+    sys_ = p.ntypes == 1 ? md::make_fcc(4, 4, 4, 3.634, 63.546, 0.1, 23)
+                         : md::make_water(1, 1, 1, 23);
+  }
+
+  /// Tolerances: the mixed path carries single-precision embedding noise.
+  double tol() const { return GetParam().kind == PathKind::Mixed ? 5e-5 : 1e-8; }
+  double fd_tol() const { return GetParam().kind == PathKind::Mixed ? 5e-4 : 2e-6; }
+
+  md::ForceResult evaluate(md::Configuration& sys) {
+    md::NeighborList nl(ff_->cutoff(), 1.0);
+    nl.build(sys.box, sys.atoms.pos);
+    return ff_->compute(sys.box, sys.atoms, nl);
+  }
+
+  std::unique_ptr<core::DPModel> model_;
+  std::unique_ptr<tab::TabulatedDP> tab_;
+  std::unique_ptr<md::ForceField> ff_;
+  md::Configuration sys_;
+};
+
+TEST_P(PathProperties, Deterministic) {
+  md::Configuration a = sys_, b = sys_;
+  const double ea = evaluate(a).energy;
+  const double eb = evaluate(b).energy;
+  EXPECT_DOUBLE_EQ(ea, eb);
+  for (std::size_t i = 0; i < a.atoms.size(); ++i)
+    EXPECT_DOUBLE_EQ(norm(a.atoms.force[i] - b.atoms.force[i]), 0.0);
+}
+
+TEST_P(PathProperties, NewtonThirdLaw) {
+  evaluate(sys_);
+  Vec3 total{};
+  for (const auto& f : sys_.atoms.force) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-9);
+}
+
+TEST_P(PathProperties, TranslationInvariance) {
+  const double e0 = evaluate(sys_).energy;
+  const auto f0 = sys_.atoms.force;
+  md::Configuration moved = sys_;
+  for (auto& r : moved.atoms.pos) r = moved.box.wrap(r + Vec3{2.13, -0.7, 1.01});
+  const double e1 = evaluate(moved).energy;
+  EXPECT_NEAR(e0, e1, tol() * static_cast<double>(sys_.atoms.size()));
+  for (std::size_t i = 0; i < f0.size(); ++i)
+    EXPECT_NEAR(norm(f0[i] - moved.atoms.force[i]), 0.0, tol());
+}
+
+TEST_P(PathProperties, ForcesAreNegativeGradient) {
+  md::NeighborList nl(ff_->cutoff(), 1.0);
+  nl.build(sys_.box, sys_.atoms.pos);
+  ff_->compute(sys_.box, sys_.atoms, nl);
+  const auto forces = sys_.atoms.force;
+
+  const double h = 1e-5;
+  const std::size_t probe = sys_.atoms.size() / 2;
+  for (int d = 0; d < 3; ++d) {
+    const Vec3 pos0 = sys_.atoms.pos[probe];
+    sys_.atoms.pos[probe][d] = pos0[d] + h;
+    const double ep = ff_->compute(sys_.box, sys_.atoms, nl).energy;
+    sys_.atoms.pos[probe][d] = pos0[d] - h;
+    const double em = ff_->compute(sys_.box, sys_.atoms, nl).energy;
+    sys_.atoms.pos[probe] = pos0;
+    EXPECT_NEAR(forces[probe][d], -(ep - em) / (2 * h), fd_tol()) << "dim " << d;
+  }
+}
+
+TEST_P(PathProperties, EnergyIsExtensive) {
+  // Doubling a periodic system along x doubles the energy (each atom keeps
+  // an identical environment).
+  if (GetParam().ntypes != 1) GTEST_SKIP() << "uses the FCC generator";
+  md::Configuration small = md::make_fcc(4, 4, 4, 3.634, 63.546, 0.0, 9);
+  md::Configuration big = md::make_fcc(8, 4, 4, 3.634, 63.546, 0.0, 9);
+  const double e_small = evaluate(small).energy;
+  const double e_big = evaluate(big).energy;
+  EXPECT_NEAR(e_big, 2.0 * e_small, 1e-6 * std::abs(e_big) + 1e-6);
+}
+
+TEST_P(PathProperties, CutoffLocality) {
+  // Moving one atom far outside another's cutoff leaves that other atom's
+  // force unchanged.
+  md::Configuration base = md::make_fcc(6, 6, 6, 3.634, 63.546, 0.05, 31);
+  if (GetParam().ntypes != 1) GTEST_SKIP() << "uses the FCC generator";
+  evaluate(base);
+  // Probe pair: atoms 0 and the one farthest from it.
+  const Vec3 r0 = base.atoms.pos[0];
+  std::size_t far = 1;
+  double dmax = 0;
+  for (std::size_t j = 1; j < base.atoms.size(); ++j) {
+    const double d = norm(base.box.min_image(base.atoms.pos[j] - r0));
+    if (d > dmax) {
+      dmax = d;
+      far = j;
+    }
+  }
+  ASSERT_GT(dmax, 2.0 * ff_->cutoff());
+  const Vec3 f0_before = base.atoms.force[0];
+  md::Configuration moved = base;
+  moved.atoms.pos[far] = moved.box.wrap(moved.atoms.pos[far] + Vec3{0.5, 0.3, -0.2});
+  evaluate(moved);
+  EXPECT_NEAR(norm(moved.atoms.force[0] - f0_before), 0.0, tol());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaths, PathProperties,
+    ::testing::Values(PathCase{PathKind::Baseline, 1, "baseline_cu"},
+                      PathCase{PathKind::Baseline, 2, "baseline_h2o"},
+                      PathCase{PathKind::Compressed, 1, "compressed_cu"},
+                      PathCase{PathKind::Compressed, 2, "compressed_h2o"},
+                      PathCase{PathKind::Fused, 1, "fused_cu"},
+                      PathCase{PathKind::Fused, 2, "fused_h2o"},
+                      PathCase{PathKind::Mixed, 1, "mixed_cu"},
+                      PathCase{PathKind::Mixed, 2, "mixed_h2o"}),
+    [](const ::testing::TestParamInfo<PathCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace dp

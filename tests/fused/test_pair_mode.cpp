@@ -1,0 +1,138 @@
+// Per-pair embedding nets (type_one_side = false): the fused and mixed
+// paths must support ntypes^2 networks with all invariants intact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dp/baseline_model.hpp"
+#include "fused/fused_model.hpp"
+#include "fused/mixed_model.hpp"
+#include "md/lattice.hpp"
+#include "tab/model_io.hpp"
+
+namespace dp::fused {
+namespace {
+
+using core::DPModel;
+using core::ModelConfig;
+using tab::TabulatedDP;
+using tab::TabulationSpec;
+
+ModelConfig pair_cfg() {
+  ModelConfig cfg = ModelConfig::tiny(2);
+  cfg.type_one_side = false;
+  return cfg;
+}
+
+TEST(PairMode, ModelHasNtypesSquaredNets) {
+  DPModel model(pair_cfg(), 71);
+  EXPECT_EQ(model.n_embedding_nets(), 4u);
+  // Distinct nets for distinct pairs.
+  std::vector<double> a(16), b(16);
+  model.embedding_pair(0, 1).eval(0.5, a.data());
+  model.embedding_pair(1, 1).eval(0.5, b.data());
+  double diff = 0;
+  for (int k = 0; k < 16; ++k) diff += std::abs(a[k] - b[k]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(PairMode, OneSideAccessorRejectsPairModel) {
+  DPModel model(pair_cfg(), 72);
+  EXPECT_THROW(model.embedding(0), Error);
+  TabulatedDP tab(model, {0.0, 1.0, 0.02});
+  EXPECT_THROW(tab.table(0), Error);
+  EXPECT_NO_THROW(tab.table_pair(1, 0));
+}
+
+TEST(PairMode, FusedForcesAreNegativeGradient) {
+  DPModel model(pair_cfg(), 73);
+  TabulationSpec spec{0.0, TabulatedDP::s_max(model.config(), 0.9), 0.01};
+  TabulatedDP tab(model, spec);
+  FusedDP ff(tab);
+  auto sys = md::make_water(1, 1, 1, 74);
+  md::NeighborList nl(ff.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  ff.compute(sys.box, sys.atoms, nl);
+  const auto forces = sys.atoms.force;
+
+  const double h = 1e-6;
+  for (std::size_t i : {0ul, 10ul, 101ul}) {
+    for (int d = 0; d < 3; ++d) {
+      const Vec3 pos0 = sys.atoms.pos[i];
+      sys.atoms.pos[i][d] = pos0[d] + h;
+      const double ep = ff.compute(sys.box, sys.atoms, nl).energy;
+      sys.atoms.pos[i][d] = pos0[d] - h;
+      const double em = ff.compute(sys.box, sys.atoms, nl).energy;
+      sys.atoms.pos[i] = pos0;
+      EXPECT_NEAR(forces[i][d], -(ep - em) / (2 * h), 2e-6) << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(PairMode, DiffersFromOneSideModel) {
+  // The extra networks must actually change the physics: O-centered and
+  // H-centered atoms see different embeddings of the same neighbor type.
+  ModelConfig one_side = ModelConfig::tiny(2);
+  DPModel model_pair(pair_cfg(), 75);
+  DPModel model_one(one_side, 75);  // same seed, different net count
+  TabulationSpec spec{0.0, TabulatedDP::s_max(one_side, 0.9), 0.01};
+  TabulatedDP tab_pair(model_pair, spec);
+  TabulatedDP tab_one(model_one, spec);
+  FusedDP ff_pair(tab_pair);
+  FusedDP ff_one(tab_one);
+  auto sys = md::make_water(1, 1, 1, 76);
+  md::NeighborList nl(ff_pair.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  md::Atoms a = sys.atoms, b = sys.atoms;
+  const double ea = ff_pair.compute(sys.box, a, nl).energy;
+  const double eb = ff_one.compute(sys.box, b, nl).energy;
+  EXPECT_GT(std::abs(ea - eb), 1e-6);
+}
+
+TEST(PairMode, MixedPrecisionMatchesDouble) {
+  DPModel model(pair_cfg(), 77);
+  TabulationSpec spec{0.0, TabulatedDP::s_max(model.config(), 0.9), 0.01};
+  TabulatedDP tab(model, spec);
+  FusedDP fused(tab);
+  MixedFusedDP mixed(tab);
+  auto sys = md::make_water(1, 1, 1, 78);
+  md::NeighborList nl(fused.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  md::Atoms a = sys.atoms, b = sys.atoms;
+  const double ed = fused.compute(sys.box, a, nl).energy;
+  const double em = mixed.compute(sys.box, b, nl).energy;
+  EXPECT_LT(std::abs(ed - em) / a.size(), 1e-5);
+}
+
+TEST(PairMode, BundleRoundTrip) {
+  DPModel model(pair_cfg(), 79);
+  TabulationSpec spec{0.0, TabulatedDP::s_max(model.config(), 0.9), 0.02};
+  TabulatedDP tab(model, spec);
+  const std::string path = ::testing::TempDir() + "/dp_pair_bundle.dpc";
+  tab::save_compressed_model(path, tab);
+  auto bundle = tab::CompressedModel::load(path);
+  EXPECT_FALSE(bundle.model().config().type_one_side);
+  EXPECT_EQ(bundle.model().n_embedding_nets(), 4u);
+
+  FusedDP original(tab);
+  FusedDP loaded(bundle.tabulated());
+  auto sys = md::make_water(1, 1, 1, 80);
+  md::NeighborList nl(original.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  md::Atoms a = sys.atoms, b = sys.atoms;
+  EXPECT_DOUBLE_EQ(original.compute(sys.box, a, nl).energy,
+                   loaded.compute(sys.box, b, nl).energy);
+  std::remove(path.c_str());
+}
+
+TEST(PairMode, LegacyGemmPathsReject) {
+  DPModel model(pair_cfg(), 81);
+  core::BaselineDP baseline(model);
+  auto sys = md::make_water(1, 1, 1, 82);
+  md::NeighborList nl(baseline.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  EXPECT_THROW(baseline.compute(sys.box, sys.atoms, nl), Error);
+}
+
+}  // namespace
+}  // namespace dp::fused

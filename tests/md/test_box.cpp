@@ -1,0 +1,80 @@
+#include "md/box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dp::md {
+namespace {
+
+TEST(Box, WrapMapsIntoBox) {
+  Box box(10, 20, 30);
+  Vec3 r = box.wrap({-1.0, 25.0, 65.0});
+  EXPECT_NEAR(r.x, 9.0, 1e-12);
+  EXPECT_NEAR(r.y, 5.0, 1e-12);
+  EXPECT_NEAR(r.z, 5.0, 1e-12);
+}
+
+TEST(Box, WrapIsIdempotent) {
+  Box box(7.5, 8.5, 9.5);
+  Vec3 r{-13.2, 100.7, 4.2};
+  Vec3 once = box.wrap(r);
+  Vec3 twice = box.wrap(once);
+  EXPECT_NEAR(once.x, twice.x, 1e-12);
+  EXPECT_NEAR(once.y, twice.y, 1e-12);
+  EXPECT_NEAR(once.z, twice.z, 1e-12);
+}
+
+TEST(Box, WrapBoundaryEdge) {
+  Box box(10, 10, 10);
+  Vec3 r = box.wrap({10.0, 0.0, 9.9999999999});
+  EXPECT_GE(r.x, 0.0);
+  EXPECT_LT(r.x, 10.0);
+  EXPECT_LT(r.z, 10.0);
+}
+
+TEST(Box, MinImagePicksNearestCopy) {
+  Box box(10, 10, 10);
+  Vec3 d = box.min_image({9.0, -9.0, 0.5});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(d.y, 1.0, 1e-12);
+  EXPECT_NEAR(d.z, 0.5, 1e-12);
+}
+
+TEST(Box, MinImageBoundedByHalfBox) {
+  Box box(6, 8, 10);
+  for (double v : {-17.0, -3.2, 0.0, 2.9, 4.1, 25.0}) {
+    Vec3 d = box.min_image({v, v, v});
+    EXPECT_LE(std::abs(d.x), 3.0 + 1e-12);
+    EXPECT_LE(std::abs(d.y), 4.0 + 1e-12);
+    EXPECT_LE(std::abs(d.z), 5.0 + 1e-12);
+  }
+}
+
+TEST(Box, Volume) {
+  EXPECT_DOUBLE_EQ(Box(2, 3, 4).volume(), 24.0);
+}
+
+TEST(Box, AccommodatesCutoff) {
+  Box box(10, 10, 10);
+  EXPECT_TRUE(box.accommodates_cutoff(4.9));
+  EXPECT_FALSE(box.accommodates_cutoff(5.0));
+}
+
+TEST(Box, RejectsNonPositiveLengths) {
+  EXPECT_THROW(Box(0, 1, 1), Error);
+  EXPECT_THROW(Box(1, -2, 1), Error);
+}
+
+TEST(Box, PairDistanceConsistentUnderWrap) {
+  // The min-image distance between two atoms must not depend on which
+  // periodic copy of each atom is stored.
+  Box box(12, 12, 12);
+  Vec3 a{1.0, 2.0, 3.0}, b{11.5, 0.5, 9.0};
+  const double d0 = norm(box.min_image(b - a));
+  Vec3 a2 = a + Vec3{12, -24, 36};
+  Vec3 b2 = b + Vec3{-12, 12, 0};
+  const double d1 = norm(box.min_image(box.wrap(b2) - box.wrap(a2)));
+  EXPECT_NEAR(d0, d1, 1e-10);
+}
+
+}  // namespace
+}  // namespace dp::md

@@ -1,0 +1,86 @@
+#include "md/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "md/integrator.hpp"
+#include "md/lj.hpp"
+#include "md/simulation.hpp"
+
+namespace dp::md {
+namespace {
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  auto cfg = make_water(1, 1, 1, 3);
+  init_velocities(cfg.atoms, 330.0, 4);
+  const std::string path = ::testing::TempDir() + "/dp_ckpt_test.bin";
+  save_checkpoint(path, cfg, 42);
+
+  const Checkpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.step, 42);
+  EXPECT_DOUBLE_EQ(loaded.config.box.lengths().x, cfg.box.lengths().x);
+  ASSERT_EQ(loaded.config.atoms.size(), cfg.atoms.size());
+  EXPECT_EQ(loaded.config.atoms.mass_by_type, cfg.atoms.mass_by_type);
+  for (std::size_t i = 0; i < cfg.atoms.size(); ++i) {
+    EXPECT_EQ(loaded.config.atoms.type[i], cfg.atoms.type[i]);
+    EXPECT_DOUBLE_EQ(norm(loaded.config.atoms.pos[i] - cfg.atoms.pos[i]), 0.0);
+    EXPECT_DOUBLE_EQ(norm(loaded.config.atoms.vel[i] - cfg.atoms.vel[i]), 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestartContinuesTrajectoryExactly) {
+  // run A: 20 steps straight. run B: 10 steps, checkpoint, restart, 10 more.
+  // Same forces, same integrator => identical final state.
+  auto sys = make_fcc(3, 3, 3, 3.7, 63.5, 0.0, 5);
+  LennardJones lj(0.4, 2.34, 4.5);
+  SimulationConfig sc;
+  sc.skin = 1.0;
+  sc.dt = 0.002;
+  sc.temperature = 200.0;
+  sc.rebuild_every = 1000;  // keep the list fixed so both runs see one build
+  sc.thermo_every = 100;
+
+  sc.steps = 20;
+  Simulation run_a(sys, lj, sc);
+  run_a.run();
+
+  sc.steps = 10;
+  Simulation run_b1(sys, lj, sc);
+  run_b1.run();
+  const std::string path = ::testing::TempDir() + "/dp_ckpt_restart.bin";
+  save_checkpoint(path, run_b1.configuration(), run_b1.current_step());
+
+  const Checkpoint ck = load_checkpoint(path);
+  EXPECT_EQ(ck.step, 10);
+  SimulationConfig sc2 = sc;
+  sc2.temperature = 0.0;  // restart must NOT re-thermalize...
+  Simulation run_b2(ck.config, lj, sc2);
+  // ...but Simulation's constructor zeroes velocities at T=0; restore them.
+  run_b2.configuration().atoms.vel = ck.config.atoms.vel;
+  run_b2.run();
+
+  const auto& a = run_a.configuration().atoms;
+  const auto& b = run_b2.configuration().atoms;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(norm(a.pos[i] - b.pos[i]), 1e-12) << "atom " << i;
+    EXPECT_LT(norm(a.vel[i] - b.vel[i]), 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/dp_ckpt_bad.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a checkpoint";
+  }
+  EXPECT_THROW(load_checkpoint(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_checkpoint("/nonexistent/ckpt.bin"), Error);
+}
+
+}  // namespace
+}  // namespace dp::md

@@ -1,0 +1,165 @@
+#include "md/eam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "md/simulation.hpp"
+
+namespace dp::md {
+namespace {
+
+TEST(SuttonChen, ForcesMatchFiniteDifference) {
+  auto cfg = make_fcc(4, 4, 4, 3.61, 63.546, 0.08, 11);
+  SuttonChen eam;
+  NeighborList nl(eam.cutoff(), 0.2);
+  nl.build(cfg.box, cfg.atoms.pos);
+  eam.compute(cfg.box, cfg.atoms, nl);
+  const auto forces = cfg.atoms.force;
+
+  const double h = 1e-6;
+  for (std::size_t i : {0ul, 17ul, 200ul}) {
+    for (int d = 0; d < 3; ++d) {
+      const Vec3 pos0 = cfg.atoms.pos[i];
+      cfg.atoms.pos[i][d] = pos0[d] + h;
+      const double ep = eam.compute(cfg.box, cfg.atoms, nl).energy;
+      cfg.atoms.pos[i][d] = pos0[d] - h;
+      const double em = eam.compute(cfg.box, cfg.atoms, nl).energy;
+      cfg.atoms.pos[i] = pos0;
+      EXPECT_NEAR(forces[i][d], -(ep - em) / (2 * h), 1e-6) << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(SuttonChen, ManyBodyCharacter) {
+  // Pairwise potentials are additive over pairs; EAM is not: the trimer
+  // energy differs from the sum of its dimer energies (beyond the pair sum).
+  SuttonChen eam;
+  Box box(60, 60, 60);
+  auto energy_of = [&](const std::vector<Vec3>& pos) {
+    Atoms atoms;
+    atoms.mass_by_type = {63.546};
+    for (const auto& r : pos) atoms.add(r, 0);
+    NeighborList nl(eam.cutoff(), 0.5);
+    nl.build(box, atoms.pos);
+    return eam.compute(box, atoms, nl).energy;
+  };
+  const Vec3 a{20, 20, 20}, b{22.5, 20, 20}, c{21.25, 22.2, 20};
+  const double e_ab = energy_of({a, b});
+  const double e_ac = energy_of({a, c});
+  const double e_bc = energy_of({b, c});
+  const double e_abc = energy_of({a, b, c});
+  // For a pair potential: e_abc == e_ab + e_ac + e_bc exactly.
+  EXPECT_GT(std::abs(e_abc - (e_ab + e_ac + e_bc)), 1e-4);
+}
+
+TEST(SuttonChen, FccIsBoundAndStable) {
+  auto cfg = make_fcc(4, 4, 4, 3.61);
+  SuttonChen eam;
+  NeighborList nl(eam.cutoff(), 0.2);
+  nl.build(cfg.box, cfg.atoms.pos);
+  const auto res = eam.compute(cfg.box, cfg.atoms, nl);
+  // Cohesive: negative energy per atom, order eV (experimental Cu: -3.5).
+  const double per_atom = res.energy / static_cast<double>(cfg.atoms.size());
+  EXPECT_LT(per_atom, -0.5);
+  EXPECT_GT(per_atom, -10.0);
+  // Perfect lattice: zero forces by symmetry.
+  for (const auto& f : cfg.atoms.force) EXPECT_NEAR(norm(f), 0.0, 1e-9);
+}
+
+TEST(SuttonChen, EnergySmoothAtCutoff) {
+  SuttonChen eam;
+  Box box(60, 60, 60);
+  Atoms atoms;
+  atoms.mass_by_type = {63.546};
+  atoms.add({20, 20, 20}, 0);
+  atoms.add({20 + eam.cutoff() - 1e-7, 20, 20}, 0);
+  NeighborList nl(eam.cutoff(), 1.0);
+  nl.build(box, atoms.pos);
+  const double e_in = eam.compute(box, atoms, nl).energy;
+  atoms.pos[1].x = 20 + eam.cutoff() + 1e-7;
+  const double e_out = eam.compute(box, atoms, nl).energy;
+  // The sqrt embedding amplifies the gate's ~1e-16 cancellation noise to
+  // ~1e-9 eV right at the cutoff — far below any physical scale.
+  EXPECT_NEAR(e_in, e_out, 1e-7);
+  EXPECT_NEAR(e_out, 0.0, 1e-12);
+}
+
+TEST(SuttonChen, NoNanAnywhereNearCutoff) {
+  // Regression: without clamping, gate cancellation noise made the density
+  // infinitesimally negative right at the cutoff and sqrt produced NaN
+  // (seen on non-FMA builds). Probe a dense band across the cutoff.
+  SuttonChen eam;
+  Box box(60, 60, 60);
+  Atoms atoms;
+  atoms.mass_by_type = {63.546};
+  atoms.add({20, 20, 20}, 0);
+  atoms.add({0, 0, 0}, 0);
+  for (int k = -50; k <= 50; ++k) {
+    atoms.pos[1] = {20 + eam.cutoff() + static_cast<double>(k) * 1e-9, 20, 20};
+    NeighborList nl(eam.cutoff(), 1.0);
+    nl.build(box, atoms.pos);
+    const auto res = eam.compute(box, atoms, nl);
+    ASSERT_TRUE(std::isfinite(res.energy)) << "offset " << k;
+    ASSERT_TRUE(std::isfinite(norm(atoms.force[0]))) << "offset " << k;
+  }
+}
+
+TEST(SuttonChen, IsolatedAtomHasZeroEnergy) {
+  SuttonChen eam;
+  Box box(50, 50, 50);
+  Atoms atoms;
+  atoms.mass_by_type = {63.546};
+  atoms.add({25, 25, 25}, 0);
+  NeighborList nl(eam.cutoff(), 1.0);
+  nl.build(box, atoms.pos);
+  const auto res = eam.compute(box, atoms, nl);
+  EXPECT_DOUBLE_EQ(res.energy, 0.0);
+  EXPECT_NEAR(norm(atoms.force[0]), 0.0, 1e-14);
+}
+
+TEST(SuttonChen, NveConservesEnergy) {
+  auto cfg = make_fcc(5, 5, 5, 3.61);  // 18 A box > 2 * (7 + 1)
+  SuttonChen eam;
+  SimulationConfig sc;
+  sc.skin = 1.0;
+  sc.dt = 0.002;
+  sc.steps = 150;
+  sc.temperature = 300.0;
+  sc.thermo_every = 30;
+  Simulation sim(cfg, eam, sc);
+  const auto& trace = sim.run();
+  const double e0 = trace.front().total();
+  for (const auto& s : trace)
+    EXPECT_NEAR(s.total(), e0, 2e-4 * std::abs(e0)) << "step " << s.step;
+}
+
+TEST(SuttonChen, VirialMatchesStrainDerivative) {
+  auto cfg = make_fcc(5, 5, 5, 3.61, 63.546, 0.05, 12);
+  SuttonChen eam;
+  NeighborList nl(eam.cutoff(), 1.0);
+  nl.build(cfg.box, cfg.atoms.pos);
+  const auto res = eam.compute(cfg.box, cfg.atoms, nl);
+
+  const double h = 1e-6;
+  auto energy_scaled = [&](double s) {
+    Configuration scaled = cfg;
+    scaled.box = Box(cfg.box.lengths() * s);
+    for (auto& r : scaled.atoms.pos) r *= s;
+    NeighborList nl2(eam.cutoff(), 1.0);
+    nl2.build(scaled.box, scaled.atoms.pos);
+    SuttonChen eam2;
+    return eam2.compute(scaled.box, scaled.atoms, nl2).energy;
+  };
+  const double dE_ds = (energy_scaled(1 + h) - energy_scaled(1 - h)) / (2 * h);
+  EXPECT_NEAR(res.virial.trace(), -dE_ds, 1e-4 * std::max(1.0, std::abs(dE_ds)));
+}
+
+TEST(SuttonChen, RejectsGhostOnlyCenters) {
+  auto cfg = make_fcc(5, 5, 5, 3.61);
+  SuttonChen eam;
+  NeighborList nl(eam.cutoff(), 0.5);
+  nl.build(cfg.box, cfg.atoms.pos, cfg.atoms.size() / 2);  // half the centers
+  EXPECT_THROW(eam.compute(cfg.box, cfg.atoms, nl), Error);
+}
+
+}  // namespace
+}  // namespace dp::md

@@ -1,0 +1,98 @@
+#include "md/lammps_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "md/integrator.hpp"
+
+namespace dp::md {
+namespace {
+
+TEST(LammpsIo, RoundTripPreservesEverything) {
+  auto cfg = make_water(1, 1, 1, 5);
+  init_velocities(cfg.atoms, 330.0, 6);
+  const std::string path = ::testing::TempDir() + "/dp_lmp_test.data";
+  write_lammps_data(path, cfg, "round trip test");
+
+  const Configuration loaded = read_lammps_data(path);
+  ASSERT_EQ(loaded.atoms.size(), cfg.atoms.size());
+  EXPECT_EQ(loaded.atoms.ntypes(), cfg.atoms.ntypes());
+  EXPECT_NEAR(loaded.box.lengths().x, cfg.box.lengths().x, 1e-9);
+  for (int t = 0; t < cfg.atoms.ntypes(); ++t)
+    EXPECT_NEAR(loaded.atoms.mass_by_type[static_cast<std::size_t>(t)],
+                cfg.atoms.mass_by_type[static_cast<std::size_t>(t)], 1e-9);
+  for (std::size_t i = 0; i < cfg.atoms.size(); ++i) {
+    EXPECT_EQ(loaded.atoms.type[i], cfg.atoms.type[i]);
+    EXPECT_LT(norm(loaded.atoms.pos[i] - cfg.atoms.pos[i]), 1e-9) << "atom " << i;
+    EXPECT_LT(norm(loaded.atoms.vel[i] - cfg.atoms.vel[i]), 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LammpsIo, ReadsShuffledIdsAndComments) {
+  const std::string path = ::testing::TempDir() + "/dp_lmp_manual.data";
+  {
+    std::ofstream os(path);
+    os << "LAMMPS data file written by hand\n\n"
+       << "3 atoms\n"
+       << "2 atom types  # O and H\n\n"
+       << "0.0 10.0 xlo xhi\n"
+       << "0.0 12.0 ylo yhi\n"
+       << "0.0 14.0 zlo zhi\n\n"
+       << "Masses\n\n"
+       << "2 1.008\n"
+       << "1 15.999\n\n"
+       << "Atoms # atomic\n\n"
+       << "3 2 3.0 3.5 4.0   # out-of-order ids\n"
+       << "1 1 1.0 1.5 2.0\n"
+       << "2 2 2.0 2.5 3.0\n\n"
+       << "Velocities\n\n"
+       << "2 0.1 0.2 0.3\n"
+       << "1 -0.1 0.0 0.1\n"
+       << "3 0.0 0.0 0.0\n";
+  }
+  const Configuration cfg = read_lammps_data(path);
+  ASSERT_EQ(cfg.atoms.size(), 3u);
+  EXPECT_EQ(cfg.atoms.ntypes(), 2);
+  EXPECT_DOUBLE_EQ(cfg.box.lengths().y, 12.0);
+  EXPECT_DOUBLE_EQ(cfg.atoms.mass_by_type[0], 15.999);
+  EXPECT_DOUBLE_EQ(cfg.atoms.mass_by_type[1], 1.008);
+  EXPECT_EQ(cfg.atoms.type[0], 0);
+  EXPECT_EQ(cfg.atoms.type[2], 1);
+  EXPECT_DOUBLE_EQ(cfg.atoms.pos[2].x, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.atoms.vel[1].z, 0.3);
+  std::remove(path.c_str());
+}
+
+TEST(LammpsIo, ShiftedBoxOriginIsNormalized) {
+  const std::string path = ::testing::TempDir() + "/dp_lmp_shift.data";
+  {
+    std::ofstream os(path);
+    os << "shifted box\n\n1 atoms\n1 atom types\n\n"
+       << "-5.0 5.0 xlo xhi\n-5.0 5.0 ylo yhi\n-5.0 5.0 zlo zhi\n\n"
+       << "Masses\n\n1 39.9\n\n"
+       << "Atoms\n\n1 1 -4.0 0.0 4.0\n";
+  }
+  const Configuration cfg = read_lammps_data(path);
+  EXPECT_DOUBLE_EQ(cfg.box.lengths().x, 10.0);
+  // Position shifted into [0, L): -4 + 5 = 1.
+  EXPECT_NEAR(cfg.atoms.pos[0].x, 1.0, 1e-12);
+  EXPECT_NEAR(cfg.atoms.pos[0].z, 9.0, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(LammpsIo, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/dp_lmp_bad.data";
+  {
+    std::ofstream os(path);
+    os << "title\n\nAtoms\n\n1 1 0 0 0\n";  // Atoms before header counts
+  }
+  EXPECT_THROW(read_lammps_data(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_lammps_data("/nonexistent.data"), Error);
+}
+
+}  // namespace
+}  // namespace dp::md

@@ -1,0 +1,108 @@
+#include "md/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "md/units.hpp"
+
+namespace dp::md {
+namespace {
+
+TEST(Lattice, FccAtomCount) {
+  auto cfg = make_fcc(3, 4, 5);
+  EXPECT_EQ(cfg.atoms.size(), 4u * 3 * 4 * 5);
+  cfg.atoms.validate();
+}
+
+TEST(Lattice, FccBoxMatchesCells) {
+  auto cfg = make_fcc(2, 3, 4, 3.634);
+  EXPECT_NEAR(cfg.box.lengths().x, 2 * 3.634, 1e-12);
+  EXPECT_NEAR(cfg.box.lengths().y, 3 * 3.634, 1e-12);
+  EXPECT_NEAR(cfg.box.lengths().z, 4 * 3.634, 1e-12);
+}
+
+TEST(Lattice, FccNearestNeighborDistance) {
+  // FCC nearest-neighbor distance is a / sqrt(2).
+  const double a = 3.634;
+  auto cfg = make_fcc(3, 3, 3, a);
+  const Vec3 r0 = cfg.atoms.pos[0];
+  double dmin = 1e30;
+  for (std::size_t j = 1; j < cfg.atoms.size(); ++j) {
+    dmin = std::min(dmin, norm(cfg.box.min_image(cfg.atoms.pos[j] - r0)));
+  }
+  EXPECT_NEAR(dmin, a / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Lattice, FccCopperDensity) {
+  // FCC copper at a = 3.634 A: 4 atoms / a^3 = 0.0833 atoms/A^3.
+  auto cfg = make_fcc(4, 4, 4);
+  const double rho = static_cast<double>(cfg.atoms.size()) / cfg.box.volume();
+  EXPECT_NEAR(rho, 4.0 / std::pow(3.634, 3), 1e-10);
+}
+
+TEST(Lattice, FccJitterIsBounded) {
+  auto ideal = make_fcc(2, 2, 2, 3.634, kMassCu, 0.0);
+  auto jit = make_fcc(2, 2, 2, 3.634, kMassCu, 0.05);
+  ASSERT_EQ(ideal.atoms.size(), jit.atoms.size());
+  for (std::size_t i = 0; i < ideal.atoms.size(); ++i) {
+    const Vec3 d = ideal.box.min_image(jit.atoms.pos[i] - ideal.atoms.pos[i]);
+    EXPECT_LE(std::abs(d.x), 0.05 + 1e-12);
+    EXPECT_LE(std::abs(d.y), 0.05 + 1e-12);
+    EXPECT_LE(std::abs(d.z), 0.05 + 1e-12);
+  }
+}
+
+TEST(Lattice, WaterBaseCellIs192Atoms) {
+  auto cfg = make_water(1, 1, 1);
+  EXPECT_EQ(cfg.atoms.size(), 192u);  // paper: replicating a 192-atom cell
+  EXPECT_EQ(cfg.atoms.ntypes(), 2);
+}
+
+TEST(Lattice, WaterReplication) {
+  auto cfg = make_water(2, 1, 3);
+  EXPECT_EQ(cfg.atoms.size(), 192u * 6);
+}
+
+TEST(Lattice, WaterStoichiometry) {
+  auto cfg = make_water(2, 2, 2);
+  std::size_t n_o = 0, n_h = 0;
+  for (int t : cfg.atoms.type) (t == 0 ? n_o : n_h) += 1;
+  EXPECT_EQ(n_h, 2 * n_o);
+}
+
+TEST(Lattice, WaterDensityIsAmbient) {
+  auto cfg = make_water(2, 2, 2);
+  const double mol_per_a3 = (cfg.atoms.size() / 3.0) / cfg.box.volume();
+  EXPECT_NEAR(mol_per_a3, 0.0334, 0.0005);
+}
+
+TEST(Lattice, WaterOHBondLengths) {
+  auto cfg = make_water(1, 1, 1);
+  // Atoms come in O,H,H triplets.
+  for (std::size_t m = 0; m < cfg.atoms.size(); m += 3) {
+    ASSERT_EQ(cfg.atoms.type[m], 0);
+    for (std::size_t k = 1; k <= 2; ++k) {
+      ASSERT_EQ(cfg.atoms.type[m + k], 1);
+      const double d = norm(cfg.box.min_image(cfg.atoms.pos[m + k] - cfg.atoms.pos[m]));
+      EXPECT_NEAR(d, 0.9572, 1e-9);
+    }
+  }
+}
+
+TEST(Lattice, AtomCountHelperReachesTarget) {
+  auto cfg = make_fcc_with_atom_count(500);
+  EXPECT_GE(cfg.atoms.size(), 500u);
+  EXPECT_EQ(cfg.atoms.size() % 4, 0u);
+}
+
+TEST(Lattice, DeterministicFromSeed) {
+  auto a = make_water(1, 1, 1, 42);
+  auto b = make_water(1, 1, 1, 42);
+  for (std::size_t i = 0; i < a.atoms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.atoms.pos[i].x, b.atoms.pos[i].x);
+  }
+}
+
+}  // namespace
+}  // namespace dp::md

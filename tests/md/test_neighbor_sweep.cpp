@@ -1,0 +1,82 @@
+// Parameterized neighbor-list sweep: cell list == brute force across
+// cutoffs, skins, densities and box shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "md/neighbor.hpp"
+
+namespace dp::md {
+namespace {
+
+// (box_x, box_y, box_z, n_atoms, cutoff, skin)
+using SweepParam = std::tuple<double, double, double, int, double, double>;
+
+class NeighborSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const auto [lx, ly, lz, n, rc, skin] = GetParam();
+    box_ = Box(lx, ly, lz);
+    rc_ = rc;
+    skin_ = skin;
+    Rng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<std::uint64_t>(lx));
+    pos_.resize(static_cast<std::size_t>(n));
+    for (auto& r : pos_)
+      r = {rng.uniform(0, lx), rng.uniform(0, ly), rng.uniform(0, lz)};
+  }
+
+  Box box_{1, 1, 1};
+  double rc_ = 1, skin_ = 0;
+  std::vector<Vec3> pos_;
+};
+
+TEST_P(NeighborSweep, MatchesBruteForce) {
+  NeighborList nl(rc_, skin_);
+  nl.build(box_, pos_);
+  const auto ref = brute_force_neighbors(box_, pos_, rc_ + skin_);
+  ASSERT_EQ(nl.n_centers(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    std::multiset<int> got(nl.neighbors(i).begin(), nl.neighbors(i).end());
+    std::multiset<int> want(ref[i].begin(), ref[i].end());
+    EXPECT_EQ(got, want) << "atom " << i;
+  }
+}
+
+TEST_P(NeighborSweep, SymmetricAndSelfFree) {
+  NeighborList nl(rc_, skin_);
+  nl.build(box_, pos_);
+  for (std::size_t i = 0; i < nl.n_centers(); ++i) {
+    for (int j : nl.neighbors(i)) {
+      EXPECT_NE(static_cast<std::size_t>(j), i);
+      auto back = nl.neighbors(static_cast<std::size_t>(j));
+      EXPECT_TRUE(std::find(back.begin(), back.end(), static_cast<int>(i)) != back.end());
+    }
+  }
+}
+
+TEST_P(NeighborSweep, FreshBuildNeedsNoRebuild) {
+  NeighborList nl(rc_, skin_);
+  nl.build(box_, pos_);
+  if (skin_ > 0) {
+    EXPECT_FALSE(nl.needs_rebuild(box_, pos_));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoxesAndCutoffs, NeighborSweep,
+    ::testing::Values(
+        SweepParam{24, 24, 24, 200, 5.0, 1.0},   // cubic, mid density
+        SweepParam{24, 24, 24, 600, 5.0, 2.0},   // cubic, dense
+        SweepParam{40, 16, 16, 300, 4.0, 1.0},   // slab-like
+        SweepParam{15, 15, 15, 150, 4.0, 0.0},   // zero skin
+        SweepParam{12, 12, 12, 100, 3.0, 2.0},   // small box (brute fallback)
+        SweepParam{30, 30, 30, 64, 8.0, 2.0},    // sparse, long cutoff
+        SweepParam{26, 26, 26, 500, 2.0, 0.5}),  // short cutoff
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace dp::md

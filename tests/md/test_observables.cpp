@@ -1,0 +1,121 @@
+#include "md/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "md/integrator.hpp"
+#include "md/lattice.hpp"
+
+namespace dp::md {
+namespace {
+
+TEST(Rdf, FccFirstPeakAtNearestNeighborDistance) {
+  const double a = 3.634;
+  auto cfg = make_fcc(6, 6, 6, a);
+  const Rdf rdf = compute_rdf(cfg.box, cfg.atoms, 8.0, 160);
+  const std::size_t peak = rdf.first_peak();
+  ASSERT_GT(peak, 0u);
+  EXPECT_NEAR(rdf.r[peak], a / std::sqrt(2.0), 0.1);
+  // No pairs below the first shell in a perfect crystal.
+  for (std::size_t b = 0; rdf.r[b] < a / std::sqrt(2.0) - 0.2; ++b)
+    EXPECT_DOUBLE_EQ(rdf.g[b], 0.0);
+}
+
+TEST(Rdf, IdealGasIsFlatAtOne) {
+  Box box(20, 20, 20);
+  Atoms atoms;
+  atoms.mass_by_type = {1.0};
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i)
+    atoms.add({rng.uniform(0, 20), rng.uniform(0, 20), rng.uniform(0, 20)}, 0);
+  const Rdf rdf = compute_rdf(box, atoms, 8.0, 40);
+  // Beyond the first couple of bins (tiny shells = noisy), g ~ 1.
+  for (std::size_t b = 5; b < rdf.g.size(); ++b) EXPECT_NEAR(rdf.g[b], 1.0, 0.25);
+}
+
+TEST(Rdf, PartialSpeciesWaterOH) {
+  auto cfg = make_water(2, 2, 2);
+  const Rdf oh = compute_rdf(cfg.box, cfg.atoms, 6.0, 240, /*O*/ 0, /*H*/ 1);
+  const std::size_t peak = oh.first_peak();
+  ASSERT_GT(peak, 0u);
+  // Intramolecular O-H bond at 0.9572 A dominates.
+  EXPECT_NEAR(oh.r[peak], 0.9572, 0.05);
+}
+
+TEST(Rdf, RejectsTooLargeRmax) {
+  auto cfg = make_fcc(2, 2, 2);
+  EXPECT_THROW(compute_rdf(cfg.box, cfg.atoms, 5.0, 10), Error);
+}
+
+TEST(Msd, StaticAtomsHaveZeroMsd) {
+  auto cfg = make_fcc(3, 3, 3);
+  MsdAccumulator msd(cfg.box);
+  msd.reset(cfg.atoms.pos);
+  msd.update(cfg.atoms.pos);
+  msd.update(cfg.atoms.pos);
+  EXPECT_DOUBLE_EQ(msd.msd(), 0.0);
+}
+
+TEST(Msd, BallisticMotionGrowsQuadratically) {
+  // Free flight: MSD(t) = <v^2> t^2.
+  Box box(30, 30, 30);
+  Atoms atoms;
+  atoms.mass_by_type = {1.0};
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    atoms.add({rng.uniform(0, 30), rng.uniform(0, 30), rng.uniform(0, 30)}, 0);
+    atoms.vel.back() = rng.unit_vector() * 2.0;  // |v| = 2 A/ps
+  }
+  MsdAccumulator msd(box);
+  msd.reset(atoms.pos);
+  const double dt = 0.01;
+  double msd_at_1 = 0;
+  for (int step = 1; step <= 200; ++step) {
+    for (std::size_t i = 0; i < atoms.size(); ++i)
+      atoms.pos[i] = box.wrap(atoms.pos[i] + atoms.vel[i] * dt);
+    msd.update(atoms.pos);
+    if (step == 100) msd_at_1 = msd.msd();
+  }
+  EXPECT_NEAR(msd_at_1, 4.0 * 1.0, 1e-6);        // t = 1 ps
+  EXPECT_NEAR(msd.msd(), 4.0 * 4.0, 1e-6);        // t = 2 ps: 4x larger
+}
+
+TEST(Msd, UnwrapsAcrossPeriodicBoundary) {
+  Box box(10, 10, 10);
+  Atoms atoms;
+  atoms.mass_by_type = {1.0};
+  atoms.add({9.5, 5, 5}, 0);
+  MsdAccumulator msd(box);
+  msd.reset(atoms.pos);
+  // March +x through the boundary in small hops: total displacement 4 A.
+  for (int k = 0; k < 8; ++k) {
+    atoms.pos[0] = box.wrap(atoms.pos[0] + Vec3{0.5, 0, 0});
+    msd.update(atoms.pos);
+  }
+  EXPECT_NEAR(msd.msd(), 16.0, 1e-9);
+}
+
+TEST(Vacf, StartsAtOneAndDecorrelates) {
+  auto cfg = make_fcc(4, 4, 4);
+  init_velocities(cfg.atoms, 300.0, 6);
+  VelocityAutocorrelation vacf;
+  vacf.reset(cfg.atoms.vel);
+  EXPECT_NEAR(vacf.correlate(cfg.atoms.vel), 1.0, 1e-12);
+  // Fully randomized velocities decorrelate to ~0.
+  init_velocities(cfg.atoms, 300.0, 999);
+  EXPECT_NEAR(vacf.correlate(cfg.atoms.vel), 0.0, 0.1);
+}
+
+TEST(Vacf, SignFlipsForReversedVelocities) {
+  auto cfg = make_fcc(3, 3, 3);
+  init_velocities(cfg.atoms, 300.0, 7);
+  VelocityAutocorrelation vacf;
+  vacf.reset(cfg.atoms.vel);
+  for (auto& v : cfg.atoms.vel) v *= -1.0;
+  EXPECT_NEAR(vacf.correlate(cfg.atoms.vel), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dp::md

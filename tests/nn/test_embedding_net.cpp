@@ -1,0 +1,93 @@
+#include "nn/embedding_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dp::nn {
+namespace {
+
+EmbeddingNet make_net(std::vector<std::size_t> widths, std::uint64_t seed) {
+  EmbeddingNet net(widths);
+  Rng rng(seed);
+  net.init_random(rng);
+  return net;
+}
+
+TEST(EmbeddingNet, OutputDimIsLastWidth) {
+  auto net = make_net({4, 8, 16}, 1);
+  EXPECT_EQ(net.output_dim(), 16u);
+  EXPECT_EQ(net.layers().size(), 3u);
+}
+
+TEST(EmbeddingNet, DoublingLayersUseConcatShortcut) {
+  auto net = make_net({4, 8, 16}, 1);
+  EXPECT_EQ(net.layers()[0].shortcut(), Shortcut::None);
+  EXPECT_EQ(net.layers()[1].shortcut(), Shortcut::Concat);
+  EXPECT_EQ(net.layers()[2].shortcut(), Shortcut::Concat);
+}
+
+TEST(EmbeddingNet, BatchMatchesScalarEval) {
+  auto net = make_net({4, 8, 16}, 2);
+  std::vector<double> s{0.0, 0.1, 0.5, 1.3, 2.0};
+  Matrix g;
+  net.forward_batch(s.data(), s.size(), g);
+  ASSERT_EQ(g.rows(), s.size());
+  ASSERT_EQ(g.cols(), 16u);
+  std::vector<double> row(16);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    net.eval(s[i], row.data());
+    for (std::size_t j = 0; j < 16; ++j) EXPECT_NEAR(g(i, j), row[j], 1e-13);
+  }
+}
+
+TEST(EmbeddingNet, JetValueMatchesEval) {
+  auto net = make_net({8, 16, 32}, 3);
+  std::vector<double> g(32), dg(32), d2g(32), ref(32);
+  net.eval_jet(0.73, g.data(), dg.data(), d2g.data());
+  net.eval(0.73, ref.data());
+  for (std::size_t j = 0; j < 32; ++j) EXPECT_NEAR(g[j], ref[j], 1e-14);
+}
+
+TEST(EmbeddingNet, JetDerivativesMatchFiniteDifference) {
+  auto net = make_net({4, 8}, 4);
+  const std::size_t M = 8;
+  const double s = 0.42, h = 1e-5;
+  std::vector<double> g(M), dg(M), d2g(M), yp(M), ym(M), y0(M);
+  net.eval_jet(s, g.data(), dg.data(), d2g.data());
+  net.eval(s, y0.data());
+  net.eval(s + h, yp.data());
+  net.eval(s - h, ym.data());
+  for (std::size_t j = 0; j < M; ++j) {
+    EXPECT_NEAR(dg[j], (yp[j] - ym[j]) / (2 * h), 1e-8);
+    EXPECT_NEAR(d2g[j], (yp[j] - 2 * y0[j] + ym[j]) / (h * h), 1e-4);
+  }
+}
+
+TEST(EmbeddingNet, PaperFlopCount) {
+  // {d1, 2 d1, 4 d1} should count d1 + 10 d1^2 MACs per scalar (Sec 2.2).
+  const std::size_t d1 = 32;
+  auto net = make_net({d1, 2 * d1, 4 * d1}, 5);
+  EXPECT_DOUBLE_EQ(net.flops_per_scalar(), double(d1 + 10 * d1 * d1));
+}
+
+TEST(EmbeddingNet, SmoothFunctionOfInput) {
+  // The map must be continuous: small input change -> small output change.
+  auto net = make_net({8, 16, 32}, 6);
+  std::vector<double> a(32), b(32);
+  net.eval(1.0, a.data());
+  net.eval(1.0 + 1e-9, b.data());
+  for (std::size_t j = 0; j < 32; ++j) EXPECT_NEAR(a[j], b[j], 1e-6);
+}
+
+TEST(EmbeddingNet, NonDoublingWidthsSupported) {
+  // e.g. {10, 20, 20}: second layer concat, third plain.
+  auto net = make_net({10, 20, 20}, 7);
+  EXPECT_EQ(net.layers()[1].shortcut(), Shortcut::Concat);
+  EXPECT_EQ(net.layers()[2].shortcut(), Shortcut::None);
+  std::vector<double> g(20);
+  net.eval(0.5, g.data());  // must not crash
+}
+
+}  // namespace
+}  // namespace dp::nn

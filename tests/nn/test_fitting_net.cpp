@@ -1,0 +1,93 @@
+#include "nn/fitting_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dp::nn {
+namespace {
+
+FittingNet make_net(std::size_t in, std::vector<std::size_t> hidden, std::uint64_t seed) {
+  FittingNet net(in, hidden);
+  Rng rng(seed);
+  net.init_random(rng);
+  return net;
+}
+
+TEST(FittingNet, StructureMatchesDeePMD) {
+  auto net = make_net(32, {24, 24, 24}, 1);
+  ASSERT_EQ(net.layers().size(), 4u);
+  EXPECT_EQ(net.layers()[0].shortcut(), Shortcut::None);      // 32 -> 24
+  EXPECT_EQ(net.layers()[1].shortcut(), Shortcut::Identity);  // 24 -> 24
+  EXPECT_EQ(net.layers()[2].shortcut(), Shortcut::Identity);
+  EXPECT_EQ(net.layers()[3].activation(), Activation::Linear);
+  EXPECT_EQ(net.layers()[3].out_dim(), 1u);
+}
+
+TEST(FittingNet, ForwardIsDeterministic) {
+  auto net = make_net(8, {12, 12}, 2);
+  FittingNet::Workspace ws;
+  std::vector<double> d(8, 0.3);
+  const double e1 = net.forward(d.data(), ws);
+  const double e2 = net.forward(d.data(), ws);
+  EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(FittingNet, BackwardMatchesFiniteDifference) {
+  const std::size_t in = 10;
+  auto net = make_net(in, {14, 14, 14}, 3);
+  Rng rng(4);
+  std::vector<double> d(in);
+  for (auto& v : d) v = rng.uniform(-1, 1);
+
+  FittingNet::Workspace ws;
+  net.forward(d.data(), ws);
+  std::vector<double> g(in);
+  net.backward(ws, g.data());
+
+  const double h = 1e-6;
+  FittingNet::Workspace ws2;
+  for (std::size_t p = 0; p < in; ++p) {
+    auto dp_ = d, dm = d;
+    dp_[p] += h;
+    dm[p] -= h;
+    const double ep = net.forward(dp_.data(), ws2);
+    const double em = net.forward(dm.data(), ws2);
+    EXPECT_NEAR(g[p], (ep - em) / (2 * h), 1e-7) << "p=" << p;
+  }
+}
+
+TEST(FittingNet, BackwardWithoutForwardThrows) {
+  auto net = make_net(4, {6}, 5);
+  FittingNet::Workspace ws;
+  std::vector<double> g(4);
+  EXPECT_THROW(net.backward(ws, g.data()), Error);
+}
+
+TEST(FittingNet, EnergyIsSmoothInDescriptor) {
+  auto net = make_net(6, {10, 10}, 6);
+  FittingNet::Workspace ws;
+  std::vector<double> d(6, 0.2);
+  const double e0 = net.forward(d.data(), ws);
+  d[3] += 1e-9;
+  const double e1 = net.forward(d.data(), ws);
+  EXPECT_NEAR(e0, e1, 1e-6);
+}
+
+TEST(FittingNet, FlopCount) {
+  auto net = make_net(16, {24, 24}, 7);
+  EXPECT_DOUBLE_EQ(net.flops_per_eval(), 16.0 * 24 + 24.0 * 24 + 24.0 * 1);
+}
+
+TEST(FittingNet, TabulatedActivationCloseToExact) {
+  auto net = make_net(8, {16, 16}, 8);
+  FittingNet::Workspace ws;
+  std::vector<double> d(8, 0.45);
+  const double exact = net.forward(d.data(), ws);
+  net.set_activation(Activation::TanhTabulated);
+  const double tab = net.forward(d.data(), ws);
+  EXPECT_NEAR(exact, tab, 1e-5);
+}
+
+}  // namespace
+}  // namespace dp::nn

@@ -1,0 +1,120 @@
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dp::nn {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// O(mkn) reference with no blocking tricks.
+std::vector<double> naive_gemm(const std::vector<double>& a, const std::vector<double>& b,
+                               std::size_t m, std::size_t k, std::size_t n) {
+  std::vector<double> c(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p) c[i * n + j] += a[i * k + p] * b[p * n + j];
+  return c;
+}
+
+TEST(Gemm, MatchesNaive) {
+  const std::size_t m = 13, k = 29, n = 17;
+  auto a = random_vec(m * k, 1), b = random_vec(k * n, 2);
+  auto want = naive_gemm(a, b, m, k, n);
+  std::vector<double> c(m * n, 99.0);
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-12);
+}
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  const std::size_t m = 4, k = 6, n = 5;
+  auto a = random_vec(m * k, 3), b = random_vec(k * n, 4);
+  auto want = naive_gemm(a, b, m, k, n);
+  std::vector<double> c(m * n, 1.0);
+  gemm_acc(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i] + 1.0, 1e-12);
+}
+
+TEST(Gemm, TransposedAMatchesNaive) {
+  // C = A^T B with A stored k x m.
+  const std::size_t m = 4, k = 50, n = 16;
+  auto at = random_vec(k * m, 5);  // k x m
+  auto b = random_vec(k * n, 6);
+  std::vector<double> want(m * n, 0.0);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) want[i * n + j] += at[p * m + i] * b[p * n + j];
+  std::vector<double> c(m * n);
+  gemm_tn(at.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-12);
+}
+
+TEST(Gemm, TransposedBMatchesNaive) {
+  const std::size_t m = 7, k = 9, n = 11;
+  auto a = random_vec(m * k, 7);
+  auto bt = random_vec(n * k, 8);  // n x k
+  std::vector<double> want(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p) want[i * n + j] += a[i * k + p] * bt[j * k + p];
+  std::vector<double> c(m * n);
+  gemm_nt(a.data(), bt.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-12);
+}
+
+TEST(Affine, MatchesManual) {
+  const std::size_t k = 5, n = 3;
+  auto x = random_vec(k, 9), w = random_vec(k * n, 10), b = random_vec(n, 11);
+  std::vector<double> y(n);
+  affine(x.data(), w.data(), b.data(), y.data(), k, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double want = b[j];
+    for (std::size_t p = 0; p < k; ++p) want += x[p] * w[p * n + j];
+    EXPECT_NEAR(y[j], want, 1e-12);
+  }
+}
+
+TEST(Affine, NullBiasMeansZero) {
+  const std::size_t k = 4, n = 2;
+  auto x = random_vec(k, 12), w = random_vec(k * n, 13);
+  std::vector<double> y(n, 5.0);
+  affine(x.data(), w.data(), nullptr, y.data(), k, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double want = 0.0;
+    for (std::size_t p = 0; p < k; ++p) want += x[p] * w[p * n + j];
+    EXPECT_NEAR(y[j], want, 1e-12);
+  }
+}
+
+TEST(GemvT, IsTransposeOfAffine) {
+  // gemv_t computes g W^T; check <affine(x), g> == <x, gemv_t(g)> (adjoint).
+  const std::size_t k = 8, n = 6;
+  auto x = random_vec(k, 14), w = random_vec(k * n, 15), g = random_vec(n, 16);
+  std::vector<double> y(n);
+  affine(x.data(), w.data(), nullptr, y.data(), k, n);
+  std::vector<double> gt(k);
+  gemv_t(g.data(), w.data(), gt.data(), k, n);
+  double lhs = 0, rhs = 0;
+  for (std::size_t j = 0; j < n; ++j) lhs += y[j] * g[j];
+  for (std::size_t p = 0; p < k; ++p) rhs += x[p] * gt[p];
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+TEST(Gemm, DegenerateSizes) {
+  // 1x1 everything.
+  double a = 2.0, b = 3.0, c = 0.0;
+  gemm(&a, &b, &c, 1, 1, 1);
+  EXPECT_DOUBLE_EQ(c, 6.0);
+}
+
+}  // namespace
+}  // namespace dp::nn

@@ -1,0 +1,124 @@
+#include "parallel/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace dp::par {
+namespace {
+
+TEST(MiniMpi, RankAndSize) {
+  std::atomic<int> seen{0};
+  run_parallel(4, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 4);
+    seen.fetch_add(1 << comm.rank());
+  });
+  EXPECT_EQ(seen.load(), 0b1111);
+}
+
+TEST(MiniMpi, PointToPointRing) {
+  run_parallel(5, [](Communicator& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<int> payload{comm.rank() * 10, comm.rank() * 10 + 1};
+    comm.send_vec(next, 7, payload);
+    const auto got = comm.recv_vec<int>(prev, 7);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], prev * 10);
+    EXPECT_EQ(got[1], prev * 10 + 1);
+  });
+}
+
+TEST(MiniMpi, SendToSelf) {
+  run_parallel(2, [](Communicator& comm) {
+    std::vector<double> v{1.5, 2.5};
+    comm.send_vec(comm.rank(), 3, v);
+    EXPECT_EQ(comm.recv_vec<double>(comm.rank(), 3), v);
+  });
+}
+
+TEST(MiniMpi, TagsKeepMessagesApart) {
+  run_parallel(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> a{1}, b{2};
+      comm.send_vec(1, 10, a);
+      comm.send_vec(1, 20, b);
+    } else {
+      // Receive in reverse send order: matching must be by tag.
+      EXPECT_EQ(comm.recv_vec<int>(0, 20).at(0), 2);
+      EXPECT_EQ(comm.recv_vec<int>(0, 10).at(0), 1);
+    }
+  });
+}
+
+TEST(MiniMpi, AllreduceSumScalar) {
+  run_parallel(6, [](Communicator& comm) {
+    const double total = comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, 21.0);  // 1+2+...+6
+  });
+}
+
+TEST(MiniMpi, AllreduceSumVector) {
+  run_parallel(3, [](Communicator& comm) {
+    std::vector<double> x{static_cast<double>(comm.rank()), 1.0};
+    const auto total = comm.allreduce_sum(x);
+    EXPECT_DOUBLE_EQ(total[0], 3.0);
+    EXPECT_DOUBLE_EQ(total[1], 3.0);
+  });
+}
+
+TEST(MiniMpi, AllreduceMax) {
+  run_parallel(4, [](Communicator& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank())), 3.0);
+  });
+}
+
+TEST(MiniMpi, RepeatedCollectivesDoNotInterfere) {
+  run_parallel(3, [](Communicator& comm) {
+    for (int round = 0; round < 20; ++round) {
+      const double total = comm.allreduce_sum(static_cast<double>(round));
+      EXPECT_DOUBLE_EQ(total, 3.0 * round);
+    }
+  });
+}
+
+TEST(MiniMpi, BarrierOrdersPhases) {
+  std::atomic<int> phase1{0};
+  run_parallel(4, [&](Communicator& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase1.load(), 4);
+  });
+}
+
+TEST(MiniMpi, StatsCountTraffic) {
+  const auto stats = run_parallel(2, [](Communicator& comm) {
+    std::vector<double> v(100, 1.0);
+    comm.send_vec(1 - comm.rank(), 0, v);
+    comm.recv_vec<double>(1 - comm.rank(), 0);
+  });
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, 2u * 100 * sizeof(double));
+}
+
+TEST(MiniMpi, RankExceptionPropagates) {
+  EXPECT_THROW(run_parallel(1,
+                            [](Communicator&) {
+                              throw Error("rank failure");
+                            }),
+               Error);
+}
+
+TEST(MiniMpi, SingleRankWorldWorks) {
+  run_parallel(1, [](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(5.0), 5.0);
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace dp::par

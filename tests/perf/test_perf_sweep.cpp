@@ -1,0 +1,95 @@
+// Parameterized properties of the projection model: every (machine,
+// workload, path) combination must obey the structural laws the paper's
+// analysis rests on, independent of the calibration constants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "perf/scaling_model.hpp"
+
+namespace dp::perf {
+namespace {
+
+using SweepParam = std::tuple<int /*machine: 0 Summit, 1 Fugaku*/,
+                              int /*workload: 0 water, 1 copper*/,
+                              int /*path: 0 baseline, 1 tabulated, 2 fused*/>;
+
+class PerfSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const auto [mi, wi, pi] = GetParam();
+    system_ = mi == 0 ? MachineSystem::summit() : MachineSystem::fugaku();
+    workload_ = wi == 0 ? WorkloadSpec::water() : WorkloadSpec::copper();
+    path_ = pi == 0 ? Path::Baseline : (pi == 1 ? Path::Tabulated : Path::Fused);
+    model_ = std::make_unique<ScalingModel>(system_, workload_, path_);
+  }
+
+  MachineSystem system_;
+  WorkloadSpec workload_;
+  Path path_ = Path::Fused;
+  std::unique_ptr<ScalingModel> model_;
+};
+
+TEST_P(PerfSweep, StrongScalingIsMonotone) {
+  const auto curve = model_->strong_curve(10'000'000, {20, 80, 320, 1280, 4560});
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].step_seconds, curve[i - 1].step_seconds);       // faster
+    EXPECT_LE(curve[i].efficiency, curve[i - 1].efficiency + 1e-12);   // less efficient
+    EXPECT_GT(curve[i].ns_per_day, curve[i - 1].ns_per_day);
+  }
+}
+
+TEST_P(PerfSweep, WeakScalingStepTimeIsFlat) {
+  const auto curve = model_->weak_curve(50'000, {16, 64, 256, 1024});
+  for (const auto& p : curve)
+    EXPECT_NEAR(p.step_seconds, curve.front().step_seconds,
+                0.05 * curve.front().step_seconds);
+}
+
+TEST_P(PerfSweep, WeakScalingFlopsLinearInNodes) {
+  const auto curve = model_->weak_curve(50'000, {16, 256});
+  EXPECT_NEAR(curve[1].pflops / curve[0].pflops, 256.0 / 16.0, 0.9);
+}
+
+TEST_P(PerfSweep, CapacityLinearInNodes) {
+  EXPECT_EQ(model_->max_atoms(100), 10 * model_->max_atoms(10));
+}
+
+TEST_P(PerfSweep, TtsPositiveAndBelowLegacyCodes) {
+  // Any DP configuration beats the BP-scheme CPU codes of Table 1 (3.6e-5
+  // and 1.3e-6 s/step/atom) by orders of magnitude at scale.
+  const auto p = model_->point(50'000'000, 1000);
+  EXPECT_GT(p.tts_s_step_atom, 0.0);
+  EXPECT_LT(p.tts_s_step_atom, 1.3e-6);
+}
+
+TEST_P(PerfSweep, GhostShellExceedsSurfaceEstimate) {
+  // The ghost count must exceed a one-face slab estimate and grow
+  // sublinearly with the local atom count (surface-to-volume).
+  const double g1 = model_->ghost_atoms_per_rank(1'000);
+  const double g2 = model_->ghost_atoms_per_rank(8'000);
+  EXPECT_GT(g1, 0.0);
+  EXPECT_LT(g2, 8.0 * g1);  // 8x atoms -> < 8x ghosts
+  EXPECT_GT(g2, g1);        // but more atoms -> more ghosts
+}
+
+// Kept outside the macro: braced initializers inside INSTANTIATE_* split
+// its arguments.
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  static const char* machines[] = {"summit", "fugaku"};
+  static const char* loads[] = {"water", "copper"};
+  static const char* paths[] = {"baseline", "tabulated", "fused"};
+  return std::string(machines[std::get<0>(info.param)]) + "_" +
+         loads[std::get<1>(info.param)] + "_" + paths[std::get<2>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PerfSweep,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1, 2)),
+    sweep_name);
+
+}  // namespace
+}  // namespace dp::perf

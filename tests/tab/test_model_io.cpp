@@ -1,0 +1,93 @@
+#include "tab/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "fused/fused_model.hpp"
+#include "md/lattice.hpp"
+
+namespace dp::tab {
+namespace {
+
+using core::DPModel;
+using core::ModelConfig;
+
+TEST(TableIo, StreamRoundTripIsBitIdentical) {
+  nn::EmbeddingNet net({4, 8, 16});
+  Rng rng(1);
+  net.init_random(rng);
+  TabulatedEmbedding table(net, {0.0, 1.5, 0.02});
+
+  std::stringstream ss;
+  table.save(ss);
+  TabulatedEmbedding loaded = TabulatedEmbedding::load(ss);
+
+  EXPECT_EQ(loaded.output_dim(), table.output_dim());
+  EXPECT_EQ(loaded.n_intervals(), table.n_intervals());
+  EXPECT_DOUBLE_EQ(loaded.interval(), table.interval());
+  std::vector<double> a(16), b(16), da(16), db(16);
+  Rng probe(2);
+  for (int k = 0; k < 100; ++k) {
+    const double s = probe.uniform(0.0, 1.5);
+    table.eval_with_deriv(s, a.data(), da.data());
+    loaded.eval_with_deriv(s, b.data(), db.data());
+    for (int ch = 0; ch < 16; ++ch) {
+      EXPECT_DOUBLE_EQ(a[ch], b[ch]);
+      EXPECT_DOUBLE_EQ(da[ch], db[ch]);
+    }
+    // The blocked layout must be rebuilt on load too.
+    loaded.eval_blocked(s, b.data());
+    for (int ch = 0; ch < 16; ++ch) EXPECT_DOUBLE_EQ(a[ch], b[ch]);
+  }
+}
+
+TEST(TableIo, BadMagicRejected) {
+  std::stringstream ss;
+  ss.write("garbage header data", 19);
+  EXPECT_THROW(TabulatedEmbedding::load(ss), Error);
+}
+
+TEST(CompressedModelIo, BundleRoundTripMatchesForces) {
+  DPModel model(ModelConfig::tiny(2), 5);
+  TabulationSpec spec{0.0, TabulatedDP::s_max(model.config(), 0.9), 0.01};
+  TabulatedDP tabulated(model, spec);
+
+  const std::string path = ::testing::TempDir() + "/dp_bundle_test.dpc";
+  save_compressed_model(path, tabulated);
+  auto bundle = CompressedModel::load(path);
+
+  EXPECT_EQ(bundle.model().config().ntypes, 2);
+  EXPECT_EQ(bundle.tabulated().total_bytes(), tabulated.total_bytes());
+
+  // Forces from the original and the loaded bundle are bit-identical.
+  auto sys = md::make_water(1, 1, 1, 6);
+  fused::FusedDP original(tabulated);
+  fused::FusedDP loaded(bundle.tabulated());
+  md::NeighborList nl(original.cutoff(), 0.5);
+  nl.build(sys.box, sys.atoms.pos);
+  md::Atoms atoms_a = sys.atoms;
+  md::Atoms atoms_b = sys.atoms;
+  EXPECT_DOUBLE_EQ(original.compute(sys.box, atoms_a, nl).energy,
+                   loaded.compute(sys.box, atoms_b, nl).energy);
+  for (std::size_t i = 0; i < atoms_a.size(); ++i)
+    EXPECT_DOUBLE_EQ(norm(atoms_a.force[i] - atoms_b.force[i]), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedModelIo, PrebuiltTableCtorValidates) {
+  DPModel model(ModelConfig::tiny(2), 7);
+  TabulationSpec spec{0.0, 1.0, 0.05};
+  // Wrong table count.
+  std::vector<TabulatedEmbedding> one;
+  one.emplace_back(model.embedding(0), spec);
+  EXPECT_THROW(TabulatedDP(model, spec, std::move(one)), Error);
+}
+
+TEST(CompressedModelIo, MissingFileThrows) {
+  EXPECT_THROW(CompressedModel::load("/nonexistent/bundle.dpc"), Error);
+}
+
+}  // namespace
+}  // namespace dp::tab

@@ -1,0 +1,72 @@
+#include "tab/poly5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dp::tab {
+namespace {
+
+TEST(Poly5, MatchesAllSixConditions) {
+  const double h = 0.37;
+  const double f0 = 1.2, d0 = -0.5, s0 = 2.1, f1 = 0.4, d1 = 0.9, s1 = -1.3;
+  const Poly5 c = fit_quintic(h, f0, d0, s0, f1, d1, s1);
+  EXPECT_NEAR(eval_poly5(c, 0.0), f0, 1e-12);
+  EXPECT_NEAR(eval_poly5_deriv(c, 0.0), d0, 1e-12);
+  EXPECT_NEAR(eval_poly5_deriv2(c, 0.0), s0, 1e-12);
+  EXPECT_NEAR(eval_poly5(c, h), f1, 1e-12);
+  EXPECT_NEAR(eval_poly5_deriv(c, h), d1, 1e-12);
+  EXPECT_NEAR(eval_poly5_deriv2(c, h), s1, 1e-12);
+}
+
+TEST(Poly5, ReproducesQuinticExactly) {
+  // A quintic is its own unique Hermite fit.
+  auto f = [](double x) { return 1 + x * (2 + x * (-1 + x * (0.5 + x * (3 + x * -2)))); };
+  auto fd = [](double x) { return 2 + x * (-2 + x * (1.5 + x * (12 + x * -10))); };
+  auto fdd = [](double x) { return -2 + x * (3 + x * (36 + x * -40)); };
+  const double h = 0.8;
+  const Poly5 c = fit_quintic(h, f(0), fd(0), fdd(0), f(h), fd(h), fdd(h));
+  for (double t = 0; t <= h; t += 0.05) EXPECT_NEAR(eval_poly5(c, t), f(t), 1e-10);
+}
+
+TEST(Poly5, ApproximatesSmoothFunctionWithQuinticOrder) {
+  // Hermite quintic interpolation error scales as h^6 for smooth f.
+  auto max_err = [](double h) {
+    const Poly5 c = fit_quintic(h, std::sin(0.0), std::cos(0.0), -std::sin(0.0), std::sin(h),
+                                std::cos(h), -std::sin(h));
+    double e = 0;
+    for (int k = 0; k <= 100; ++k) {
+      const double t = h * k / 100.0;
+      e = std::max(e, std::fabs(eval_poly5(c, t) - std::sin(t)));
+    }
+    return e;
+  };
+  const double e1 = max_err(0.4);
+  const double e2 = max_err(0.2);
+  EXPECT_GT(e1 / e2, 40.0);  // ~2^6 = 64 expected
+}
+
+TEST(Poly5, DerivativesAreConsistentWithValue) {
+  const Poly5 c = fit_quintic(0.5, 0.3, 1.1, -0.7, 0.9, -0.2, 0.4);
+  const double h = 1e-6;
+  // Second differences divide rounding noise by h^2, so they get their own
+  // larger step (noise ~ eps/h2^2 ~ 4e-8, truncation ~ h2^2 ~ 1e-8).
+  const double h2 = 1e-4;
+  for (double t : {0.1, 0.25, 0.4}) {
+    const double fd = (eval_poly5(c, t + h) - eval_poly5(c, t - h)) / (2 * h);
+    EXPECT_NEAR(eval_poly5_deriv(c, t), fd, 1e-8);
+    const double fdd =
+        (eval_poly5(c, t + h2) - 2 * eval_poly5(c, t) + eval_poly5(c, t - h2)) / (h2 * h2);
+    EXPECT_NEAR(eval_poly5_deriv2(c, t), fdd, 1e-5);
+  }
+}
+
+TEST(Poly5, RejectsNonPositiveWidth) {
+  EXPECT_THROW(fit_quintic(0.0, 0, 0, 0, 0, 0, 0), Error);
+  EXPECT_THROW(fit_quintic(-1.0, 0, 0, 0, 0, 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace dp::tab

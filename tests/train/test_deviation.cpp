@@ -1,0 +1,83 @@
+#include "train/deviation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fused/fused_model.hpp"
+#include "md/lattice.hpp"
+#include "tab/tabulated_model.hpp"
+
+namespace dp::train {
+namespace {
+
+using core::DPModel;
+using core::ModelConfig;
+
+struct Ensemble {
+  std::vector<std::unique_ptr<DPModel>> models;
+  std::vector<std::unique_ptr<tab::TabulatedDP>> tabs;
+  std::vector<std::unique_ptr<fused::FusedDP>> ffs;
+  std::vector<md::ForceField*> raw;
+
+  explicit Ensemble(const std::vector<std::uint64_t>& seeds) {
+    const ModelConfig cfg = ModelConfig::tiny();
+    for (auto seed : seeds) {
+      models.push_back(std::make_unique<DPModel>(cfg, seed));
+      tabs.push_back(std::make_unique<tab::TabulatedDP>(
+          *models.back(),
+          tab::TabulationSpec{0.0, tab::TabulatedDP::s_max(cfg, 0.9), 0.01}));
+      ffs.push_back(std::make_unique<fused::FusedDP>(*tabs.back()));
+      raw.push_back(ffs.back().get());
+    }
+  }
+};
+
+TEST(ModelDeviation, IdenticalModelsHaveZeroDeviation) {
+  Ensemble e({7, 7, 7});  // same seed three times
+  auto sys = md::make_fcc(4, 4, 4, 3.634, 63.546, 0.1, 1);
+  md::NeighborList nl(e.raw[0]->cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  ModelDeviation dev(e.raw);
+  const auto r = dev.evaluate(sys.box, sys.atoms, nl);
+  EXPECT_NEAR(r.max_force_dev, 0.0, 1e-12);
+  EXPECT_NEAR(r.energy_dev, 0.0, 1e-14);
+}
+
+TEST(ModelDeviation, DifferentSeedsDisagree) {
+  Ensemble e({1, 2, 3, 4});
+  auto sys = md::make_fcc(4, 4, 4, 3.634, 63.546, 0.1, 2);
+  md::NeighborList nl(e.raw[0]->cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  ModelDeviation dev(e.raw);
+  const auto r = dev.evaluate(sys.box, sys.atoms, nl);
+  EXPECT_GT(r.max_force_dev, 1e-4);
+  EXPECT_GE(r.max_force_dev, r.mean_force_dev);
+  EXPECT_GT(r.energy_dev, 0.0);
+}
+
+TEST(ModelDeviation, CandidateSelectionWindow) {
+  DeviationResult r;
+  r.max_force_dev = 0.15;
+  EXPECT_TRUE(ModelDeviation::is_candidate(r, 0.1, 0.25));   // inside window
+  EXPECT_FALSE(ModelDeviation::is_candidate(r, 0.2, 0.25));  // too accurate
+  EXPECT_FALSE(ModelDeviation::is_candidate(r, 0.05, 0.1));  // too divergent
+}
+
+TEST(ModelDeviation, RequiresAtLeastTwoModels) {
+  Ensemble e({1});
+  EXPECT_THROW(ModelDeviation({e.raw[0]}), Error);
+}
+
+TEST(ModelDeviation, EvaluationLeavesInputUntouched) {
+  Ensemble e({5, 6});
+  auto sys = md::make_fcc(3, 3, 3, 3.634, 63.546, 0.05, 3);
+  md::NeighborList nl(e.raw[0]->cutoff(), 1.0);
+  nl.build(sys.box, sys.atoms.pos);
+  const auto pos_before = sys.atoms.pos;
+  ModelDeviation dev(e.raw);
+  dev.evaluate(sys.box, sys.atoms, nl);
+  for (std::size_t i = 0; i < pos_before.size(); ++i)
+    EXPECT_DOUBLE_EQ(norm(sys.atoms.pos[i] - pos_before[i]), 0.0);
+}
+
+}  // namespace
+}  // namespace dp::train

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/baseline_model.hpp"
+#include "fused/se_r_model.hpp"
+#include "train/trainer.hpp"
+
+namespace dp::train {
+namespace {
+
+using core::DPModel;
+using core::ModelConfig;
+
+ModelConfig train_cfg() {
+  ModelConfig cfg = ModelConfig::tiny();
+  cfg.rcut = 4.0;
+  return cfg;
+}
+
+TEST(Dataset, LjCopperFramesAreLabelled) {
+  auto data = Dataset::lj_copper(6, 3, 0.1, 1);
+  ASSERT_EQ(data.size(), 6u);
+  for (const auto& f : data.frames) {
+    EXPECT_EQ(f.sys.atoms.size(), 108u);
+    EXPECT_LT(f.energy, 0.0);  // bound LJ crystal
+  }
+  // Different frames have different energies (jitter varies).
+  EXPECT_NE(data.frames[0].energy, data.frames[1].energy);
+}
+
+TEST(Dataset, EamCopperFramesAreLabelled) {
+  auto data = Dataset::eam_copper(4, 2, 0.1, 2);
+  ASSERT_EQ(data.size(), 4u);
+  for (const auto& f : data.frames) EXPECT_LT(f.energy, -10.0);  // cohesive eV scale
+  EXPECT_NE(data.frames[0].energy, data.frames[1].energy);
+}
+
+TEST(Trainer, LearnsEamLabelsToo) {
+  ModelConfig cfg = train_cfg();
+  cfg.rcut = 4.5;
+  DPModel model(cfg, 31);
+  auto data = Dataset::eam_copper(10, 2, 0.12, 32);
+  TrainConfig tc;
+  tc.learning_rate = 3e-3;
+  EnergyTrainer trainer(model, tc);
+  const double before = trainer.evaluate(data);
+  for (int e = 0; e < 10; ++e) trainer.epoch(data);
+  EXPECT_LT(trainer.evaluate(data), 0.7 * before);
+}
+
+TEST(Dataset, AngularCopperLabels) {
+  auto data = Dataset::angular_copper(4, 2, 0.3, 9);
+  ASSERT_EQ(data.size(), 4u);
+  for (const auto& f : data.frames) EXPECT_GT(f.energy, 0.0);  // squared terms
+  EXPECT_NE(data.frames[0].energy, data.frames[1].energy);
+}
+
+TEST(Dataset, HoldoutSplit) {
+  auto data = Dataset::lj_copper(10, 2, 0.1, 2);
+  auto held = data.split_holdout(5);
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_EQ(data.size(), 8u);
+}
+
+TEST(Dataset, EnergyStats) {
+  auto data = Dataset::lj_copper(8, 2, 0.1, 3);
+  double mean = 0, stddev = 0;
+  data.energy_stats(mean, stddev);
+  EXPECT_LT(mean, 0.0);
+  EXPECT_GT(stddev, 0.0);
+}
+
+TEST(ModelGrads, InitMirrorsModelShapes) {
+  DPModel model(train_cfg(), 4);
+  ModelGrads grads;
+  grads.init(model);
+  ASSERT_EQ(grads.embed.size(), 1u);
+  ASSERT_EQ(grads.embed[0].size(), model.embedding(0).layers().size());
+  for (std::size_t l = 0; l < grads.embed[0].size(); ++l) {
+    EXPECT_EQ(grads.embed[0][l].w.rows(), model.embedding(0).layers()[l].in_dim());
+    EXPECT_EQ(grads.embed[0][l].w.cols(), model.embedding(0).layers()[l].out_dim());
+  }
+  EXPECT_DOUBLE_EQ(grads.squared_norm(), 0.0);
+}
+
+TEST(Gradients, MatchFiniteDifferenceOnWeights) {
+  // The core gradcheck: dE/dW from reverse mode vs central differences for
+  // probes in every network of the model.
+  DPModel model(train_cfg(), 5);
+  auto frame = Dataset::lj_copper(1, 2, 0.12, 6).frames[0];
+  md::NeighborList nl(model.config().rcut, 0.5);
+  nl.build(frame.sys.box, frame.sys.atoms.pos);
+
+  ModelGrads grads;
+  grads.init(model);
+  grads.zero();
+  energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl, 1.0, &grads);
+
+  const double h = 1e-6;
+  auto energy_of = [&] {
+    return energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl);
+  };
+
+  // Probe a few weights in each embedding layer and each fitting layer.
+  for (std::size_t l = 0; l < model.embedding(0).layers().size(); ++l) {
+    auto& w = model.embedding(0).layers()[l].weights();
+    for (std::size_t k : {std::size_t{0}, w.size() / 2, w.size() - 1}) {
+      const double w0 = w.data()[k];
+      w.data()[k] = w0 + h;
+      const double ep = energy_of();
+      w.data()[k] = w0 - h;
+      const double em = energy_of();
+      w.data()[k] = w0;
+      EXPECT_NEAR(grads.embed[0][l].w.data()[k], (ep - em) / (2 * h), 2e-5)
+          << "embed layer " << l << " k " << k;
+    }
+  }
+  for (std::size_t l = 0; l < model.fitting(0).layers().size(); ++l) {
+    auto& w = model.fitting(0).layers()[l].weights();
+    for (std::size_t k : {std::size_t{0}, w.size() / 2, w.size() - 1}) {
+      const double w0 = w.data()[k];
+      w.data()[k] = w0 + h;
+      const double ep = energy_of();
+      w.data()[k] = w0 - h;
+      const double em = energy_of();
+      w.data()[k] = w0;
+      EXPECT_NEAR(grads.fit[0][l].w.data()[k], (ep - em) / (2 * h), 2e-5)
+          << "fit layer " << l << " k " << k;
+    }
+    auto& b = model.fitting(0).layers()[l].bias();
+    const double b0 = b[0];
+    b[0] = b0 + h;
+    const double ep = energy_of();
+    b[0] = b0 - h;
+    const double em = energy_of();
+    b[0] = b0;
+    EXPECT_NEAR(grads.fit[0][l].b[0], (ep - em) / (2 * h), 2e-5) << "fit bias " << l;
+  }
+}
+
+TEST(Gradients, SeedScalesLinearly) {
+  DPModel model(train_cfg(), 7);
+  auto frame = Dataset::lj_copper(1, 2, 0.1, 8).frames[0];
+  md::NeighborList nl(model.config().rcut, 0.5);
+  nl.build(frame.sys.box, frame.sys.atoms.pos);
+  ModelGrads g1, g3;
+  g1.init(model);
+  g3.init(model);
+  g1.zero();
+  g3.zero();
+  energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl, 1.0, &g1);
+  energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl, 3.0, &g3);
+  EXPECT_NEAR(g3.squared_norm(), 9.0 * g1.squared_norm(),
+              1e-6 * std::max(1.0, g3.squared_norm()));
+}
+
+TEST(Trainer, LossDecreasesOnLjData) {
+  DPModel model(train_cfg(), 9);
+  auto data = Dataset::lj_copper(12, 2, 0.12, 10);
+  TrainConfig tc;
+  tc.learning_rate = 3e-3;
+  tc.batch_size = 4;
+  EnergyTrainer trainer(model, tc);
+  const double before = trainer.evaluate(data);
+  double after = before;
+  for (int e = 0; e < 12; ++e) after = trainer.epoch(data);
+  EXPECT_LT(trainer.evaluate(data), 0.6 * before)
+      << "before " << before << " after " << after;
+  EXPECT_GT(trainer.steps_taken(), 0);
+}
+
+TEST(Trainer, GeneralizesToHeldOutFrames) {
+  DPModel model(train_cfg(), 11);
+  auto data = Dataset::lj_copper(16, 2, 0.12, 12);
+  auto held = data.split_holdout(4);
+  TrainConfig tc;
+  tc.learning_rate = 3e-3;
+  EnergyTrainer trainer(model, tc);
+  const double before = trainer.evaluate(held);
+  for (int e = 0; e < 12; ++e) trainer.epoch(data);
+  EXPECT_LT(trainer.evaluate(held), before);
+}
+
+TEST(Gradients, SeRMatchesFiniteDifferenceOnWeights) {
+  ModelConfig cfg = train_cfg();
+  cfg.descriptor = core::DescriptorKind::SeR;
+  DPModel model(cfg, 21);
+  auto frame = Dataset::lj_copper(1, 2, 0.12, 22).frames[0];
+  md::NeighborList nl(cfg.rcut, 0.5);
+  nl.build(frame.sys.box, frame.sys.atoms.pos);
+
+  ModelGrads grads;
+  grads.init(model);
+  grads.zero();
+  energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl, 1.0, &grads);
+
+  const double h = 1e-6;
+  auto energy_of = [&] {
+    return energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl);
+  };
+  for (std::size_t l = 0; l < model.embedding(0).layers().size(); ++l) {
+    auto& w = model.embedding(0).layers()[l].weights();
+    for (std::size_t k : {std::size_t{0}, w.size() - 1}) {
+      const double w0 = w.data()[k];
+      w.data()[k] = w0 + h;
+      const double ep = energy_of();
+      w.data()[k] = w0 - h;
+      const double em = energy_of();
+      w.data()[k] = w0;
+      EXPECT_NEAR(grads.embed[0][l].w.data()[k], (ep - em) / (2 * h), 2e-5)
+          << "se_r embed layer " << l << " k " << k;
+    }
+  }
+}
+
+TEST(Gradients, SeRForwardMatchesFusedInference) {
+  // The training forward (network, all slots) and the fused inference
+  // (tables + analytic padding) implement the same descriptor.
+  ModelConfig cfg = train_cfg();
+  cfg.descriptor = core::DescriptorKind::SeR;
+  DPModel model(cfg, 23);
+  tab::TabulatedDP tab(model,
+                       {0.0, tab::TabulatedDP::s_max(cfg, 0.9), 0.002});
+  fused::SeRFusedDP ff(tab);
+  auto frame = Dataset::lj_copper(1, 2, 0.1, 24).frames[0];
+  md::NeighborList nl(cfg.rcut, 0.5);
+  nl.build(frame.sys.box, frame.sys.atoms.pos);
+  const double e_train = energy_with_gradients(model, frame.sys.box, frame.sys.atoms, nl);
+  md::Atoms atoms = frame.sys.atoms;
+  const double e_fused = ff.compute(frame.sys.box, atoms, nl).energy;
+  EXPECT_NEAR(e_train, e_fused, 1e-7 * static_cast<double>(atoms.size()));
+}
+
+TEST(Trainer, SeRLossDecreases) {
+  ModelConfig cfg = train_cfg();
+  cfg.descriptor = core::DescriptorKind::SeR;
+  DPModel model(cfg, 25);
+  auto data = Dataset::lj_copper(10, 2, 0.12, 26);
+  TrainConfig tc;
+  tc.learning_rate = 3e-3;
+  EnergyTrainer trainer(model, tc);
+  const double before = trainer.evaluate(data);
+  for (int e = 0; e < 10; ++e) trainer.epoch(data);
+  EXPECT_LT(trainer.evaluate(data), 0.7 * before);
+}
+
+namespace {
+// Full-loss value of one frame at the current weights (for gradchecks).
+double frame_loss(core::DPModel& model, const Frame& frame, double pe, double pf) {
+  md::NeighborList nl(model.config().rcut, 0.5);
+  nl.build(frame.sys.box, frame.sys.atoms.pos);
+  core::BaselineDP ff(model);
+  md::Atoms atoms = frame.sys.atoms;
+  const double e = ff.compute(frame.sys.box, atoms, nl).energy;
+  const double n = static_cast<double>(atoms.size());
+  double loss = pe * std::pow((e - frame.energy) / n, 2);
+  double f2 = 0;
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    f2 += norm2(atoms.force[i] - frame.forces[i]);
+  return loss + pf / (3.0 * n) * f2;
+}
+}  // namespace
+
+TEST(ForceLoss, GradientMatchesFiniteDifferenceOfLoss) {
+  // Run one single-frame "epoch" with pure force loss and learning rate so
+  // small the parameters barely move; then check that the applied update
+  // direction agrees with -dL/dtheta from direct finite differences.
+  ModelConfig cfg = train_cfg();
+  DPModel model(cfg, 41);
+  auto data = Dataset::lj_copper(1, 2, 0.12, 42);
+  const Frame& frame = data.frames[0];
+
+  // FD of the loss wrt a probe weight.
+  auto& w = model.embedding(0).layers()[1].weights();
+  const std::size_t k = 5;
+  const double h = 1e-6;
+  const double w0 = w.data()[k];
+  w.data()[k] = w0 + h;
+  const double lp = frame_loss(model, frame, 0.0, 1.0);
+  w.data()[k] = w0 - h;
+  const double lm = frame_loss(model, frame, 0.0, 1.0);
+  w.data()[k] = w0;
+  const double fd = (lp - lm) / (2 * h);
+
+  // One plain-SGD-like Adam step with epsilon large enough to make the
+  // update proportional to the raw gradient would be fragile; instead call
+  // the epoch and verify the weight moved OPPOSITE to the loss gradient.
+  TrainConfig tc;
+  tc.pref_e = 0.0;
+  tc.pref_f = 1.0;
+  tc.batch_size = 1;
+  tc.learning_rate = 1e-4;
+  EnergyTrainer trainer(model, tc);
+  trainer.epoch(data);
+  const double moved = w.data()[k] - w0;
+  ASSERT_NE(fd, 0.0);
+  EXPECT_LT(moved * fd, 0.0) << "update must descend the force loss";
+}
+
+TEST(ForceLoss, TrainingReducesForceRmse) {
+  // The point of the force term: energy-only training leaves forces loose;
+  // adding pref_f drives them down.
+  ModelConfig cfg = train_cfg();
+  DPModel model(cfg, 43);
+  auto data = Dataset::lj_copper(8, 2, 0.12, 44);
+  TrainConfig tc;
+  tc.pref_e = 1.0;
+  tc.pref_f = 100.0;
+  tc.learning_rate = 5e-3;
+  EnergyTrainer trainer(model, tc);
+  const double f_before = trainer.evaluate_forces(data);
+  for (int e = 0; e < 15; ++e) trainer.epoch(data);
+  const double f_after = trainer.evaluate_forces(data);
+  // Convergence is slow for a from-scratch net, but must be clearly real.
+  EXPECT_LT(f_after, 0.85 * f_before) << f_before << " -> " << f_after;
+}
+
+TEST(ForceLoss, BeatsEnergyOnlyOnForces) {
+  ModelConfig cfg = train_cfg();
+  auto data = Dataset::lj_copper(8, 2, 0.12, 45);
+
+  DPModel model_e(cfg, 46);
+  TrainConfig tce;
+  tce.learning_rate = 3e-3;
+  EnergyTrainer trainer_e(model_e, tce);
+  for (int e = 0; e < 8; ++e) trainer_e.epoch(data);
+
+  DPModel model_f(cfg, 46);  // identical init
+  TrainConfig tcf = tce;
+  tcf.pref_f = 10.0;
+  EnergyTrainer trainer_f(model_f, tcf);
+  for (int e = 0; e < 8; ++e) trainer_f.epoch(data);
+
+  EXPECT_LT(trainer_f.evaluate_forces(data), trainer_e.evaluate_forces(data));
+}
+
+TEST(ForceLoss, EvaluateForcesRequiresLabels) {
+  ModelConfig cfg = train_cfg();
+  DPModel model(cfg, 47);
+  Dataset data = Dataset::lj_copper(2, 2, 0.1, 48);
+  for (auto& f : data.frames) f.forces.clear();
+  EnergyTrainer trainer(model, {});
+  EXPECT_THROW(trainer.evaluate_forces(data), Error);
+}
+
+}  // namespace
+}  // namespace dp::train
