@@ -8,12 +8,15 @@
 //            [--path baseline|tabulated|fused|mixed] [--dt FS] [--temp K]
 //            [--thermostat none|langevin|berendsen] [--dump traj.xyz]
 //            [--thermo thermo.csv] [--interval H]
+//            [--trace out.trace.json] [--metrics out.metrics.jsonl]
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/cost.hpp"
 #include "common/timer.hpp"
 #include "dp/baseline_model.hpp"
 #include "fused/fused_model.hpp"
@@ -23,7 +26,10 @@
 #include "md/dump.hpp"
 #include "md/lammps_io.hpp"
 #include "md/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/distributed_md.hpp"
+#include "perf/cost_model.hpp"
 #include "tab/compressed_model.hpp"
 #include "tab/model_io.hpp"
 #include "train/distributed_trainer.hpp"
@@ -99,6 +105,132 @@ dp::md::Configuration system_for(const std::string& system, int cells) {
   return dp::md::make_fcc(6 * cells, 6 * cells, 6 * cells);
 }
 
+// ---- observability wiring (--trace / --metrics) ---------------------------
+
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+/// Reads the output flags and turns on trace collection if requested (must
+/// happen before the instrumented code runs — spans check the flag live).
+ObsOutputs setup_observability(const Args& args) {
+  ObsOutputs out{args.get("trace"), args.get("metrics")};
+  if (!out.trace_path.empty()) dp::obs::TraceCollector::instance().set_enabled(true);
+  return out;
+}
+
+void write_observability(const ObsOutputs& out) {
+  if (!out.trace_path.empty()) {
+    if (dp::obs::TraceCollector::instance().write_chrome_trace_file(out.trace_path))
+      std::printf("trace written to %s (load in chrome://tracing or Perfetto)\n",
+                  out.trace_path.c_str());
+    else
+      std::fprintf(stderr, "dpmd: could not write trace to %s\n", out.trace_path.c_str());
+  }
+  if (!out.metrics_path.empty()) {
+    if (dp::obs::MetricsRegistry::instance().write_jsonl_file(out.metrics_path))
+      std::printf("metrics written to %s\n", out.metrics_path.c_str());
+    else
+      std::fprintf(stderr, "dpmd: could not write metrics to %s\n",
+                   out.metrics_path.c_str());
+  }
+}
+
+/// End-of-run table: each step phase's share of the measured wall time.
+/// With in-process ranks the phase totals accumulate across all rank
+/// threads, so the budget is wall * nranks.
+void print_step_breakdown(double wall_seconds, int nranks) {
+  static const char* kPhases[] = {"md.force",      "md.neighbor", "md.halo",
+                                  "md.integrate",  "md.thermostat", "md.sample"};
+  if (wall_seconds <= 0.0) return;
+  const auto snap = dp::TimerRegistry::instance().snapshot();
+  const double budget = wall_seconds * std::max(nranks, 1);
+  std::printf("\nstep-phase breakdown (%.3f s wall%s):\n", wall_seconds,
+              nranks > 1 ? ", summed over ranks" : "");
+  std::printf("  %-14s %10s %9s %7s\n", "phase", "seconds", "calls", "share");
+  double covered = 0.0;
+  for (const char* name : kPhases) {
+    const auto it = snap.find(name);
+    if (it == snap.end()) continue;
+    covered += it->second.total_seconds;
+    std::printf("  %-14s %10.3f %9llu %6.1f%%\n", name, it->second.total_seconds,
+                static_cast<unsigned long long>(it->second.calls),
+                100.0 * it->second.total_seconds / budget);
+  }
+  std::printf("  %-14s %10.3f %9s %6.1f%%\n", "total", covered, "",
+              100.0 * covered / budget);
+}
+
+/// Measured force-kernel sections next to the analytic cost model's per-atom
+/// FLOP counts (perf/cost_model) — the roofline sanity check the paper's
+/// Sec 5 tables make at machine scale.
+void print_cost_model_table(const std::string& path, const DPModel& model,
+                            std::size_t n_atoms, double volume,
+                            std::uint64_t force_evals) {
+  dp::perf::Path ppath;
+  if (path == "baseline")
+    ppath = dp::perf::Path::Baseline;
+  else if (path == "tabulated")
+    ppath = dp::perf::Path::Tabulated;
+  else if (path == "fused")
+    ppath = dp::perf::Path::Fused;
+  else
+    return;  // mixed / se_r have no analytic model
+  if (force_evals == 0 || n_atoms == 0) return;
+
+  dp::perf::WorkloadSpec w;
+  w.config = model.config();
+  w.density = volume > 0.0 ? static_cast<double>(n_atoms) / volume : 0.1;
+  constexpr double kPi = 3.14159265358979323846;
+  w.real_neighbors =
+      w.density * (4.0 / 3.0) * kPi * w.config.rcut * w.config.rcut * w.config.rcut;
+  const auto costs = dp::perf::per_atom_costs(w, ppath);
+
+  struct Row {
+    const char* label;
+    dp::KernelCost modeled;
+    std::vector<std::string> sections;
+  };
+  std::vector<Row> rows;
+  if (path == "fused") {
+    rows = {{"env_mat", costs.env_mat, {"fused.env_mat"}},
+            {"descriptor", costs.embedding + costs.descriptor_fit, {"fused.descriptor"}},
+            {"prod_force", costs.prod_force, {"fused.prod_force"}}};
+  } else if (path == "tabulated") {
+    rows = {{"env_mat", costs.env_mat, {"compressed.env_mat"}},
+            {"embedding", costs.embedding, {"compressed.tabulation"}},
+            {"descriptor_fit", costs.descriptor_fit, {"compressed.descriptor_fit"}},
+            {"prod_force", costs.prod_force, {"compressed.prod_force"}}};
+  } else {
+    rows = {{"env_mat", costs.env_mat, {"baseline.env_mat"}},
+            {"embedding", costs.embedding,
+             {"baseline.embedding_fwd", "baseline.embedding_bwd"}},
+            {"descriptor_fit", costs.descriptor_fit, {"baseline.descriptor_fit"}},
+            {"prod_force", costs.prod_force, {"baseline.prod_force"}}};
+  }
+
+  const auto snap = dp::TimerRegistry::instance().snapshot();
+  const double per_eval_atom =
+      1.0 / (static_cast<double>(force_evals) * static_cast<double>(n_atoms));
+  std::printf("\nforce-kernel sections vs cost model (per atom per evaluation):\n");
+  std::printf("  %-15s %12s %14s %14s\n", "stage", "measured", "modeled", "intensity");
+  std::printf("  %-15s %12s %14s %14s\n", "", "[us]", "[kFLOP]", "[FLOP/B]");
+  for (const auto& row : rows) {
+    double seconds = 0.0;
+    for (const auto& s : row.sections) {
+      const auto it = snap.find(s);
+      if (it != snap.end()) seconds += it->second.total_seconds;
+    }
+    std::printf("  %-15s %12.3f %14.2f %14.2f\n", row.label,
+                seconds * per_eval_atom * 1e6, row.modeled.flops / 1e3,
+                row.modeled.intensity());
+  }
+  const auto total = costs.total();
+  std::printf("  %-15s %12s %14.2f %14.2f\n", "total", "", total.flops / 1e3,
+              total.intensity());
+}
+
 int cmd_init(const Args& args) {
   const std::string system = args.get("system", "water");
   const std::string out = args.get("out", "model.dpm");
@@ -147,6 +279,7 @@ int cmd_compress(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
+  const ObsOutputs obs_out = setup_observability(args);
   // Either a raw model (tables built on the fly) or a compressed bundle.
   std::unique_ptr<dp::tab::CompressedModel> bundle;
   std::unique_ptr<DPModel> owned_model;
@@ -210,6 +343,7 @@ int cmd_run(const Args& args) {
     sc.rebuild_every = args.get_int("rebuild-every", 10);
     std::printf("%s | %zu atoms | distributed on %d ranks | %d steps\n", system.c_str(),
                 sys.atoms.size(), ranks, sc.steps);
+    dp::TimerRegistry::instance().clear();
     const auto result = dp::par::run_distributed_md(
         ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); }, sc);
     std::printf("%6s %14s %10s\n", "step", "E_tot [eV]", "T [K]");
@@ -219,6 +353,8 @@ int cmd_run(const Args& args) {
                 result.comm.bytes / 1024.0,
                 static_cast<unsigned long long>(result.comm.messages),
                 result.max_ghost_atoms, result.wall_seconds);
+    print_step_breakdown(result.wall_seconds, ranks);
+    write_observability(obs_out);
     return 0;
   }
 
@@ -244,6 +380,12 @@ int cmd_run(const Args& args) {
                                                            0.1, 1e-5);
     sc.barostat = barostat.get();
   }
+
+  // Timers from model setup must not dilute the run breakdown: everything
+  // after this point is either construction (reported per force eval by the
+  // cost table) or the timed run itself.
+  dp::TimerRegistry::instance().clear();
+  dp::CostRegistry::instance().clear();
 
   dp::md::Simulation md(sys, *ff, sc);
   if (restarted) md.configuration().atoms.vel = restart_velocities;
@@ -272,9 +414,15 @@ int cmd_run(const Args& args) {
 
   dp::WallTimer t;
   md.run();
-  const double per_atom = t.seconds() / md.force_evaluations() /
+  const double wall = t.seconds();
+  const double per_atom = wall / md.force_evaluations() /
                           static_cast<double>(md.configuration().atoms.size()) * 1e6;
   std::printf("done: %.3f us/step/atom\n", per_atom);
+  print_step_breakdown(wall, 1);
+  print_cost_model_table(path, model, md.configuration().atoms.size(),
+                         md.configuration().box.volume(),
+                         static_cast<std::uint64_t>(md.force_evaluations()));
+  write_observability(obs_out);
   if (args.has("save-checkpoint")) {
     dp::md::save_checkpoint(args.get("save-checkpoint"), md.configuration(),
                             md.current_step());
@@ -284,6 +432,7 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
+  const ObsOutputs obs_out = setup_observability(args);
   // Train a (tiny) model on LJ-labelled copper frames, then save it.
   const int frames = args.get_int("frames", 16);
   const int epochs = args.get_int("epochs", 10);
@@ -306,6 +455,7 @@ int cmd_train(const Args& args) {
     const std::string out = args.get("out", "trained.dpm");
     model.save(out);
     std::printf("wrote trained model to %s\n", out.c_str());
+    write_observability(obs_out);
     return 0;
   }
 
@@ -320,6 +470,7 @@ int cmd_train(const Args& args) {
   const std::string out = args.get("out", "trained.dpm");
   model.save(out);
   std::printf("wrote trained model to %s\n", out.c_str());
+  write_observability(obs_out);
   return 0;
 }
 
@@ -335,7 +486,9 @@ int usage() {
       "            [--pressure BAR]\n"
       "            [--dump traj.xyz] [--thermo out.csv] [--ranks N]\n"
       "            [--restart ckpt] [--save-checkpoint ckpt] [--data lammps.data]\n"
-      "  train     fit a model to LJ labels    (--frames N --epochs N [--pref-f W] --out F)\n");
+      "            [--trace out.trace.json] [--metrics out.metrics.jsonl]\n"
+      "  train     fit a model to LJ labels    (--frames N --epochs N [--pref-f W] --out F\n"
+      "            [--trace F] [--metrics F])\n");
   return 2;
 }
 

@@ -95,11 +95,14 @@ inline std::unique_ptr<Workload> copper_workload(double interval = 0.01,
                                     sharpen);
 }
 
-/// Seconds per force evaluation (one warm-up, then >= min_seconds of calls).
+/// Seconds per force evaluation (one warm-up, then >= min_seconds of calls,
+/// split into `repeats` batches whose median is reported — one noisy batch
+/// cannot skew a figure number).
 template <class FF>
-double time_force_eval(FF& ff, Workload& w, double min_seconds = 0.25, int max_iters = 8) {
+double time_force_eval(FF& ff, Workload& w, double min_seconds = 0.25, int max_iters = 9,
+                       int repeats = 3) {
   return dp::time_per_call([&] { ff.compute(w.sys.box, w.sys.atoms, w.nlist, w.periodic); },
-                           min_seconds, max_iters);
+                           min_seconds, max_iters, repeats);
 }
 
 inline void print_rule(int width = 78) {

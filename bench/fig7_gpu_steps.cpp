@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "dp/baseline_model.hpp"
+#include "obs/metrics.hpp"
 
 using namespace dpbench;
 
@@ -27,7 +28,7 @@ double bytes_per_atom(const Workload& w, std::size_t embedding_bytes) {
   return env + static_cast<double>(embedding_bytes) / static_cast<double>(w.sys.atoms.size());
 }
 
-void run_system(const char* label, Workload& w) {
+void run_system(const char* label, Workload& w, dp::obs::MetricsRegistry& reg) {
   const std::size_t n = w.sys.atoms.size();
   std::vector<Step> steps;
 
@@ -65,10 +66,17 @@ void run_system(const char* label, Workload& w) {
               "embed buf [MB]");
   print_rule();
   const double base = steps.front().seconds;
-  for (const auto& s : steps)
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    const auto& s = steps[k];
     std::printf("%-34s %14.3f %9.2fx %16.1f\n", s.name.c_str(),
                 s.seconds / static_cast<double>(n) * 1e6, base / s.seconds,
                 static_cast<double>(s.embedding_bytes) / 1e6);
+    reg.record_event(s.name, label,
+                     {{"step", static_cast<double>(k)},
+                      {"us_per_step_atom", s.seconds / static_cast<double>(n) * 1e6},
+                      {"speedup", base / s.seconds},
+                      {"embedding_mb", static_cast<double>(s.embedding_bytes) / 1e6}});
+  }
 
   // Capacity story (paper Sec 6.1.2: water x6, copper x26 more atoms per
   // 16 GB V100): atoms that fit in 16 GB under each path's measured
@@ -77,6 +85,8 @@ void run_system(const char* label, Workload& w) {
   const double cap_fused = 16e9 / bytes_per_atom(w, 0);
   std::printf("capacity on a 16 GB device: baseline %.0fk atoms, fused %.0fk (x%.1f)\n",
               cap_base / 1e3, cap_fused / 1e3, cap_fused / cap_base);
+  reg.gauge(std::string(label) + ".final_speedup").set(base / steps.back().seconds);
+  reg.gauge(std::string(label) + ".capacity_ratio").set(cap_fused / cap_base);
 }
 
 }  // namespace
@@ -85,11 +95,18 @@ int main() {
   std::printf("Fig 7 reproduction — step-by-step optimization on one device\n");
   std::printf("(paper: single V100; here: single CPU core, paper-shaped models)\n");
 
+  // Local registry (not the process-wide instance): the emitted file holds
+  // only this figure's rows.
+  dp::obs::MetricsRegistry reg;
+
   auto water = water_workload();
-  run_system("water", *water);
+  run_system("water", *water, reg);
 
   auto copper = copper_workload();
-  run_system("copper", *copper);
+  run_system("copper", *copper, reg);
+
+  if (reg.write_json_file("BENCH_fig7.json"))
+    std::printf("\nwrote BENCH_fig7.json\n");
 
   std::printf("\nExpected shape (paper): each step compounds; copper gains more from\n"
               "redundancy removal because N_m = 500 is mostly padding at ambient\n"

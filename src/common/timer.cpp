@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace dp {
 
 TimerRegistry& TimerRegistry::instance() {
@@ -9,22 +11,62 @@ TimerRegistry& TimerRegistry::instance() {
   return reg;
 }
 
+TimerRegistry::Shard& TimerRegistry::local_shard() {
+  // One shard per (thread, registry). The cache covers the singleton-use
+  // fast path with a single pointer compare; the rare second registry (a
+  // test-local instance) falls back to re-registering.
+  thread_local const TimerRegistry* cached_owner = nullptr;
+  thread_local std::shared_ptr<Shard> cached_shard;
+  if (cached_owner != this) {
+    auto shard = std::make_shared<Shard>();
+    {
+      std::lock_guard lock(shards_mu_);
+      shards_.push_back(shard);
+    }
+    cached_owner = this;
+    cached_shard = std::move(shard);
+  }
+  return *cached_shard;
+}
+
 void TimerRegistry::add(const std::string& name, double seconds) {
-  std::lock_guard lock(mu_);
-  auto& s = sections_[name];
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mu);  // uncontended except during a merge
+  auto& s = shard.sections[name];
   s.total_seconds += seconds;
   s.calls += 1;
 }
 
+std::map<std::string, TimerStats> TimerRegistry::snapshot() const {
+  std::map<std::string, TimerStats> merged;
+  std::lock_guard lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    for (const auto& [name, stats] : shard->sections) {
+      auto& m = merged[name];
+      m.total_seconds += stats.total_seconds;
+      m.calls += stats.calls;
+    }
+  }
+  return merged;
+}
+
 TimerStats TimerRegistry::get(const std::string& name) const {
-  std::lock_guard lock(mu_);
-  auto it = sections_.find(name);
-  return it == sections_.end() ? TimerStats{} : it->second;
+  TimerStats out;
+  std::lock_guard lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    auto it = shard->sections.find(name);
+    if (it == shard->sections.end()) continue;
+    out.total_seconds += it->second.total_seconds;
+    out.calls += it->second.calls;
+  }
+  return out;
 }
 
 std::vector<std::pair<std::string, TimerStats>> TimerRegistry::sorted_by_total() const {
-  std::lock_guard lock(mu_);
-  std::vector<std::pair<std::string, TimerStats>> out(sections_.begin(), sections_.end());
+  const auto merged = snapshot();
+  std::vector<std::pair<std::string, TimerStats>> out(merged.begin(), merged.end());
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.second.total_seconds > b.second.total_seconds;
   });
@@ -32,8 +74,26 @@ std::vector<std::pair<std::string, TimerStats>> TimerRegistry::sorted_by_total()
 }
 
 void TimerRegistry::clear() {
-  std::lock_guard lock(mu_);
-  sections_.clear();
+  std::lock_guard lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    shard->sections.clear();
+  }
+}
+
+ScopedTimer::ScopedTimer(std::string name, const char* trace_category)
+    : name_(std::move(name)), trace_category_(trace_category) {
+  if (trace_category_ != nullptr && obs::TraceCollector::enabled()) {
+    tracing_ = true;
+    trace_start_us_ = obs::trace_now_us();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  TimerRegistry::instance().add(name_, t_.seconds());
+  if (tracing_)
+    obs::TraceCollector::instance().record_complete(
+        name_, trace_category_, trace_start_us_, obs::trace_now_us() - trace_start_us_);
 }
 
 }  // namespace dp

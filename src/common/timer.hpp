@@ -2,12 +2,17 @@
 //
 // The figure harnesses (Fig 7 / Fig 8 step-by-step speedups) time whole
 // inference paths; the registry lets kernels self-report so a breakdown table
-// can be printed per run.
+// can be printed per run. The hot path (add / ScopedTimer destruction) is
+// sharded per thread: each thread accumulates into its own map behind its
+// own (uncontended) mutex, and readers merge the shards — no global lock is
+// ever taken while kernels run.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -36,7 +41,9 @@ struct TimerStats {
   double mean_seconds() const { return calls ? total_seconds / calls : 0.0; }
 };
 
-/// Thread-safe registry of named sections. One global instance.
+/// Thread-sharded registry of named sections. One global instance. add()
+/// touches only the calling thread's shard; get()/sorted_by_total() merge
+/// every shard on read (including shards of threads that have exited).
 class TimerRegistry {
  public:
   static TimerRegistry& instance();
@@ -44,40 +51,70 @@ class TimerRegistry {
   void add(const std::string& name, double seconds);
   TimerStats get(const std::string& name) const;
   std::vector<std::pair<std::string, TimerStats>> sorted_by_total() const;
+  /// Merged snapshot of every section.
+  std::map<std::string, TimerStats> snapshot() const;
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, TimerStats> sections_;
+  struct Shard {
+    std::mutex mu;  ///< contended only by a concurrent merge/clear
+    std::map<std::string, TimerStats> sections;
+  };
+
+  Shard& local_shard();
+
+  mutable std::mutex shards_mu_;  ///< protects the shard list, not the data
+  std::vector<std::shared_ptr<Shard>> shards_;
 };
 
-/// RAII section timer that reports into the global registry.
+/// RAII section timer that reports into the global registry, and — when a
+/// trace category is given and tracing is enabled (obs::TraceCollector) —
+/// also emits a Chrome-trace span of the same name.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(std::string name) : name_(std::move(name)) {}
-  ~ScopedTimer() { TimerRegistry::instance().add(name_, t_.seconds()); }
+  explicit ScopedTimer(std::string name, const char* trace_category = nullptr);
+  ~ScopedTimer();
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
   std::string name_;
+  const char* trace_category_;
+  double trace_start_us_ = 0.0;  ///< valid only when tracing was on at entry
+  bool tracing_ = false;
   WallTimer t_;
 };
 
-/// Run `fn` repeatedly until at least `min_seconds` of wall time or
+/// Runs `fn` repeatedly until at least `min_seconds` of wall time or
 /// `max_iters` iterations have elapsed; returns seconds per iteration.
 /// Used by the figure harnesses for stable small-kernel timings.
+///
+/// With `repeats > 1` the measurement is split into `repeats` independent
+/// batches (each `min_seconds / repeats` long) and the median batch is
+/// returned, so one noisy batch — a scheduler hiccup, a frequency ramp —
+/// cannot skew a figure harness number.
 template <class Fn>
-double time_per_call(Fn&& fn, double min_seconds = 0.05, int max_iters = 1000) {
+double time_per_call(Fn&& fn, double min_seconds = 0.05, int max_iters = 1000,
+                     int repeats = 1) {
   // Warm-up: one untimed call (page faults, lazy allocations).
   fn();
-  WallTimer t;
-  int iters = 0;
-  do {
-    fn();
-    ++iters;
-  } while (t.seconds() < min_seconds && iters < max_iters);
-  return t.seconds() / iters;
+  repeats = std::max(repeats, 1);
+  const double min_batch = min_seconds / repeats;
+  const int iters_batch = std::max(max_iters / repeats, 1);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    int iters = 0;
+    do {
+      fn();
+      ++iters;
+    } while (t.seconds() < min_batch && iters < iters_batch);
+    samples.push_back(t.seconds() / iters);
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
 }  // namespace dp

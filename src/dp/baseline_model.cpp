@@ -15,10 +15,10 @@ BaselineDP::BaselineDP(const DPModel& model, EnvMatKernel env_kernel)
 
 md::ForceResult BaselineDP::compute(const md::Box& box, md::Atoms& atoms,
                                     const md::NeighborList& nlist, bool periodic) {
-  ScopedTimer timer("baseline.compute");
+  ScopedTimer timer("baseline.compute", "kernel");
   const ModelConfig& cfg = model_.config();
   {
-    ScopedTimer t("baseline.env_mat");
+    ScopedTimer t("baseline.env_mat", "kernel");
     build_env_mat(cfg, box, atoms, nlist, env_, env_kernel_, periodic);
   }
   const std::size_t n = env_.n_atoms;
@@ -35,7 +35,7 @@ md::ForceResult BaselineDP::compute(const md::Box& box, md::Atoms& atoms,
       static_cast<std::size_t>(cfg.ntypes));
   embedding_bytes_ = 0;
   {
-    ScopedTimer t("baseline.embedding_fwd");
+    ScopedTimer t("baseline.embedding_fwd", "kernel");
     AlignedVector<double> s_buf;
     for (int t = 0; t < cfg.ntypes; ++t) {
       const int sel_t = cfg.sel[static_cast<std::size_t>(t)];
@@ -68,7 +68,7 @@ md::ForceResult BaselineDP::compute(const md::Box& box, md::Atoms& atoms,
 
   md::ForceResult out;
   {
-    ScopedTimer t("baseline.descriptor_fit");
+    ScopedTimer t("baseline.descriptor_fit", "kernel");
     AlignedVector<double> a_mat(4 * m), g_a(4 * m);
     AtomKernelScratch scratch;
     for (std::size_t i = 0; i < n; ++i) {
@@ -107,7 +107,7 @@ md::ForceResult BaselineDP::compute(const md::Box& box, md::Atoms& atoms,
 
   // ---- Embedding backward (GEMM-shaped, again over every slot) ----------
   {
-    ScopedTimer t("baseline.embedding_bwd");
+    ScopedTimer t("baseline.embedding_bwd", "kernel");
     AlignedVector<double> g_s;
     for (int t = 0; t < cfg.ntypes; ++t) {
       const int sel_t = cfg.sel[static_cast<std::size_t>(t)];
@@ -129,7 +129,7 @@ md::ForceResult BaselineDP::compute(const md::Box& box, md::Atoms& atoms,
 
   // ---- Force / virial scatter -------------------------------------------
   {
-    ScopedTimer t("baseline.prod_force");
+    ScopedTimer t("baseline.prod_force", "kernel");
     atoms.zero_forces();
     prod_force(env_, g_rmat.data(), atoms.force);
     prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);

@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "dp/switch_fn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::core {
 
@@ -92,6 +94,20 @@ void build_one_atom(const ModelConfig& cfg, const md::Box& box, const md::Atoms&
 void build_env_mat(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
                    const md::NeighborList& nlist, EnvMat& out, EnvMatKernel kernel,
                    bool periodic) {
+  // Counters land in the registry via RAII so both kernel paths (including
+  // the baseline early return) are covered; overflow > 0 flags sel[] too
+  // small for the density, the paper's main correctness hazard at scale.
+  struct BuildRecord {
+    const EnvMat& env;
+    ~BuildRecord() {
+      static obs::Counter& builds = obs::MetricsRegistry::instance().counter("env_mat.builds");
+      static obs::Counter& overflow =
+          obs::MetricsRegistry::instance().counter("env_mat.overflow");
+      builds.inc();
+      if (env.overflow > 0) overflow.inc(env.overflow);
+    }
+  } build_record{out};
+  obs::TraceSpan span("env_mat.build", "dp");
   cfg.validate();
   const std::size_t n = nlist.n_centers();
   const int nm = cfg.nm();

@@ -6,6 +6,7 @@
 #include "common/timer.hpp"
 #include "dp/descriptor.hpp"
 #include "dp/prod_force.hpp"
+#include "obs/metrics.hpp"
 
 namespace dp::fused {
 
@@ -18,11 +19,11 @@ FusedDP::FusedDP(const tab::TabulatedDP& tabulated, FusedOptions opts)
 
 md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
                                  const md::NeighborList& nlist, bool periodic) {
-  ScopedTimer timer("fused.compute");
+  ScopedTimer timer("fused.compute", "kernel");
   const core::DPModel& model = tab_.model();
   const ModelConfig& cfg = model.config();
   {
-    ScopedTimer t("fused.env_mat");
+    ScopedTimer t("fused.env_mat", "kernel");
     build_env_mat(cfg, box, atoms, nlist, env_, opts_.env_kernel, periodic);
   }
   const std::size_t n = env_.n_atoms;
@@ -37,7 +38,7 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
   double energy_total = 0.0;
 
   {
-    ScopedTimer t("fused.descriptor");
+    ScopedTimer t("fused.descriptor", "kernel");
 #pragma omp parallel reduction(+ : slots_processed, energy_total)
     {
       // Per-thread scratch: one embedding row + its derivative (the
@@ -145,6 +146,14 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
 
   slots_processed_ = slots_processed;
   slots_total_ = n * static_cast<std::size_t>(nm);
+  {
+    static obs::Counter& slots_metric =
+        obs::MetricsRegistry::instance().counter("fused.slots_processed");
+    static obs::Gauge& padding_metric =
+        obs::MetricsRegistry::instance().gauge("fused.padding_fraction");
+    slots_metric.inc(slots_processed);
+    padding_metric.set(env_.padding_fraction());
+  }
   CostRegistry::instance().add(
       "fused.descriptor",
       {static_cast<double>(slots_processed) * 47.0 * static_cast<double>(m),
@@ -154,7 +163,7 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
   md::ForceResult out;
   out.energy = energy_total;
   {
-    ScopedTimer t("fused.prod_force");
+    ScopedTimer t("fused.prod_force", "kernel");
     atoms.zero_forces();
     prod_force(env_, g_rmat.data(), atoms.force);
     prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);

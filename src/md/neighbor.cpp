@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::md {
 
@@ -45,6 +48,20 @@ void NeighborList::build_half(const Box& box, const std::vector<Vec3>& pos, bool
 
 void NeighborList::build(const Box& box, const std::vector<Vec3>& pos, std::size_t n_centers,
                          bool periodic) {
+  // Rebuild count + duration feed the observability layer (the paper's step
+  // profiles break neighbor maintenance out as its own bar); recorded via
+  // RAII so the brute-force early-exit below is covered too.
+  struct BuildRecord {
+    WallTimer t;
+    ~BuildRecord() {
+      static obs::Counter& builds = obs::MetricsRegistry::instance().counter("neighbor.builds");
+      static obs::Histogram& seconds =
+          obs::MetricsRegistry::instance().histogram("neighbor.build_seconds");
+      builds.inc();
+      seconds.observe(t.seconds());
+    }
+  } build_record;
+  obs::TraceSpan span("neighbor.build", "neighbor");
   half_ = false;
   if (n_centers == SIZE_MAX) n_centers = pos.size();
   DP_CHECK(n_centers <= pos.size());

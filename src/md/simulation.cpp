@@ -1,8 +1,27 @@
 #include "md/simulation.hpp"
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::md {
+
+namespace {
+// Hot-path metric handles, resolved once (the registry keeps objects alive
+// for the life of the process; clear() only resets values).
+struct StepMetrics {
+  obs::Counter& steps = obs::MetricsRegistry::instance().counter("md.steps");
+  obs::Counter& rebuilds = obs::MetricsRegistry::instance().counter("md.neighbor_rebuilds");
+  obs::Counter& force_evals = obs::MetricsRegistry::instance().counter("md.force_evals");
+  obs::Histogram& step_seconds =
+      obs::MetricsRegistry::instance().histogram("md.step_seconds");
+  static StepMetrics& get() {
+    static StepMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 Simulation::Simulation(Configuration cfg, ForceField& ff, SimulationConfig sim)
     : cfg_(std::move(cfg)), ff_(ff), sim_(sim), nlist_(ff.cutoff(), sim.skin) {
@@ -18,6 +37,7 @@ Simulation::Simulation(Configuration cfg, ForceField& ff, SimulationConfig sim)
 void Simulation::compute_forces() {
   last_force_ = ff_.compute(cfg_.box, cfg_.atoms, nlist_);
   ++force_evals_;
+  StepMetrics::get().force_evals.inc();
 }
 
 ThermoSample Simulation::sample() const {
@@ -34,34 +54,69 @@ ThermoSample Simulation::sample() const {
 }
 
 void Simulation::step() {
-  verlet_first_half(cfg_.atoms, cfg_.box, sim_.dt);
-  ++steps_since_rebuild_;
-  if (steps_since_rebuild_ >= sim_.rebuild_every ||
-      nlist_.needs_rebuild(cfg_.box, cfg_.atoms.pos)) {
-    nlist_.build(cfg_.box, cfg_.atoms.pos);
-    steps_since_rebuild_ = 0;
+  StepMetrics& metrics = StepMetrics::get();
+  obs::TraceSpan step_span("md.step", "md");
+  WallTimer step_timer;
+  {
+    ScopedTimer t("md.integrate", "md");
+    verlet_first_half(cfg_.atoms, cfg_.box, sim_.dt);
   }
-  compute_forces();
-  verlet_second_half(cfg_.atoms, sim_.dt);
-  if (sim_.thermostat != nullptr) sim_.thermostat->apply(cfg_.atoms, sim_.dt);
+  ++steps_since_rebuild_;
+  {
+    // The section covers the skin/2 displacement check too: at scale that
+    // scan is part of the neighbor-maintenance cost.
+    ScopedTimer t("md.neighbor", "md");
+    if (steps_since_rebuild_ >= sim_.rebuild_every ||
+        nlist_.needs_rebuild(cfg_.box, cfg_.atoms.pos)) {
+      nlist_.build(cfg_.box, cfg_.atoms.pos);
+      steps_since_rebuild_ = 0;
+      metrics.rebuilds.inc();
+    }
+  }
+  {
+    ScopedTimer t("md.force", "md");
+    compute_forces();
+  }
+  {
+    ScopedTimer t("md.integrate", "md");
+    verlet_second_half(cfg_.atoms, sim_.dt);
+  }
+  if (sim_.thermostat != nullptr) {
+    ScopedTimer t("md.thermostat", "md");
+    sim_.thermostat->apply(cfg_.atoms, sim_.dt);
+  }
   if (sim_.barostat != nullptr) {
     // Isotropic rescale of box + coordinates toward the target pressure;
     // the neighbor list is invalidated by the deformation.
-    const double mu = sim_.barostat->scale_factor(sample().pressure_bar, sim_.dt);
+    double mu;
+    {
+      ScopedTimer t("md.thermostat", "md");
+      mu = sim_.barostat->scale_factor(sample().pressure_bar, sim_.dt);
+      if (mu != 1.0) {
+        cfg_.box = Box(cfg_.box.lengths() * mu);
+        for (auto& r : cfg_.atoms.pos) r *= mu;
+      }
+    }
     if (mu != 1.0) {
-      cfg_.box = Box(cfg_.box.lengths() * mu);
-      for (auto& r : cfg_.atoms.pos) r *= mu;
-      nlist_.build(cfg_.box, cfg_.atoms.pos);
-      steps_since_rebuild_ = 0;
+      {
+        ScopedTimer t("md.neighbor", "md");
+        nlist_.build(cfg_.box, cfg_.atoms.pos);
+        steps_since_rebuild_ = 0;
+        metrics.rebuilds.inc();
+      }
+      ScopedTimer t("md.force", "md");
       compute_forces();
     }
   }
   ++step_;
+  metrics.steps.inc();
+  metrics.step_seconds.observe(step_timer.seconds());
 }
 
 const std::vector<ThermoSample>& Simulation::run() {
   trace_.clear();
   auto record = [&] {
+    ScopedTimer t("md.sample", "md");
     ThermoSample s = sample();
     trace_.push_back(s);
     if (on_thermo) on_thermo(step_, s);

@@ -1,0 +1,51 @@
+// Minimal JSON emission helpers shared by the metrics and trace sinks.
+//
+// Writers only — the observability layer never parses JSON. Numbers are
+// emitted with enough digits to round-trip a double, and non-finite values
+// are clamped to 0 so the output always satisfies strict parsers
+// (python3 -m json.tool, chrome://tracing).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace dp::obs {
+
+/// Writes `s` as a double-quoted JSON string with the mandatory escapes.
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Writes a double as a JSON number (never NaN/Inf, which JSON forbids).
+inline void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  // %.17g round-trips any double; trailing precision is harmless to parsers.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+inline void json_number(std::ostream& os, std::uint64_t v) { os << v; }
+
+}  // namespace dp::obs

@@ -1,0 +1,275 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace dp::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::vector<double> Histogram::default_time_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 100.0; decade *= 10.0)
+    for (double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  bounds.push_back(100.0);
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_time_bounds();
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (x < cur && !min_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (x > cur && !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.bucket_counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double c = static_cast<double>(bucket_counts[i]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      // Bucket edges, tightened by the observed range so estimates never
+      // leave [min, max] (important for the open-ended overflow bucket).
+      double lo = (i == 0) ? min : bounds[i - 1];
+      double hi = (i < bounds.size()) ? bounds[i] : max;
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi < lo) hi = lo;
+      const double frac = c > 0.0 ? (target - cum) / c : 0.0;
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::record_event(std::string name,
+                                   std::vector<std::pair<std::string, double>> fields) {
+  record_event(std::move(name), std::string(), std::move(fields));
+}
+
+void MetricsRegistry::record_event(std::string name, std::string label,
+                                   std::vector<std::pair<std::string, double>> fields) {
+  std::lock_guard lock(mu_);
+  events_.push_back({std::move(name), std::move(label), std::move(fields)});
+}
+
+std::size_t MetricsRegistry::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  events_.clear();
+}
+
+namespace {
+
+void write_counter(std::ostream& os, const std::string& name, const Counter& c) {
+  os << "{\"type\":\"counter\",\"name\":";
+  json_string(os, name);
+  os << ",\"value\":" << c.value() << "}";
+}
+
+void write_gauge(std::ostream& os, const std::string& name, const Gauge& g) {
+  os << "{\"type\":\"gauge\",\"name\":";
+  json_string(os, name);
+  os << ",\"value\":";
+  json_number(os, g.value());
+  os << "}";
+}
+
+void write_histogram(std::ostream& os, const std::string& name, const Histogram& h) {
+  const HistogramSnapshot s = h.snapshot();
+  os << "{\"type\":\"histogram\",\"name\":";
+  json_string(os, name);
+  os << ",\"count\":" << s.count << ",\"sum\":";
+  json_number(os, s.sum);
+  os << ",\"min\":";
+  json_number(os, s.min);
+  os << ",\"max\":";
+  json_number(os, s.max);
+  os << ",\"mean\":";
+  json_number(os, s.mean());
+  for (const auto& [key, q] : {std::pair{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}) {
+    os << ",\"" << key << "\":";
+    json_number(os, s.quantile(q));
+  }
+  os << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+    if (s.bucket_counts[i] == 0) continue;  // sparse: most buckets are empty
+    if (!first) os << ",";
+    first = false;
+    os << "{\"le\":";
+    if (i < s.bounds.size())
+      json_number(os, s.bounds[i]);
+    else
+      os << "\"+Inf\"";
+    os << ",\"count\":" << s.bucket_counts[i] << "}";
+  }
+  os << "]}";
+}
+
+void write_event(std::ostream& os, const MetricEvent& e) {
+  os << "{\"type\":\"event\",\"name\":";
+  json_string(os, e.name);
+  if (!e.label.empty()) {
+    os << ",\"label\":";
+    json_string(os, e.label);
+  }
+  os << ",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, v] : e.fields) {
+    if (!first) os << ",";
+    first = false;
+    json_string(os, key);
+    os << ":";
+    json_number(os, v);
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_metric_objects(std::ostream& os, const char* sep,
+                                           bool& first) const {
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << sep;
+    first = false;
+    write_counter(os, name, *c);
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << sep;
+    first = false;
+    write_gauge(os, name, *g);
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << sep;
+    first = false;
+    write_histogram(os, name, *h);
+  }
+}
+
+void MetricsRegistry::write_event_objects(std::ostream& os, const char* sep,
+                                          bool& first) const {
+  for (const auto& e : events_) {
+    if (!first) os << sep;
+    first = false;
+    write_event(os, e);
+  }
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  bool first = true;
+  write_metric_objects(os, "\n", first);
+  write_event_objects(os, "\n", first);
+  if (!first) os << "\n";
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"metrics\":[";
+  bool first = true;
+  write_metric_objects(os, ",", first);
+  os << "],\"events\":[";
+  first = true;
+  write_event_objects(os, ",", first);
+  os << "]}\n";
+}
+
+bool MetricsRegistry::write_jsonl_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace dp::obs

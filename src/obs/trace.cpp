@@ -1,0 +1,162 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dp::obs {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+clock_type::time_point trace_epoch() {
+  static const clock_type::time_point epoch = clock_type::now();
+  return epoch;
+}
+
+/// One thread's event buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry, so events from exited threads
+/// survive until flush. The per-buffer mutex is only ever contended during
+/// a flush/clear; appends take it uncontended.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* reg = new BufferRegistry;  // never destroyed: threads
+  return *reg;                                      // may outlive static dtors
+}
+
+thread_local int t_rank = 0;
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    auto& reg = registry();
+    std::lock_guard lock(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(clock_type::now() - trace_epoch())
+      .count();
+}
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  trace_epoch();  // pin the epoch no later than first collector use
+  return collector;
+}
+
+void TraceCollector::set_thread_rank(int rank) { t_rank = rank; }
+
+int TraceCollector::thread_rank() { return t_rank; }
+
+void TraceCollector::record_complete(std::string name, const char* cat, double ts_us,
+                                     double dur_us) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mu);
+  buf.events.push_back({std::move(name), cat, 'X', ts_us, dur_us, t_rank, buf.tid});
+}
+
+void TraceCollector::record_instant(std::string name, const char* cat) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mu);
+  buf.events.push_back({std::move(name), cat, 'i', trace_now_us(), 0.0, t_rank, buf.tid});
+}
+
+std::size_t TraceCollector::event_count() const {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::size_t n = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceCollector::clear() {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os) const {
+  // Snapshot every buffer, then emit sorted by start time so the file is
+  // stable across runs with identical timings.
+  std::vector<TraceEvent> events;
+  {
+    auto& reg = registry();
+    std::lock_guard lock(reg.mu);
+    for (const auto& buf : reg.buffers) {
+      std::lock_guard buf_lock(buf->mu);
+      events.insert(events.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Process metadata: name each pid after its rank so Perfetto group labels
+  // read "rank 0", "rank 1", ...
+  std::set<int> ranks;
+  for (const auto& e : events) ranks.insert(e.rank);
+  for (int rank : ranks) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << rank
+       << ",\"tid\":0,\"args\":{\"name\":\"rank " << rank << "\"}}";
+  }
+  for (const auto& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    json_string(os, e.name);
+    os << ",\"cat\":";
+    json_string(os, e.cat);
+    os << ",\"ph\":\"" << e.ph << "\",\"ts\":";
+    json_number(os, e.ts_us);
+    if (e.ph == 'X') {
+      os << ",\"dur\":";
+      json_number(os, e.dur_us);
+    }
+    os << ",\"pid\":" << e.rank << ",\"tid\":" << e.tid << "}";
+  }
+  os << "]}\n";
+}
+
+bool TraceCollector::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace dp::obs

@@ -1,0 +1,96 @@
+// Low-overhead timeline tracing with Chrome trace_event export.
+//
+// Spans are recorded into per-thread buffers — the hot path never touches a
+// shared lock (each buffer has its own uncontended mutex so a concurrent
+// flush cannot tear an event). Tracing is off by default; a disabled
+// TraceSpan is two relaxed atomic loads, so instrumentation can stay
+// compiled into the MD hot path.
+//
+// The collected events flush to Chrome trace_event JSON: open the file
+// directly in chrome://tracing or https://ui.perfetto.dev. Ranks of the
+// in-process message-passing runtime map to trace "processes" (pid = rank,
+// set via set_thread_rank), threads to "tid", so a domain-decomposed run
+// shows one swim-lane group per rank.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace dp::obs {
+
+/// Global enable flag, checked inline on the hot path.
+inline std::atomic<bool> g_trace_enabled{false};
+
+/// Microseconds since the process-wide trace epoch (first use).
+double trace_now_us();
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";  ///< static string: "md", "halo", "neighbor", ...
+  char ph = 'X';         ///< 'X' complete span, 'i' instant
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int rank = 0;  ///< trace pid
+  int tid = 0;   ///< per-thread id, assigned at first event
+};
+
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  void set_enabled(bool on) { g_trace_enabled.store(on, std::memory_order_relaxed); }
+  static bool enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+  /// Labels events recorded by the calling thread with this rank (pid).
+  static void set_thread_rank(int rank);
+  static int thread_rank();
+
+  /// Appends to the calling thread's buffer (no shared lock). Records even
+  /// when the enabled flag is off — span call sites check enabled() first.
+  void record_complete(std::string name, const char* cat, double ts_us, double dur_us);
+  void record_instant(std::string name, const char* cat);
+
+  /// Total events across all thread buffers (live and exited threads).
+  std::size_t event_count() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with per-rank process
+  /// metadata, events sorted by timestamp.
+  void write_chrome_trace(std::ostream& os) const;
+  bool write_chrome_trace_file(const std::string& path) const;
+
+  /// Drops buffered events (buffers of live threads stay registered).
+  void clear();
+
+ private:
+  TraceCollector() = default;
+};
+
+/// RAII complete-span ('X') recorder. Costs ~nothing when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) {
+    if (TraceCollector::enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_us_ = trace_now_us();
+      active_ = true;
+    }
+  }
+  ~TraceSpan() {
+    if (active_)
+      TraceCollector::instance().record_complete(name_, cat_, start_us_,
+                                                 trace_now_us() - start_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace dp::obs

@@ -6,6 +6,8 @@
 #include "common/timer.hpp"
 #include "md/integrator.hpp"
 #include "md/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::par {
 
@@ -40,6 +42,8 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
   WallTimer wall;
   result.comm = run_parallel(nranks, [&](Communicator& comm) {
     const int rank = comm.rank();
+    // Rank threads map to trace "processes": one swim-lane group per rank.
+    obs::TraceCollector::set_thread_rank(rank);
     auto ff = factory();
     const double halo = ff->cutoff() + sim.skin;
 
@@ -61,22 +65,36 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
 
     auto rebuild = [&] {
       atoms.resize(n_local);  // drop ghosts
-      migrate(comm, init.box, decomp, rank, atoms, &ids);
-      n_local = atoms.size();
-      halo_ex.exchange_ghosts(comm, atoms);
-      nlist.build(init.box, atoms.pos, n_local, /*periodic=*/false);
+      {
+        // Migration + ghost exchange are communication, not list building:
+        // keep them under md.halo so the per-phase breakdown separates
+        // compute from exchange (halo.* subsections nest inside).
+        ScopedTimer t("md.halo", "halo");
+        migrate(comm, init.box, decomp, rank, atoms, &ids);
+        n_local = atoms.size();
+        halo_ex.exchange_ghosts(comm, atoms);
+      }
+      {
+        ScopedTimer t("md.neighbor", "md");
+        nlist.build(init.box, atoms.pos, n_local, /*periodic=*/false);
+      }
       max_local = std::max(max_local, n_local);
       max_ghost = std::max(max_ghost, halo_ex.n_ghost());
     };
 
     md::ForceResult local_force;
     auto compute = [&] {
-      local_force = ff->compute(init.box, atoms, nlist, /*periodic=*/false);
+      {
+        ScopedTimer t("md.force", "md");
+        local_force = ff->compute(init.box, atoms, nlist, /*periodic=*/false);
+      }
+      ScopedTimer t("md.halo", "halo");
       halo_ex.reduce_forces(comm, atoms);
     };
 
     std::vector<md::ThermoSample> thermo;
     auto sample = [&](int step) {
+      ScopedTimer timer("md.sample", "md");
       // Local contributions -> one fused allreduce.
       std::vector<double> contrib(12, 0.0);
       double ke = 0.0;
@@ -106,33 +124,74 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     sample(0);
 
     int since_rebuild = 0;
+    obs::Counter& steps_counter = obs::MetricsRegistry::instance().counter("md.steps");
+    obs::Counter& rebuilds_counter =
+        obs::MetricsRegistry::instance().counter("md.neighbor_rebuilds");
+    obs::Histogram& step_seconds =
+        obs::MetricsRegistry::instance().histogram("md.step_seconds");
     for (int step = 1; step <= sim.steps; ++step) {
-      // Half-kick + drift on local atoms only (ghosts are re-derived).
-      for (std::size_t a = 0; a < n_local; ++a) {
-        const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
-        atoms.vel[a] += atoms.force[a] * sc;
-        atoms.pos[a] += atoms.vel[a] * sim.dt;
+      obs::TraceSpan step_span("md.step", "md");
+      WallTimer step_timer;
+      {
+        // Half-kick + drift on local atoms only (ghosts are re-derived).
+        ScopedTimer t("md.integrate", "md");
+        for (std::size_t a = 0; a < n_local; ++a) {
+          const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
+          atoms.vel[a] += atoms.force[a] * sc;
+          atoms.pos[a] += atoms.vel[a] * sim.dt;
+        }
       }
       ++since_rebuild;
       if (since_rebuild >= sim.rebuild_every) {
         rebuild();
         since_rebuild = 0;
+        rebuilds_counter.inc();
       } else {
+        ScopedTimer t("md.halo", "halo");
         halo_ex.update_ghost_positions(comm, atoms);
       }
       compute();
-      for (std::size_t a = 0; a < n_local; ++a) {
-        const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
-        atoms.vel[a] += atoms.force[a] * sc;
+      {
+        ScopedTimer t("md.integrate", "md");
+        for (std::size_t a = 0; a < n_local; ++a) {
+          const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
+          atoms.vel[a] += atoms.force[a] * sc;
+        }
       }
       if (step % sim.thermo_every == 0 || step == sim.steps) sample(step);
+      if (rank == 0) steps_counter.inc();
+      step_seconds.observe(step_timer.seconds());
     }
 
     const double max_local_global = comm.allreduce_max(static_cast<double>(max_local));
     const double max_ghost_global = comm.allreduce_max(static_cast<double>(max_ghost));
     const double mean_local = static_cast<double>(n_global) / nranks;
 
+    // Per-rank communication accounting, aggregated over minimpi reductions
+    // so rank 0 can publish fleet-level gauges (mean/max expose imbalance).
+    const double rank_bytes = static_cast<double>(halo_ex.bytes_sent());
+    const double rank_wait = halo_ex.wait_seconds();
+    const auto comm_sums = comm.allreduce_sum(std::vector<double>{rank_bytes, rank_wait});
+    const double bytes_max = comm.allreduce_max(rank_bytes);
+    const double wait_max = comm.allreduce_max(rank_wait);
+    if (rank == 0) {
+      auto& reg = obs::MetricsRegistry::instance();
+      reg.gauge("halo.bytes_per_rank_mean").set(comm_sums[0] / nranks);
+      reg.gauge("halo.bytes_per_rank_max").set(bytes_max);
+      reg.gauge("halo.wait_seconds_mean").set(comm_sums[1] / nranks);
+      reg.gauge("halo.wait_seconds_max").set(wait_max);
+      reg.gauge("md.load_imbalance")
+          .set(mean_local > 0 ? max_local_global / mean_local : 1.0);
+    }
+
     std::lock_guard lock(result_mu);
+    obs::MetricsRegistry::instance().record_event(
+        "rank", {{"rank", static_cast<double>(rank)},
+                 {"halo_bytes", rank_bytes},
+                 {"halo_messages", static_cast<double>(halo_ex.messages_sent())},
+                 {"halo_wait_seconds", rank_wait},
+                 {"local_atoms", static_cast<double>(n_local)},
+                 {"ghost_atoms", static_cast<double>(halo_ex.n_ghost())}});
     if (rank == 0) {
       result.thermo = thermo;
       result.max_local_atoms = static_cast<std::size_t>(max_local_global);

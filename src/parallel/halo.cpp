@@ -2,7 +2,40 @@
 
 #include <cmath>
 
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dp::par {
+
+namespace {
+/// Process-wide halo traffic totals (summed over ranks; the per-rank view
+/// lives in the HaloExchange instance counters).
+struct HaloMetrics {
+  obs::Counter& bytes = obs::MetricsRegistry::instance().counter("halo.bytes_sent");
+  obs::Counter& messages = obs::MetricsRegistry::instance().counter("halo.messages");
+  static HaloMetrics& get() {
+    static HaloMetrics m;
+    return m;
+  }
+};
+}  // namespace
+
+std::vector<double> HaloExchange::send_recv(Communicator& comm, int dest, int src, int tag,
+                                            const std::vector<double>& payload) {
+  HaloMetrics& metrics = HaloMetrics::get();
+  comm.send_vec(dest, tag, payload);
+  bytes_sent_ += payload.size() * sizeof(double);
+  ++messages_sent_;
+  metrics.bytes.inc(payload.size() * sizeof(double));
+  metrics.messages.inc();
+  WallTimer wait;
+  auto incoming = comm.recv_vec<double>(src, tag);
+  const double waited = wait.seconds();
+  wait_seconds_ += waited;
+  TimerRegistry::instance().add("halo.wait", waited);
+  return incoming;
+}
 
 HaloExchange::HaloExchange(const md::Box& box, const Decomp& decomp, int rank,
                            double halo_width)
@@ -15,6 +48,7 @@ HaloExchange::HaloExchange(const md::Box& box, const Decomp& decomp, int rank,
 }
 
 void HaloExchange::exchange_ghosts(Communicator& comm, md::Atoms& atoms) {
+  ScopedTimer timer("halo.exchange", "halo");
   n_local_ = atoms.size();
   stages_.clear();
   const auto coords = decomp_.coords_of(rank_);
@@ -53,8 +87,7 @@ void HaloExchange::exchange_ghosts(Communicator& comm, md::Atoms& atoms) {
         payload.push_back(p.z);
         payload.push_back(static_cast<double>(atoms.type[a]));
       }
-      comm.send_vec(st.send_to, st.tag, payload);
-      const auto incoming = comm.recv_vec<double>(st.recv_from, st.tag);
+      const auto incoming = send_recv(comm, st.send_to, st.recv_from, st.tag, payload);
       DP_CHECK(incoming.size() % 4 == 0);
       st.recv_begin = atoms.size();
       st.recv_count = incoming.size() / 4;
@@ -71,6 +104,7 @@ void HaloExchange::exchange_ghosts(Communicator& comm, md::Atoms& atoms) {
 }
 
 void HaloExchange::update_ghost_positions(Communicator& comm, md::Atoms& atoms) {
+  ScopedTimer timer("halo.update", "halo");
   for (const Stage& st : stages_) {
     std::vector<double> payload;
     payload.reserve(3 * st.send_idx.size());
@@ -80,8 +114,7 @@ void HaloExchange::update_ghost_positions(Communicator& comm, md::Atoms& atoms) 
       payload.push_back(p.y);
       payload.push_back(p.z);
     }
-    comm.send_vec(st.send_to, 200 + st.tag, payload);
-    const auto incoming = comm.recv_vec<double>(st.recv_from, 200 + st.tag);
+    const auto incoming = send_recv(comm, st.send_to, st.recv_from, 200 + st.tag, payload);
     DP_CHECK(incoming.size() == 3 * st.recv_count);
     for (std::size_t k = 0; k < st.recv_count; ++k)
       atoms.pos[st.recv_begin + k] = {incoming[3 * k], incoming[3 * k + 1],
@@ -90,6 +123,7 @@ void HaloExchange::update_ghost_positions(Communicator& comm, md::Atoms& atoms) 
 }
 
 void HaloExchange::reduce_forces(Communicator& comm, md::Atoms& atoms) {
+  ScopedTimer timer("halo.reduce", "halo");
   for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
     const Stage& st = *it;
     // Return the forces accumulated on the ghosts this stage created...
@@ -101,9 +135,8 @@ void HaloExchange::reduce_forces(Communicator& comm, md::Atoms& atoms) {
       payload.push_back(f.y);
       payload.push_back(f.z);
     }
-    comm.send_vec(st.recv_from, 400 + st.tag, payload);
     // ... and fold the returned forces into the atoms we sent out.
-    const auto incoming = comm.recv_vec<double>(st.send_to, 400 + st.tag);
+    const auto incoming = send_recv(comm, st.recv_from, st.send_to, 400 + st.tag, payload);
     DP_CHECK(incoming.size() == 3 * st.send_idx.size());
     for (std::size_t k = 0; k < st.send_idx.size(); ++k) {
       atoms.force[static_cast<std::size_t>(st.send_idx[k])] +=
@@ -114,6 +147,7 @@ void HaloExchange::reduce_forces(Communicator& comm, md::Atoms& atoms) {
 
 void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int rank,
              md::Atoms& atoms, std::vector<std::int64_t>* ids) {
+  ScopedTimer timer("halo.migrate", "halo");
   // Wrap everything first so coordinate comparisons are global.
   for (auto& p : atoms.pos) p = box.wrap(p);
   const auto coords = decomp.coords_of(rank);

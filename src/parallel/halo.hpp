@@ -37,6 +37,14 @@ class HaloExchange {
   std::size_t n_local() const { return n_local_; }
   std::size_t n_ghost() const { return n_ghost_; }
 
+  /// Lifetime communication accounting for this rank's exchanger — the
+  /// per-rank numbers the distributed driver aggregates over minimpi
+  /// reductions at the end of a run.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Seconds spent blocked in recv (wait + unpack) across all exchanges.
+  double wait_seconds() const { return wait_seconds_; }
+
  private:
   struct Stage {
     int send_to = -1, recv_from = -1;
@@ -46,6 +54,10 @@ class HaloExchange {
     std::size_t recv_begin = 0, recv_count = 0;
   };
 
+  /// send + timed recv of one stage, updating the communication counters.
+  std::vector<double> send_recv(Communicator& comm, int dest, int src, int tag,
+                                const std::vector<double>& payload);
+
   md::Box box_;
   const Decomp& decomp_;
   int rank_;
@@ -53,6 +65,8 @@ class HaloExchange {
   Vec3 lo_, hi_;
   std::vector<Stage> stages_;
   std::size_t n_local_ = 0, n_ghost_ = 0;
+  std::uint64_t bytes_sent_ = 0, messages_sent_ = 0;
+  double wait_seconds_ = 0.0;
 };
 
 /// Moves atoms that left this rank's sub-domain to their new owners (one

@@ -8,6 +8,7 @@
 #include "dp/prod_force.hpp"
 #include "nn/gemm.hpp"
 #include "nn/tensor.hpp"
+#include "obs/metrics.hpp"
 
 namespace dp::tab {
 
@@ -21,11 +22,11 @@ CompressedDP::CompressedDP(const TabulatedDP& tabulated, bool use_blocked_layout
 
 md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
                                       const md::NeighborList& nlist, bool periodic) {
-  ScopedTimer timer("compressed.compute");
+  ScopedTimer timer("compressed.compute", "kernel");
   const core::DPModel& model = tab_.model();
   const ModelConfig& cfg = model.config();
   {
-    ScopedTimer t("compressed.env_mat");
+    ScopedTimer t("compressed.env_mat", "kernel");
     build_env_mat(cfg, box, atoms, nlist, env_, env_kernel_, periodic);
   }
   const std::size_t n = env_.n_atoms;
@@ -39,8 +40,9 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
   std::vector<nn::Matrix> g_by_type(static_cast<std::size_t>(cfg.ntypes));
   std::vector<nn::Matrix> dg_by_type(static_cast<std::size_t>(cfg.ntypes));
   embedding_bytes_ = 0;
+  std::size_t rows_tabulated = 0;
   {
-    ScopedTimer t("compressed.tabulation");
+    ScopedTimer t("compressed.tabulation", "kernel");
     for (int ty = 0; ty < cfg.ntypes; ++ty) {
       const TabulatedEmbedding& table = tab_.table(ty);
       const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
@@ -59,6 +61,7 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
           else
             table.eval_with_deriv(s, g.row(row), dg.row(row));
         }
+      rows_tabulated += rows;
       embedding_bytes_ += (g.size() + dg.size()) * sizeof(double);
       CostRegistry::instance().add(
           "compressed.tabulation",
@@ -67,13 +70,18 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
            2.0 * static_cast<double>(rows) * static_cast<double>(m) * sizeof(double)});
     }
   }
+  {
+    static obs::Counter& rows_metric =
+        obs::MetricsRegistry::instance().counter("compressed.rows_tabulated");
+    rows_metric.inc(rows_tabulated);
+  }
 
   // ---- Per-atom descriptor + fit + backward (same dataflow as baseline) --
   atom_energy_.assign(n, 0.0);
   AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
   md::ForceResult out;
   {
-    ScopedTimer t("compressed.descriptor_fit");
+    ScopedTimer t("compressed.descriptor_fit", "kernel");
     AlignedVector<double> a_mat(4 * m), g_a(4 * m);
     AlignedVector<double> g_g;  // dE/dG rows of one atom's block
     AtomKernelScratch scratch;
@@ -121,7 +129,7 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
   }
 
   {
-    ScopedTimer t("compressed.prod_force");
+    ScopedTimer t("compressed.prod_force", "kernel");
     atoms.zero_forces();
     prod_force(env_, g_rmat.data(), atoms.force);
     prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);

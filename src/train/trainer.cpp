@@ -4,7 +4,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/timer.hpp"
 #include "dp/baseline_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::train {
 
@@ -102,6 +105,8 @@ double accumulate_frame_gradients(core::DPModel& model, const Frame& frame,
 
 double EnergyTrainer::epoch(const Dataset& data) {
   DP_CHECK(!data.frames.empty());
+  obs::TraceSpan span("train.epoch", "train");
+  WallTimer epoch_timer;
   std::vector<std::size_t> order(data.frames.size());
   std::iota(order.begin(), order.end(), 0);
   for (std::size_t i = order.size(); i > 1; --i)
@@ -125,7 +130,16 @@ double EnergyTrainer::epoch(const Dataset& data) {
       in_batch = 0;
     }
   }
-  return std::sqrt(se / static_cast<double>(data.frames.size()));
+  const double rmse = std::sqrt(se / static_cast<double>(data.frames.size()));
+  ++epochs_done_;
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("train.epochs").inc();
+  reg.histogram("train.epoch_seconds").observe(epoch_timer.seconds());
+  reg.record_event("train.epoch", {{"epoch", static_cast<double>(epochs_done_)},
+                                   {"rmse_energy", rmse},
+                                   {"seconds", epoch_timer.seconds()},
+                                   {"optimizer_steps", static_cast<double>(step_)}});
+  return rmse;
 }
 
 double EnergyTrainer::evaluate_forces(const Dataset& data) const {

@@ -58,6 +58,7 @@ class EnergyTrainer {
   double evaluate_forces(const Dataset& data) const;
 
   long steps_taken() const { return step_; }
+  long epochs_done() const { return epochs_done_; }
 
   /// One optimizer step from externally-accumulated gradients (used by the
   /// data-parallel distributed trainer).
@@ -70,6 +71,7 @@ class EnergyTrainer {
   TrainConfig cfg_;
   ModelGrads m1_, m2_;  // Adam moments
   long step_ = 0;
+  long epochs_done_ = 0;
   Rng rng_;
 };
 

@@ -1,0 +1,204 @@
+// Minimal recursive-descent JSON validator/parser for the observability
+// tests: enough of RFC 8259 to verify that emitted metrics/trace files are
+// well-formed and to pull out values, with no external dependency.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dp::testjson {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
+
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+
+  const Object& object() const { return std::get<Object>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double num() const { return std::get<double>(v); }
+
+  /// Object member access; throws std::out_of_range when missing.
+  const Value& at(const std::string& key) const { return object().at(key); }
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  /// Parses one complete JSON document; `ok` reports success (trailing
+  /// non-whitespace or any syntax error fails).
+  Value parse(bool& ok) {
+    ok = false;
+    Value v;
+    if (!parse_value(v)) return v;
+    skip_ws();
+    ok = (pos_ == s_.size());
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string str;
+        if (!parse_string(str)) return false;
+        out.v = std::move(str);
+        return true;
+      }
+      case 't': out.v = true; return literal("true");
+      case 'f': out.v = false; return literal("false");
+      case 'n': out.v = nullptr; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    if (!consume('{')) return false;
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      out.v = std::move(obj);
+      return true;
+    }
+    do {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      Value val;
+      if (!parse_value(val)) return false;
+      obj.emplace(std::move(key), std::move(val));
+    } while (consume(','));
+    if (!consume('}')) return false;
+    out.v = std::move(obj);
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    if (!consume('[')) return false;
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      out.v = std::move(arr);
+      return true;
+    }
+    do {
+      Value val;
+      if (!parse_value(val)) return false;
+      arr.push_back(std::move(val));
+    } while (consume(','));
+    if (!consume(']')) return false;
+    out.v = std::move(arr);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          for (int k = 0; k < 4; ++k)
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + static_cast<std::size_t>(k)])))
+              return false;
+          // Validation only: keep the escape verbatim (tests compare structure,
+          // not non-ASCII content).
+          out.append("\\u").append(s_.substr(pos_, 4));
+          pos_ += 4;
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out.v = std::stod(std::string(s_.substr(start, pos_ - start)));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses `text` as one JSON document; sets `ok` accordingly.
+inline Value parse_json(std::string_view text, bool& ok) {
+  return Parser(text).parse(ok);
+}
+
+}  // namespace dp::testjson

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using dp::obs::Counter;
+using dp::obs::Gauge;
+using dp::obs::Histogram;
+using dp::obs::MetricsRegistry;
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreNotLost) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAddLastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentAddsAreNotLost) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  ASSERT_EQ(s.bucket_counts.size(), 4u);
+  EXPECT_EQ(s.bucket_counts[0], 1u);
+  EXPECT_EQ(s.bucket_counts[1], 1u);
+  EXPECT_EQ(s.bucket_counts[2], 0u);
+  EXPECT_EQ(s.bucket_counts[3], 1u);
+}
+
+TEST(Histogram, QuantilesOnUniformData) {
+  // 1..1000 uniformly into buckets of width 100: the interpolated quantile
+  // should land within one bucket width of the exact order statistic.
+  std::vector<double> bounds;
+  for (double b = 100.0; b <= 1000.0; b += 100.0) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.50), 500.0, 100.0);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 100.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 100.0);
+  // Extremes clamp to the observed range.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+  // Monotone in q.
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Histogram, QuantileStaysInObservedRange) {
+  Histogram h({1e-3, 1e-2, 1e-1, 1.0});
+  h.observe(0.004);
+  h.observe(0.005);
+  h.observe(0.006);
+  // All three land in the (1e-3, 1e-2] bucket; estimates must not escape
+  // the observed [0.004, 0.006] range.
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_GE(h.quantile(q), 0.004);
+    EXPECT_LE(h.quantile(q), 0.006);
+  }
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Histogram, ConcurrentObservesAreNotLost) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1e-5 * (t + 1));
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto s = h.snapshot();
+  std::uint64_t total = 0;
+  for (auto c : s.bucket_counts) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  Gauge& g1 = reg.gauge("y");
+  Gauge& g2 = reg.gauge("y");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("z", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("z");  // bounds ignored after creation
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, ClearResetsValuesButKeepsObjects) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.inc(7);
+  g.set(1.0);
+  h.observe(0.5);
+  reg.record_event("e", {{"k", 1.0}});
+  EXPECT_EQ(reg.event_count(), 1u);
+  reg.clear();
+  // Cached references stay valid and read the reset values.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.event_count(), 0u);
+  EXPECT_EQ(&c, &reg.counter("c"));
+}
+
+TEST(MetricsRegistry, JsonlLinesAreValidJson) {
+  MetricsRegistry reg;
+  reg.counter("md.steps").inc(3);
+  reg.gauge("load \"imbalance\"\n").set(1.25);  // name needing escapes
+  Histogram& h = reg.histogram("md.step_seconds");
+  h.observe(1e-4);
+  h.observe(2e-4);
+  reg.record_event("rank", "label with \\ and \"", {{"rank", 0.0}, {"bytes", 123.0}});
+
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  const std::string text = os.str();
+  ASSERT_FALSE(text.empty());
+
+  std::istringstream lines(text);
+  std::string line;
+  int n_lines = 0, n_counter = 0, n_gauge = 0, n_hist = 0, n_event = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    bool ok = false;
+    const auto v = dp::testjson::parse_json(line, ok);
+    ASSERT_TRUE(ok) << "invalid JSON line: " << line;
+    ASSERT_TRUE(v.is_object());
+    ASSERT_TRUE(v.has("type"));
+    const std::string& type = v.at("type").str();
+    if (type == "counter") {
+      ++n_counter;
+      EXPECT_DOUBLE_EQ(v.at("value").num(), 3.0);
+    } else if (type == "gauge") {
+      ++n_gauge;
+      EXPECT_DOUBLE_EQ(v.at("value").num(), 1.25);
+    } else if (type == "histogram") {
+      ++n_hist;
+      EXPECT_DOUBLE_EQ(v.at("count").num(), 2.0);
+      EXPECT_TRUE(v.at("buckets").is_array());
+      EXPECT_TRUE(v.has("p50"));
+      EXPECT_TRUE(v.has("p95"));
+      EXPECT_TRUE(v.has("p99"));
+    } else if (type == "event") {
+      ++n_event;
+      EXPECT_EQ(v.at("name").str(), "rank");
+      EXPECT_DOUBLE_EQ(v.at("fields").at("bytes").num(), 123.0);
+    }
+    ++n_lines;
+  }
+  EXPECT_EQ(n_lines, 4);
+  EXPECT_EQ(n_counter, 1);
+  EXPECT_EQ(n_gauge, 1);
+  EXPECT_EQ(n_hist, 1);
+  EXPECT_EQ(n_event, 1);
+}
+
+TEST(MetricsRegistry, JsonDocumentIsValid) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.gauge("b").set(2.0);
+  reg.record_event("row", {{"x", 1.0}});
+  std::ostringstream os;
+  reg.write_json(os);
+  bool ok = false;
+  const auto v = dp::testjson::parse_json(os.str(), ok);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("metrics").array().size(), 2u);
+  EXPECT_EQ(v.at("events").array().size(), 1u);
+}
+
+TEST(MetricsRegistry, NonFiniteGaugeStillEmitsValidJson) {
+  MetricsRegistry reg;
+  reg.gauge("bad").set(std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  bool ok = false;
+  dp::testjson::parse_json(line, ok);
+  EXPECT_TRUE(ok) << line;
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "json_check.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using dp::obs::TraceCollector;
+using dp::obs::TraceSpan;
+
+/// The collector is a process singleton: every test starts from a clean,
+/// disabled state and leaves it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { TraceSpan s("noop", "test"); }
+  { TraceSpan s("noop2", "test"); }
+  EXPECT_EQ(TraceCollector::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpansRecord) {
+  TraceCollector::instance().set_enabled(true);
+  { TraceSpan s("work", "test"); }
+  TraceCollector::instance().record_instant("marker", "test");
+  EXPECT_EQ(TraceCollector::instance().event_count(), 2u);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillCompletes) {
+  TraceCollector::instance().set_enabled(true);
+  {
+    TraceSpan s("late", "test");
+    // Disabling mid-span must not lose the span (it checked the flag at
+    // entry) nor crash at exit.
+    TraceCollector::instance().set_enabled(false);
+  }
+  EXPECT_EQ(TraceCollector::instance().event_count(), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceIsValidJson) {
+  TraceCollector::instance().set_enabled(true);
+  TraceCollector::set_thread_rank(0);
+  {
+    TraceSpan outer("md.step", "md");
+    { TraceSpan inner("md.force", "md"); }
+    { TraceSpan inner("md.integrate", "md"); }
+  }
+  TraceCollector::instance().set_enabled(false);
+
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  bool ok = false;
+  const auto doc = dp::testjson::parse_json(os.str(), ok);
+  ASSERT_TRUE(ok) << os.str();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& events = doc.at("traceEvents").array();
+
+  std::set<std::string> names;
+  int n_complete = 0;
+  for (const auto& e : events) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    const std::string& ph = e.at("ph").str();
+    if (ph == "M") continue;  // process-name metadata
+    ASSERT_TRUE(e.has("name"));
+    ASSERT_TRUE(e.has("ts"));
+    ASSERT_TRUE(e.has("tid"));
+    names.insert(e.at("name").str());
+    if (ph == "X") {
+      ++n_complete;
+      ASSERT_TRUE(e.has("dur"));
+      EXPECT_GE(e.at("dur").num(), 0.0);
+    }
+  }
+  EXPECT_EQ(n_complete, 3);
+  EXPECT_TRUE(names.count("md.step"));
+  EXPECT_TRUE(names.count("md.force"));
+  EXPECT_TRUE(names.count("md.integrate"));
+
+  // Events are emitted in timestamp order.
+  double prev_ts = -1.0;
+  for (const auto& e : events) {
+    if (e.at("ph").str() == "M") continue;
+    EXPECT_GE(e.at("ts").num(), prev_ts);
+    prev_ts = e.at("ts").num();
+  }
+}
+
+TEST_F(TraceTest, PerRankProcessMetadata) {
+  TraceCollector::instance().set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < 3; ++rank)
+    threads.emplace_back([rank] {
+      TraceCollector::set_thread_rank(rank);
+      TraceSpan s("md.step", "md");
+    });
+  for (auto& t : threads) t.join();
+  TraceCollector::instance().set_enabled(false);
+
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  bool ok = false;
+  const auto doc = dp::testjson::parse_json(os.str(), ok);
+  ASSERT_TRUE(ok);
+
+  std::set<double> span_pids, meta_pids;
+  for (const auto& e : doc.at("traceEvents").array()) {
+    if (e.at("ph").str() == "M")
+      meta_pids.insert(e.at("pid").num());
+    else
+      span_pids.insert(e.at("pid").num());
+  }
+  EXPECT_EQ(span_pids.size(), 3u);
+  // Every rank that recorded a span gets a process_name metadata record.
+  EXPECT_EQ(meta_pids, span_pids);
+}
+
+TEST_F(TraceTest, MultiThreadedStressLosesNoEvents) {
+  TraceCollector::instance().set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      TraceCollector::set_thread_rank(t % 2);
+      for (int i = 0; i < kPerThread; ++i) TraceSpan s("hot", "stress");
+    });
+  for (auto& th : threads) th.join();
+  TraceCollector::instance().set_enabled(false);
+
+  EXPECT_EQ(TraceCollector::instance().event_count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+
+  // The flush must still be valid JSON with exactly one record per span
+  // (no torn/interleaved writes).
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  bool ok = false;
+  const auto doc = dp::testjson::parse_json(os.str(), ok);
+  ASSERT_TRUE(ok);
+  std::size_t spans = 0;
+  for (const auto& e : doc.at("traceEvents").array())
+    if (e.at("ph").str() == "X") ++spans;
+  EXPECT_EQ(spans, static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TraceTest, ConcurrentFlushWhileRecordingParses) {
+  TraceCollector::instance().set_enabled(true);
+  // The writer is bounded (each flush costs O(recorded events), so an
+  // unbounded writer racing the flusher on one core never converges).
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) TraceSpan s("live", "stress");
+    done.store(true);
+  });
+  // Snapshot repeatedly while spans are being recorded: each snapshot must
+  // be a self-consistent, parseable document.
+  int flushes = 0;
+  do {
+    std::ostringstream os;
+    TraceCollector::instance().write_chrome_trace(os);
+    bool ok = false;
+    dp::testjson::parse_json(os.str(), ok);
+    EXPECT_TRUE(ok);
+    ++flushes;
+  } while (!done.load());
+  writer.join();
+  EXPECT_GE(flushes, 1);
+}
+
+TEST_F(TraceTest, ScopedTimerEmitsSpanWhenCategorized) {
+  TraceCollector::instance().set_enabled(true);
+  { dp::ScopedTimer t("obs_test.section", "test"); }
+  { dp::ScopedTimer t("obs_test.untraced"); }  // no category: registry only
+  TraceCollector::instance().set_enabled(false);
+
+  EXPECT_EQ(TraceCollector::instance().event_count(), 1u);
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  bool ok = false;
+  const auto doc = dp::testjson::parse_json(os.str(), ok);
+  ASSERT_TRUE(ok);
+  bool found = false;
+  for (const auto& e : doc.at("traceEvents").array())
+    if (e.at("ph").str() == "X" && e.at("name").str() == "obs_test.section") found = true;
+  EXPECT_TRUE(found);
+  // Both sections still reached the timer registry.
+  EXPECT_EQ(dp::TimerRegistry::instance().get("obs_test.section").calls, 1u);
+  EXPECT_EQ(dp::TimerRegistry::instance().get("obs_test.untraced").calls, 1u);
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  TraceCollector::instance().set_enabled(true);
+  { TraceSpan s("x", "test"); }
+  EXPECT_GT(TraceCollector::instance().event_count(), 0u);
+  TraceCollector::instance().clear();
+  EXPECT_EQ(TraceCollector::instance().event_count(), 0u);
+  // The calling thread's buffer stays registered and usable.
+  { TraceSpan s("y", "test"); }
+  EXPECT_EQ(TraceCollector::instance().event_count(), 1u);
+}
+
+}  // namespace
