@@ -67,9 +67,12 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) throw dp::Error("expected --option, got " + key);
     key = key.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      args.options[key] = argv[++i];
+      // Assign through a std::string temporary: string::operator=(const
+      // char*) trips GCC 12's -Wrestrict false positive (PR105329) once
+      // inlined into main, and this file builds with -Werror.
+      args.options[key] = std::string(argv[++i]);
     } else {
-      args.options[key] = "1";  // boolean flag
+      args.options[key] = std::string("1");  // boolean flag
     }
   }
   return args;

@@ -1,0 +1,60 @@
+# Sanitizer build modes, selected with -DDP_SANITIZE=<mode>[,<mode>].
+#
+# Modes:
+#   address    AddressSanitizer    (heap/stack/global overflow, use-after-free,
+#                                   leaks via LeakSanitizer)
+#   undefined  UndefinedBehaviorSanitizer (signed overflow, bad shifts, bad
+#                                   casts, misaligned access, ...)
+#   thread     ThreadSanitizer     (data races, lock-order inversions)
+#
+# `address` and `undefined` compose ("address,undefined" is the CI asan-ubsan
+# job); `thread` is mutually exclusive with `address` — the runtimes cannot
+# coexist in one process.
+#
+# The flags attach to `dp_build_flags`, the interface target every library,
+# test, bench and app links, so a single cache variable re-instruments the
+# whole tree. Sanitized builds keep full optimization (the stress tests rely
+# on real instruction interleavings) but add frame pointers and debug info so
+# reports carry usable stacks.
+
+set(DP_SANITIZE "" CACHE STRING
+    "Sanitizer mode(s): address, undefined, thread, or a comma list (empty = off)")
+set_property(CACHE DP_SANITIZE PROPERTY STRINGS
+             "" "address" "undefined" "thread" "address,undefined")
+
+function(dp_apply_sanitizers target)
+  if(DP_SANITIZE STREQUAL "")
+    return()
+  endif()
+
+  string(REPLACE "," ";" _dp_san_list "${DP_SANITIZE}")
+  set(_dp_san_joined "")
+  foreach(mode IN LISTS _dp_san_list)
+    if(NOT mode MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR
+              "DP_SANITIZE: unknown mode '${mode}' (address|undefined|thread)")
+    endif()
+    list(APPEND _dp_san_joined "${mode}")
+  endforeach()
+
+  if("thread" IN_LIST _dp_san_joined AND "address" IN_LIST _dp_san_joined)
+    message(FATAL_ERROR
+            "DP_SANITIZE: 'thread' and 'address' cannot be combined — their "
+            "runtimes conflict; build them as separate trees")
+  endif()
+
+  string(REPLACE ";" "," _dp_san_csv "${_dp_san_joined}")
+  set(_dp_san_flags -fsanitize=${_dp_san_csv} -fno-omit-frame-pointer -g)
+
+  if("undefined" IN_LIST _dp_san_joined)
+    # A UB report is a test failure, not a log line: abort instead of
+    # continuing with a poisoned value.
+    list(APPEND _dp_san_flags -fno-sanitize-recover=all)
+  endif()
+
+  target_compile_options(${target} INTERFACE ${_dp_san_flags})
+  target_link_options(${target} INTERFACE -fsanitize=${_dp_san_csv})
+
+  # Visible marker in configure logs (the CI matrix greps for it).
+  message(STATUS "DP_SANITIZE: instrumenting all targets with ${_dp_san_csv}")
+endfunction()

@@ -5,6 +5,7 @@
 
 #include "common/timer.hpp"
 #include "md/integrator.hpp"
+#include "parallel/minimpi.hpp"
 #include "md/units.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

@@ -16,6 +16,7 @@
 #include "md/force_field.hpp"
 #include "md/simulation.hpp"
 #include "parallel/halo.hpp"
+#include "parallel/minimpi.hpp"
 
 namespace dp::par {
 

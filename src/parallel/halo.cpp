@@ -4,6 +4,7 @@
 
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/minimpi.hpp"
 #include "obs/trace.hpp"
 
 namespace dp::par {
@@ -11,6 +12,14 @@ namespace dp::par {
 namespace {
 /// Process-wide halo traffic totals (summed over ranks; the per-rank view
 /// lives in the HaloExchange instance counters).
+///
+/// Thread-safety: each HaloExchange instance is owned by exactly one rank
+/// thread — instance state (stages_, byte counters) is never shared. The
+/// only cross-rank state here are these two metrics Counters, whose inc()
+/// is a relaxed atomic add, and the function-local static that creates them
+/// (guarded by C++ magic-statics). Rank threads otherwise communicate only
+/// through minimpi send/recv, which supplies the happens-before for the
+/// exchanged payloads (see minimpi.cpp).
 struct HaloMetrics {
   obs::Counter& bytes = obs::MetricsRegistry::instance().counter("halo.bytes_sent");
   obs::Counter& messages = obs::MetricsRegistry::instance().counter("halo.messages");

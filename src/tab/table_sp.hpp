@@ -19,7 +19,7 @@ class TabulatedEmbeddingSP {
 
   std::size_t output_dim() const { return m_; }
   std::size_t bytes() const { return coef_.size() * sizeof(float); }
-  double interval() const { return h_; }
+  float interval() const { return h_; }
 
   /// g[0..M) in float.
   void eval(float s, float* g) const;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <mutex>
 
+#include "parallel/minimpi.hpp"
+
 namespace dp::train {
 
 DistributedTrainResult train_distributed(int nranks, core::DPModel& model,

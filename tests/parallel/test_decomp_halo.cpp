@@ -8,6 +8,7 @@
 #include "md/lattice.hpp"
 #include "md/neighbor.hpp"
 #include "parallel/halo.hpp"
+#include "parallel/minimpi.hpp"
 
 namespace dp::par {
 namespace {

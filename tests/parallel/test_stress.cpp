@@ -1,0 +1,245 @@
+// Concurrency stress storms for the minimpi runtime and the observability
+// layer.
+//
+// These tests exist to give ThreadSanitizer and AddressSanitizer real
+// schedules to bite on: many ranks hammering the mailbox queues, the shared
+// barrier, the reduction buffer, the sharded TimerRegistry, and the
+// metrics/trace collectors — all at once, with readers (snapshot / flush /
+// clear) racing the writers. They assert functional correctness too, so a
+// lost wakeup or a torn value fails even without a sanitizer.
+//
+// They carry the ctest label "stress": the plain CI job skips them with
+// -LE stress, the sanitizer jobs run everything (see docs/STATIC_ANALYSIS.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/minimpi.hpp"
+
+namespace {
+
+using dp::par::run_parallel;
+
+// Sized so a TSan run finishes in seconds on one core but still drives
+// thousands of lock acquisitions per mailbox/shard.
+constexpr int kRanks = 8;
+constexpr int kRounds = 60;
+
+TEST(MinimpiStress, PointToPointStorm) {
+  // Every rank sends kRounds tagged messages to every other rank, then
+  // drains them in a rank-rotated order so receives from all sources
+  // interleave in the mailbox scan.
+  const auto stats = run_parallel(kRanks, [](dp::par::Communicator& comm) {
+    const int me = comm.rank();
+    const int n = comm.size();
+    for (int round = 0; round < kRounds; ++round) {
+      for (int peer = 0; peer < n; ++peer) {
+        std::vector<std::uint64_t> payload(1 + static_cast<std::size_t>(round % 7),
+                                           static_cast<std::uint64_t>(me * 1000 + round));
+        comm.send_vec(peer, round, payload);
+      }
+    }
+    std::uint64_t checksum = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int k = 1; k <= n; ++k) {
+        const int peer = (me + k) % n;
+        const auto got = comm.recv_vec<std::uint64_t>(peer, round);
+        ASSERT_EQ(got.size(), 1 + static_cast<std::size_t>(round % 7));
+        for (auto v : got) {
+          ASSERT_EQ(v, static_cast<std::uint64_t>(peer * 1000 + round));
+          checksum += v;
+        }
+      }
+    }
+    ASSERT_GT(checksum, 0u);
+  });
+  EXPECT_EQ(stats.messages,
+            static_cast<std::uint64_t>(kRanks) * kRanks * kRounds);
+}
+
+TEST(MinimpiStress, CollectiveStorm) {
+  // Back-to-back collectives with no interleaved barriers of our own:
+  // the barrier generation counter and the shared reduction buffer get
+  // reused immediately, which is exactly where a happens-before bug in the
+  // triple-barrier allreduce protocol would surface.
+  run_parallel(kRanks, [](dp::par::Communicator& comm) {
+    const int me = comm.rank();
+    const int n = comm.size();
+    for (int round = 0; round < kRounds; ++round) {
+      const double sum = comm.allreduce_sum(static_cast<double>(me + round));
+      ASSERT_DOUBLE_EQ(sum, n * (n - 1) / 2.0 + n * round);
+
+      const double mx = comm.allreduce_max(static_cast<double>((me + round) % n));
+      ASSERT_DOUBLE_EQ(mx, n - 1);
+
+      const std::vector<double> vec(3, static_cast<double>(me));
+      const auto vsum = comm.allreduce_sum(vec);
+      ASSERT_EQ(vsum.size(), 3u);
+      ASSERT_DOUBLE_EQ(vsum[0], n * (n - 1) / 2.0);
+
+      const int root = round % n;
+      const auto bc = comm.broadcast({static_cast<double>(round), 2.5}, root);
+      ASSERT_EQ(bc.size(), 2u);
+      ASSERT_DOUBLE_EQ(bc[0], round);
+
+      const auto gathered = comm.gatherv({static_cast<double>(me)}, root);
+      if (me == root) {
+        ASSERT_EQ(gathered.size(), static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) ASSERT_DOUBLE_EQ(gathered[static_cast<std::size_t>(r)], r);
+      } else {
+        ASSERT_TRUE(gathered.empty());
+      }
+    }
+  });
+}
+
+TEST(MinimpiStress, BarrierGenerationReuse) {
+  // Tight barrier loop: rank threads leave one barrier and immediately
+  // enter the next, so a stale generation read would deadlock or let a
+  // rank skip ahead (detected by the shared counter going out of bounds).
+  std::atomic<int> in_phase{0};
+  run_parallel(kRanks, [&](dp::par::Communicator& comm) {
+    for (int round = 0; round < kRounds * 4; ++round) {
+      in_phase.fetch_add(1, std::memory_order_relaxed);
+      comm.barrier();
+      const int seen = in_phase.load(std::memory_order_relaxed);
+      // Between barriers at most 2 phases' worth of increments can be live.
+      ASSERT_LE(seen, kRanks * (round + 2));
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(in_phase.load(), kRanks * kRounds * 4);
+}
+
+TEST(ObsStress, ConcurrentMetricsEmission) {
+  auto& reg = dp::obs::MetricsRegistry::instance();
+  reg.clear();
+  // Writers hammer find-or-create plus the lock-free update paths while a
+  // reader thread snapshots and serializes the registry mid-flight.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::ostringstream os;
+      reg.write_jsonl(os);
+      (void)reg.event_count();
+    }
+  });
+  run_parallel(kRanks, [&](dp::par::Communicator& comm) {
+    const int me = comm.rank();
+    auto& hits = reg.counter("stress.hits");
+    auto& depth = reg.gauge("stress.depth");
+    auto& lat = reg.histogram("stress.latency");
+    for (int round = 0; round < kRounds * 20; ++round) {
+      hits.inc();
+      depth.add(1.0);
+      lat.observe(1e-6 * ((me + 1) * (round % 13 + 1)));
+      if (round % 16 == 0)
+        reg.record_event("stress.tick", {{"rank", static_cast<double>(me)},
+                                         {"round", static_cast<double>(round)}});
+      // A second name per rank exercises registration under contention.
+      reg.counter("stress.rank." + std::to_string(me)).inc();
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(reg.counter("stress.hits").value(),
+            static_cast<std::uint64_t>(kRanks) * kRounds * 20);
+  EXPECT_DOUBLE_EQ(reg.gauge("stress.depth").value(), kRanks * kRounds * 20.0);
+  EXPECT_EQ(reg.histogram("stress.latency").count(),
+            static_cast<std::uint64_t>(kRanks) * kRounds * 20);
+  reg.clear();
+}
+
+TEST(ObsStress, ConcurrentTraceEmission) {
+  auto& collector = dp::obs::TraceCollector::instance();
+  collector.clear();
+  collector.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    // Concurrent flush + count: must see a coherent (if momentarily stale)
+    // event set, never a torn one.
+    while (!stop.load(std::memory_order_acquire)) {
+      std::ostringstream os;
+      collector.write_chrome_trace(os);
+      (void)collector.event_count();
+    }
+  });
+  run_parallel(kRanks, [](dp::par::Communicator& comm) {
+    dp::obs::TraceCollector::set_thread_rank(comm.rank());
+    for (int round = 0; round < kRounds * 5; ++round) {
+      dp::obs::TraceSpan span("stress.span", "stress");
+      dp::obs::TraceCollector::instance().record_instant("stress.instant", "stress");
+      if (round % 8 == 0) {
+        dp::ScopedTimer timed("stress.timed", "stress");
+        comm.barrier();
+      }
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+  collector.set_enabled(false);
+
+  // 1 span + 1 instant per round per rank; ScopedTimer adds one more span
+  // every 8th round. (Flusher reads do not consume events.)
+  const std::size_t per_rank = kRounds * 5 + kRounds * 5 + (kRounds * 5 + 7) / 8;
+  EXPECT_GE(collector.event_count(), kRanks * per_rank);
+  collector.clear();
+}
+
+TEST(ObsStress, TimerRegistryShardChurn) {
+  auto& reg = dp::TimerRegistry::instance();
+  reg.clear();
+  // Short-lived threads allocate fresh shards (their accumulations must
+  // survive thread exit) while readers merge and clear concurrently.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)reg.snapshot();
+      (void)reg.get("stress.churn");
+      (void)reg.sorted_by_total();
+    }
+  });
+  constexpr int kWaves = 6;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> workers;
+    workers.reserve(kRanks);
+    for (int t = 0; t < kRanks; ++t)
+      workers.emplace_back([&reg] {
+        for (int round = 0; round < kRounds; ++round)
+          reg.add("stress.churn", 1e-9);
+      });
+    for (auto& w : workers) w.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(reg.get("stress.churn").calls,
+            static_cast<std::uint64_t>(kWaves) * kRanks * kRounds);
+  reg.clear();
+}
+
+TEST(MinimpiStress, ManyWorldsSequential) {
+  // World construction/destruction churn: catches leaks of mailboxes,
+  // stale thread handles, and init-order issues under ASan/LSan.
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = 2 + iter % 3;
+    const auto stats = run_parallel(n, [](dp::par::Communicator& comm) {
+      const double s = comm.allreduce_sum(1.0);
+      ASSERT_DOUBLE_EQ(s, comm.size());
+    });
+    EXPECT_EQ(stats.reductions, 1u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/dplint: every rule must fire on a known-bad
+fixture and stay silent on the equivalent clean code. Run directly or via
+ctest (test name: dplint_selftest)."""
+
+import importlib.util
+import os
+import sys
+import unittest
+
+_TOOLS = os.path.dirname(os.path.abspath(__file__))
+_spec = importlib.util.spec_from_loader("dplint", loader=None)
+dplint = importlib.util.module_from_spec(_spec)
+with open(os.path.join(_TOOLS, "dplint"), encoding="utf-8") as fh:
+    exec(compile(fh.read(), "dplint", "exec"), dplint.__dict__)
+
+
+def rules(rel, source):
+    return [f.rule for f in dplint.lint_file(rel, source)]
+
+
+class StripTest(unittest.TestCase):
+    def test_strips_comments_and_strings_preserving_lines(self):
+        src = 'int a; // malloc(\n/* assert( */ const char* s = "new [] x";\n'
+        out = dplint.strip_comments_and_strings(src)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertNotIn("malloc", out)
+        self.assertNotIn("assert", out)
+        self.assertNotIn("new []", out)
+
+    def test_raw_string_literal(self):
+        src = 'auto s = R"(malloc( assert( ))";\nint x;\n'
+        out = dplint.strip_comments_and_strings(src)
+        self.assertNotIn("malloc", out)
+        self.assertIn("int x;", out)
+
+
+class RuleTest(unittest.TestCase):
+    def test_raw_alloc_fires(self):
+        self.assertIn("raw-alloc", rules("src/md/foo.cpp", "int* p = new int[4];\n"))
+        self.assertIn("raw-alloc", rules("src/md/foo.cpp", "void* p = malloc(8);\n"))
+        self.assertIn("raw-alloc", rules("src/md/foo.cpp", "p = std::realloc(p, 16);\n"))
+        self.assertIn("raw-alloc", rules("bench/foo.cpp", "std::free(p);\n"))
+
+    def test_raw_alloc_allows_aligned_hpp_and_clean_code(self):
+        self.assertEqual([], rules("src/common/aligned.hpp", "void* p = std::aligned_alloc(64, n);\n"))
+        self.assertEqual([], rules("src/md/foo.cpp", "auto v = std::make_unique<int[]>(4);\n"))
+        # Comments and identifiers containing the words don't count.
+        self.assertEqual([], rules("src/md/foo.cpp", "// malloc( is banned\nint my_malloc_count(int);\n"))
+        self.assertEqual([], rules("src/md/foo.cpp", "x.free();\n"))
+
+    def test_hot_path_map_scoped_to_hot_dirs(self):
+        bad = "#include <unordered_map>\nstd::unordered_map<int,int> m;\n"
+        self.assertIn("hot-path-map", rules("src/fused/foo.cpp", bad))
+        self.assertIn("hot-path-map", rules("src/tab/foo.hpp", bad))
+        self.assertIn("hot-path-map", rules("src/md/neighbor.cpp", bad))
+        self.assertNotIn("hot-path-map", rules("src/md/checkpoint.cpp", bad))
+        self.assertNotIn("hot-path-map", rules("src/train/foo.cpp", bad))
+
+    def test_bare_assert_src_only(self):
+        self.assertIn("bare-assert", rules("src/md/foo.cpp", "assert(x > 0);\n"))
+        self.assertIn("bare-assert", rules("src/md/foo.cpp", "#include <cassert>\n"))
+        self.assertNotIn("bare-assert", rules("tests/md/foo.cpp", "assert(x > 0);\n"))
+        self.assertEqual([], rules("src/md/foo.cpp", "static_assert(sizeof(int) == 4);\n"))
+        self.assertEqual([], rules("src/md/foo.cpp", "DP_CHECK(x > 0);\n"))
+
+    def test_include_hygiene(self):
+        use = "void f(dp::par::Communicator& c);\n"
+        self.assertIn("include-hygiene", rules("src/md/foo.hpp", use))
+        ok = '#include "parallel/minimpi.hpp"\n' + use
+        self.assertNotIn("include-hygiene", rules("src/md/foo.hpp", ok))
+        tensor_use = "nn::Tensor t;\n"
+        self.assertIn("include-hygiene", rules("src/dp/foo.cpp", tensor_use))
+        tensor_ok = '#include "nn/tensor.hpp"\n' + tensor_use
+        self.assertNotIn("include-hygiene", rules("src/dp/foo.cpp", tensor_ok))
+        # The headers themselves are exempt.
+        self.assertNotIn("include-hygiene",
+                         rules("src/parallel/minimpi.hpp", "class Communicator {};\n"))
+
+    def test_sp_precision(self):
+        self.assertIn("sp-precision", rules("src/tab/table_sp.hpp", "double h_;\n"))
+        self.assertIn("sp-precision", rules("src/tab/table_sp.cpp", "long double x;\n"))
+        # Prose mentioning double is fine; other tab files are unrestricted.
+        self.assertNotIn("sp-precision",
+                         rules("src/tab/table_sp.cpp", "// reduced in double by callers\nfloat x;\n"))
+        self.assertNotIn("sp-precision", rules("src/tab/table.cpp", "double h_;\n"))
+
+
+class TreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        root = os.path.dirname(_TOOLS)
+        findings = []
+        for rel in dplint.collect_files(root, []):
+            with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as fh:
+                findings.extend(dplint.lint_file(rel.replace(os.sep, "/"), fh.read()))
+        self.assertEqual([], [str(f) for f in findings])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())
