@@ -14,6 +14,28 @@ struct Message {
 };
 }  // namespace
 
+// Threading discipline (verified race-free under TSan; keep it that way):
+//
+//  * Mailboxes: one mutex + condvar per destination rank. send() copies the
+//    payload, then publishes the message under the destination's mutex and
+//    notifies; recv() scans the queue under the same mutex and sleeps on the
+//    condvar when its (src, tag) match is absent. The unlock in send()
+//    happens-before the matching lock in recv(), so the payload bytes are
+//    fully visible to the receiver. No rank ever holds two mailbox locks at
+//    once — there is no lock ordering to violate.
+//
+//  * Barrier: a single mutex guards (count, generation). The last arriving
+//    rank resets the count, bumps the generation and notifies; waiters sleep
+//    on "generation changed", which is immune to spurious wakeups and to a
+//    rank re-entering the next barrier before stragglers observed this one.
+//
+//  * Reductions: see allreduce() — every access to the shared accumulator is
+//    under reduce_mu_, and the barriers between the three phases order
+//    "last contribution" before "first copy-out" before "reset for reuse".
+//
+//  * Stats counters are relaxed atomics: they are monotonic telemetry read
+//    after run_parallel() joins (the join supplies the happens-before), so
+//    no ordering stronger than relaxed is needed.
 class World {
  public:
   explicit World(int nranks)
@@ -27,7 +49,11 @@ class World {
     DP_CHECK_MSG(dest >= 0 && dest < nranks_, "send to invalid rank " << dest);
     Message msg{src, tag, {}};
     msg.payload.resize(bytes);
-    std::memcpy(msg.payload.data(), data, bytes);
+    // Zero-byte sends are routine (empty halo slabs, empty migrations) and
+    // arrive with data == nullptr: std::vector::data() of an empty vector.
+    // memcpy's pointer arguments are attribute-nonnull even for n == 0, so
+    // the call itself would be UB — skip it.
+    if (bytes != 0) std::memcpy(msg.payload.data(), data, bytes);
     auto& box = mailboxes_[static_cast<std::size_t>(dest)];
     {
       std::lock_guard lock(box.mu);
@@ -66,8 +92,17 @@ class World {
     }
   }
 
-  /// Generic allreduce over a double vector: rank-ordered contributions into
-  /// a shared accumulator between two barriers.
+  /// Generic allreduce over a double vector: contributions fold into a
+  /// shared accumulator, separated from the copy-out and the reset by
+  /// barriers.
+  ///
+  /// Happens-before chain: (1) every rank folds its vector into reduce_buf_
+  /// under reduce_mu_; (2) the first barrier orders all folds before any
+  /// copy-out; (3) each rank copies the result under reduce_mu_; (4) the
+  /// second barrier orders all copy-outs before the reset, so a fast rank
+  /// entering the *next* allreduce cannot observe a half-reset buffer;
+  /// (5) the reset (first rank through, guarded by reduce_pending_ != 0)
+  /// and the third barrier make the buffer reusable before anyone returns.
   std::vector<double> allreduce(const std::vector<double>& x, bool take_max) {
     {
       std::lock_guard lock(reduce_mu_);

@@ -52,7 +52,8 @@ class Communicator {
     auto bytes = recv(src, tag);
     DP_CHECK_MSG(bytes.size() % sizeof(T) == 0, "message size not a multiple of element size");
     std::vector<T> v(bytes.size() / sizeof(T));
-    std::memcpy(v.data(), bytes.data(), bytes.size());
+    // Empty messages leave both pointers null; memcpy(null, null, 0) is UB.
+    if (!bytes.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
     return v;
   }
 
