@@ -61,10 +61,10 @@ std::size_t TabulatedEmbedding::locate(double s, double& t) const {
   std::size_t i;
   if (u < 0.0) {
     i = 0;
-    ++extrapolations_;
+    extrapolations_.bump();
   } else if (u >= static_cast<double>(n_)) {
     i = n_ - 1;
-    if (s > hi_) ++extrapolations_;
+    if (s > hi_) extrapolations_.bump();
   } else {
     i = static_cast<std::size_t>(u);
   }

@@ -13,6 +13,7 @@
 //     feeds 512-bit SVE loads; on x86 it vectorizes the same way).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 
@@ -20,6 +21,26 @@
 #include "nn/embedding_net.hpp"
 
 namespace dp::tab {
+
+/// A relaxed atomic counter that copies by value, so classes holding one as
+/// telemetry keep their implicit copy/move operations. Copying snapshots the
+/// count; it is not an atomic transfer (copies happen single-threaded, at
+/// model build/load time).
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o) noexcept
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  void bump() noexcept { v_.fetch_add(1, std::memory_order_relaxed); }
+  std::size_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> v_{0};
+};
 
 struct TabulationSpec {
   double lo = 0.0;        ///< lower bound of the tabulated domain of s
@@ -51,7 +72,7 @@ class TabulatedEmbedding {
   void eval_blocked(double s, double* g) const;
   void eval_with_deriv_blocked(double s, double* g, double* dg) const;
 
-  std::size_t extrapolations() const { return extrapolations_; }
+  std::size_t extrapolations() const { return extrapolations_.value(); }
 
   /// Raw AoS coefficients [(interval * M + channel) * 6 + k] — consumed by
   /// the single-precision table and by serialization.
@@ -73,7 +94,11 @@ class TabulatedEmbedding {
   double lo_ = 0, hi_ = 1, h_ = 1, inv_h_ = 1;
   AlignedVector<double> coef_;          // AoS: [(i * m + ch) * 6 + k]
   AlignedVector<double> coef_blocked_;  // [(i * nblk + b) * 6 + k][lane]
-  mutable std::size_t extrapolations_ = 0;
+  // Atomic (relaxed): one table is evaluated concurrently by every rank and
+  // OpenMP thread, and locate() bumps this from a const context. The bump
+  // sits only on the rare out-of-range branches, so the in-range hot path
+  // pays nothing; the count is telemetry read after the run.
+  mutable RelaxedCounter extrapolations_;
 
  public:
   /// Lane width of the blocked layout: 16 structures per transpose group

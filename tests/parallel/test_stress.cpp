@@ -21,10 +21,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/minimpi.hpp"
+#include "tab/table.hpp"
 
 namespace {
 
@@ -227,6 +229,36 @@ TEST(ObsStress, TimerRegistryShardChurn) {
   EXPECT_EQ(reg.get("stress.churn").calls,
             static_cast<std::uint64_t>(kWaves) * kRanks * kRounds);
   reg.clear();
+}
+
+TEST(TabStress, SharedTableExtrapolationCounter) {
+  // One tabulated embedding shared by every rank (the distributed-MD setup:
+  // ranks hold FusedDP views of a single TabulatedDP). Every eval here lands
+  // outside [lo, hi], hammering the extrapolation counter from all threads
+  // at once — the counter must be atomic (it once was a plain mutable
+  // size_t, a data race) and must not lose increments.
+  dp::nn::EmbeddingNet net({8, 16, 32});
+  dp::Rng rng(7);
+  net.init_random(rng);
+  const dp::tab::TabulatedEmbedding table(net, {0.0, 1.0, 0.05});
+
+  std::vector<double> ref_low(32), ref_high(32);
+  table.eval(-0.25, ref_low.data());
+  table.eval(1.25, ref_high.data());
+  const std::size_t before = table.extrapolations();
+
+  run_parallel(kRanks, [&](dp::par::Communicator& comm) {
+    std::vector<double> g(32);
+    for (int round = 0; round < kRounds * 4; ++round) {
+      const bool low = (comm.rank() + round) % 2 == 0;
+      table.eval(low ? -0.25 : 1.25, g.data());
+      // Concurrent reads of the shared coefficients stay coherent.
+      for (std::size_t ch = 0; ch < g.size(); ++ch)
+        ASSERT_DOUBLE_EQ(g[ch], low ? ref_low[ch] : ref_high[ch]);
+    }
+  });
+  EXPECT_EQ(table.extrapolations(),
+            before + static_cast<std::size_t>(kRanks) * kRounds * 4);
 }
 
 TEST(MinimpiStress, ManyWorldsSequential) {
