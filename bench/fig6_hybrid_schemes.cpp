@@ -39,8 +39,8 @@ int main() {
   const int total_workers = 8;
   std::printf("system: %zu atoms; %d workers split as ranks x threads\n\n", sys.atoms.size(),
               total_workers);
-  std::printf("%12s %14s %14s %12s %14s\n", "ranks x thr", "model mem", "comm [KB]",
-              "ghosts", "wall [s]");
+  std::printf("%12s %14s %14s %12s %10s %10s %8s %10s\n", "ranks x thr", "model mem",
+              "comm [KB]", "ghosts", "wait [s]", "hidden [s]", "overlap", "wall [s]");
   print_rule();
 
   for (int ranks : {1, 2, 4, 8}) {
@@ -50,8 +50,10 @@ int main() {
     const auto result = dp::par::run_distributed_md(
         ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); }, sim,
         opts);
-    std::printf("%7dx%-4d %11.1f MB %14.1f %12zu %14.3f\n", ranks, threads,
-                model_mb * ranks, result.comm.bytes / 1024.0, result.max_ghost_atoms,
+    std::printf("%7dx%-4d %11.1f MB %14.1f %12zu %10.4f %10.4f %7.0f%% %10.3f\n", ranks,
+                threads, model_mb * ranks, result.comm.bytes / 1024.0,
+                result.max_ghost_atoms, result.halo_wait_seconds,
+                result.halo_hidden_seconds, 100.0 * result.halo_overlap_ratio,
                 result.wall_seconds);
   }
   omp_set_num_threads(1);
@@ -59,6 +61,9 @@ int main() {
   std::printf("\nExpected shape (paper): model memory scales with rank count (48 copies\n"
               "exhausted the A64FX flat-MPI; 16x3 fit 1.5x larger systems) and ghost\n"
               "traffic shrinks as ranks coarsen — the hybrid wins on both axes.\n"
+              "'hidden' is compute done while ghost exchanges were in flight (the\n"
+              "nonblocking isend/irecv overlap, Sec 3.5.4 latency hiding): wait that\n"
+              "never lands on the critical path. overlap = hidden / (hidden + wait).\n"
               "(Wall time on this 1-core host does not resolve thread speedup.)\n");
   return 0;
 }

@@ -46,8 +46,27 @@ class NeighborList {
   /// Mean list length.
   double mean_neighbors() const;
 
-  /// True once some atom moved more than skin/2 since the last build().
-  bool needs_rebuild(const Box& box, const std::vector<Vec3>& pos) const;
+  /// True once some of the first `n_check` atoms (default: all) moved more
+  /// than skin/2 since the last build(). Distributed ranks check only their
+  /// local atoms: every atom is local on exactly one rank, so the
+  /// OR-allreduce of the per-rank answers covers ghosts too.
+  bool needs_rebuild(const Box& box, const std::vector<Vec3>& pos,
+                     std::size_t n_check = SIZE_MAX) const;
+
+  /// Copy of this list restricted to the first `k` centers, sharing the
+  /// original atom numbering. With atoms ordered interior-first, prefix(n_i)
+  /// is the interior work list: none of its neighbor indices reach ghosts,
+  /// so it can be evaluated before the halo refresh completes.
+  NeighborList prefix(std::size_t k) const;
+
+  /// Compacted sub-list for centers [begin, end): centers come first
+  /// (renumbered 0 .. end-begin-1), every atom their lists reference follows
+  /// in first-encounter order, and `atom_index` maps each compact slot back
+  /// to the original index. Evaluating a force field on the compacted
+  /// system and folding the forces back through `atom_index` reproduces the
+  /// full evaluation's contribution of these centers exactly.
+  NeighborList compact(std::size_t begin, std::size_t end,
+                       std::vector<int>& atom_index) const;
 
   double cutoff() const { return rc_; }
   double skin() const { return skin_; }

@@ -64,6 +64,48 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     std::size_t n_local = atoms.size();
     std::size_t max_local = 0, max_ghost = 0;
 
+    // Interior/boundary split for communication overlap: locals are kept
+    // interior-first, where *interior* means farther than the halo width
+    // (cutoff + skin) from every sub-domain face — such atoms cannot have a
+    // ghost in their neighbor list until the next rebuild, so their forces
+    // are computable before the ghost refresh completes. `interior_list` is
+    // the CSR prefix over them; `boundary_list`/`boundary_map`/`batoms` are
+    // the compacted sub-system for the rest (see NeighborList::compact).
+    std::size_t n_interior = 0;
+    md::NeighborList interior_list(ff->cutoff(), sim.skin);
+    md::NeighborList boundary_list(ff->cutoff(), sim.skin);
+    std::vector<int> boundary_map;
+    md::Atoms batoms;
+
+    auto partition_interior = [&] {
+      const Vec3 lo = decomp.lo(rank);
+      const Vec3 hi = decomp.hi(rank);
+      std::vector<std::size_t> order;
+      order.reserve(n_local);
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t a = 0; a < n_local; ++a) {
+          const Vec3& p = atoms.pos[a];
+          bool interior = true;
+          for (std::size_t d = 0; d < 3; ++d)
+            interior = interior && (p[d] - lo[d] > halo) && (hi[d] - p[d] > halo);
+          if (interior == (pass == 0)) order.push_back(a);
+        }
+        if (pass == 0) n_interior = order.size();
+      }
+      md::Atoms reordered;
+      reordered.mass_by_type = atoms.mass_by_type;
+      std::vector<std::int64_t> reordered_ids;
+      reordered_ids.reserve(n_local);
+      for (std::size_t a : order) {
+        reordered.add(atoms.pos[a], atoms.type[a]);
+        reordered.vel.back() = atoms.vel[a];
+        reordered.force.back() = atoms.force[a];
+        reordered_ids.push_back(ids[a]);
+      }
+      atoms = std::move(reordered);
+      ids = std::move(reordered_ids);
+    };
+
     auto rebuild = [&] {
       atoms.resize(n_local);  // drop ghosts
       {
@@ -71,26 +113,47 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
         // keep them under md.halo so the per-phase breakdown separates
         // compute from exchange (halo.* subsections nest inside).
         ScopedTimer t("md.halo", "halo");
-        migrate(comm, init.box, decomp, rank, atoms, &ids);
+        migrate(comm, init.box, decomp, rank, atoms, &ids, sim.rebuild_every);
         n_local = atoms.size();
+        partition_interior();
         halo_ex.exchange_ghosts(comm, atoms);
       }
       {
         ScopedTimer t("md.neighbor", "md");
         nlist.build(init.box, atoms.pos, n_local, /*periodic=*/false);
+        interior_list = nlist.prefix(n_interior);
+        boundary_list = nlist.compact(n_interior, n_local, boundary_map);
+        batoms = md::Atoms{};
+        batoms.mass_by_type = atoms.mass_by_type;
+        for (int a : boundary_map)
+          batoms.add(atoms.pos[static_cast<std::size_t>(a)],
+                     atoms.type[static_cast<std::size_t>(a)]);
       }
       max_local = std::max(max_local, n_local);
       max_ghost = std::max(max_ghost, halo_ex.n_ghost());
     };
 
+    // Two-phase force evaluation. The interior call zeroes every force slot
+    // (locals and ghosts) and accumulates the interior centers' terms; the
+    // boundary call runs on the compacted copy and is folded back with +=.
+    // The same split runs on every step — rebuild steps included — so the
+    // floating-point summation order never depends on which path a step
+    // took. Energy/virial are per-center sums, so A + B is exact.
     md::ForceResult local_force;
-    auto compute = [&] {
-      {
-        ScopedTimer t("md.force", "md");
-        local_force = ff->compute(init.box, atoms, nlist, /*periodic=*/false);
-      }
-      ScopedTimer t("md.halo", "halo");
-      halo_ex.reduce_forces(comm, atoms);
+    auto compute_interior = [&] {
+      ScopedTimer t("md.force", "md");
+      local_force = ff->compute(init.box, atoms, interior_list, /*periodic=*/false);
+    };
+    auto compute_boundary = [&] {
+      ScopedTimer t("md.force", "md");
+      for (std::size_t k = 0; k < boundary_map.size(); ++k)
+        batoms.pos[k] = atoms.pos[static_cast<std::size_t>(boundary_map[k])];
+      const md::ForceResult bres =
+          ff->compute(init.box, batoms, boundary_list, /*periodic=*/false);
+      for (std::size_t k = 0; k < boundary_map.size(); ++k)
+        atoms.force[static_cast<std::size_t>(boundary_map[k])] += batoms.force[k];
+      local_force.energy += bres.energy;
+      local_force.virial += bres.virial;
     };
 
     std::vector<md::ThermoSample> thermo;
@@ -120,14 +183,30 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       thermo.push_back(s);
     };
 
+    auto half_kick = [&](std::size_t begin, std::size_t end) {
+      ScopedTimer t("md.integrate", "md");
+      for (std::size_t a = begin; a < end; ++a) {
+        const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
+        atoms.vel[a] += atoms.force[a] * sc;
+      }
+    };
+
     rebuild();
-    compute();
+    compute_interior();
+    compute_boundary();
+    {
+      ScopedTimer t("md.halo", "halo");
+      halo_ex.reduce_forces(comm, atoms);
+    }
     sample(0);
 
     int since_rebuild = 0;
+    std::uint64_t rebuilds = 0, early_rebuilds = 0;
     obs::Counter& steps_counter = obs::MetricsRegistry::instance().counter("md.steps");
     obs::Counter& rebuilds_counter =
         obs::MetricsRegistry::instance().counter("md.neighbor_rebuilds");
+    obs::Counter& early_counter =
+        obs::MetricsRegistry::instance().counter("md.early_rebuilds");
     obs::Histogram& step_seconds =
         obs::MetricsRegistry::instance().histogram("md.step_seconds");
     for (int step = 1; step <= sim.steps; ++step) {
@@ -143,22 +222,59 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
         }
       }
       ++since_rebuild;
+      bool rebuilt = false;
       if (since_rebuild >= sim.rebuild_every) {
         rebuild();
-        since_rebuild = 0;
-        rebuilds_counter.inc();
-      } else {
-        ScopedTimer t("md.halo", "halo");
-        halo_ex.update_ghost_positions(comm, atoms);
-      }
-      compute();
-      {
-        ScopedTimer t("md.integrate", "md");
-        for (std::size_t a = 0; a < n_local; ++a) {
-          const double sc = 0.5 * sim.dt * md::kForceToAccel / atoms.mass(a);
-          atoms.vel[a] += atoms.force[a] * sc;
+        rebuilt = true;
+      } else if (opts.displacement_rebuild) {
+        // Skin/2 displacement criterion, checked on local atoms only (every
+        // atom is local on exactly one rank, so the OR over ranks covers
+        // ghosts) and OR-allreduced so all ranks rebuild in lockstep —
+        // migration and ghost exchange are collective.
+        const bool mine = nlist.needs_rebuild(init.box, atoms.pos, n_local);
+        if (comm.allreduce_max(mine ? 1.0 : 0.0) > 0.5) {
+          rebuild();
+          rebuilt = true;
+          ++early_rebuilds;
+          early_counter.inc();
         }
       }
+      if (rebuilt) {
+        since_rebuild = 0;
+        ++rebuilds;
+        rebuilds_counter.inc();
+        // Ghosts are fresh from exchange_ghosts; evaluate both halves.
+        compute_interior();
+        compute_boundary();
+      } else {
+        // Overlap: post the ghost refresh, evaluate interior centers (their
+        // lists reach no ghosts) while messages are in flight, complete the
+        // refresh, then evaluate boundary centers against fresh ghosts.
+        {
+          ScopedTimer t("md.halo", "halo");
+          halo_ex.begin_update_ghosts(comm, atoms);
+        }
+        compute_interior();
+        {
+          ScopedTimer t("md.halo", "halo");
+          halo_ex.finish_update_ghosts(comm, atoms);
+        }
+        compute_boundary();
+      }
+      // Overlap the ghost-force reduction with the interior half-kick:
+      // interior atoms sit farther than the halo width from every face, so
+      // they are in no send slab — the reduction neither reads nor writes
+      // their forces.
+      {
+        ScopedTimer t("md.halo", "halo");
+        halo_ex.begin_reduce_forces(comm, atoms);
+      }
+      half_kick(0, n_interior);
+      {
+        ScopedTimer t("md.halo", "halo");
+        halo_ex.finish_reduce_forces(comm, atoms);
+      }
+      half_kick(n_interior, n_local);
       if (step % sim.thermo_every == 0 || step == sim.steps) sample(step);
       if (rank == 0) steps_counter.inc();
       step_seconds.observe(step_timer.seconds());
@@ -172,15 +288,23 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     // so rank 0 can publish fleet-level gauges (mean/max expose imbalance).
     const double rank_bytes = static_cast<double>(halo_ex.bytes_sent());
     const double rank_wait = halo_ex.wait_seconds();
-    const auto comm_sums = comm.allreduce_sum(std::vector<double>{rank_bytes, rank_wait});
+    const double rank_hidden = halo_ex.hidden_seconds();
+    const auto comm_sums =
+        comm.allreduce_sum(std::vector<double>{rank_bytes, rank_wait, rank_hidden});
     const double bytes_max = comm.allreduce_max(rank_bytes);
     const double wait_max = comm.allreduce_max(rank_wait);
+    const double hidden_max = comm.allreduce_max(rank_hidden);
+    const double latency_total = comm_sums[1] + comm_sums[2];
+    const double overlap_ratio = latency_total > 0 ? comm_sums[2] / latency_total : 0.0;
     if (rank == 0) {
       auto& reg = obs::MetricsRegistry::instance();
       reg.gauge("halo.bytes_per_rank_mean").set(comm_sums[0] / nranks);
       reg.gauge("halo.bytes_per_rank_max").set(bytes_max);
       reg.gauge("halo.wait_seconds_mean").set(comm_sums[1] / nranks);
       reg.gauge("halo.wait_seconds_max").set(wait_max);
+      reg.gauge("halo.hidden_seconds_mean").set(comm_sums[2] / nranks);
+      reg.gauge("halo.hidden_seconds_max").set(hidden_max);
+      reg.gauge("halo.overlap_ratio").set(overlap_ratio);
       reg.gauge("md.load_imbalance")
           .set(mean_local > 0 ? max_local_global / mean_local : 1.0);
     }
@@ -191,6 +315,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
                  {"halo_bytes", rank_bytes},
                  {"halo_messages", static_cast<double>(halo_ex.messages_sent())},
                  {"halo_wait_seconds", rank_wait},
+                 {"halo_hidden_seconds", rank_hidden},
                  {"local_atoms", static_cast<double>(n_local)},
                  {"ghost_atoms", static_cast<double>(halo_ex.n_ghost())}});
     if (rank == 0) {
@@ -198,6 +323,11 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       result.max_local_atoms = static_cast<std::size_t>(max_local_global);
       result.max_ghost_atoms = static_cast<std::size_t>(max_ghost_global);
       result.load_imbalance = mean_local > 0 ? max_local_global / mean_local : 1.0;
+      result.halo_wait_seconds = comm_sums[1];
+      result.halo_hidden_seconds = comm_sums[2];
+      result.halo_overlap_ratio = overlap_ratio;
+      result.neighbor_rebuilds = rebuilds;
+      result.early_rebuilds = early_rebuilds;
     }
     if (opts.gather_state) {
       for (std::size_t a = 0; a < n_local; ++a) {

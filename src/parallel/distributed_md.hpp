@@ -1,10 +1,15 @@
 // Domain-decomposed MD driver: the parallel equivalent of md::Simulation.
 //
-// Per step (the LAMMPS-style cycle the paper runs on Summit/Fugaku):
-//   half-kick + drift -> [every rebuild_every steps: drop ghosts, migrate,
-//   re-exchange ghosts, rebuild local neighbor lists | otherwise: refresh
-//   ghost positions] -> force evaluation on local centers -> ghost-force
-//   reduction -> half-kick; thermodynamics via allreduce.
+// Per step (the LAMMPS-style cycle the paper runs on Summit/Fugaku), with
+// halo traffic overlapped with force work via nonblocking minimpi:
+//   half-kick + drift -> rebuild check (every rebuild_every steps, or early
+//   when the OR-allreduced skin/2 displacement criterion fires: drop ghosts,
+//   migrate, reorder locals interior-first, re-exchange ghosts, rebuild
+//   local neighbor lists) -> post ghost-position refresh, evaluate forces on
+//   *interior* centers (their lists reach no ghosts) while messages are in
+//   flight, complete the refresh, evaluate *boundary* centers -> post
+//   ghost-force reduction, interior half-kick while in flight, complete the
+//   reduction, boundary half-kick; thermodynamics via allreduce.
 #pragma once
 
 #include <array>
@@ -34,6 +39,17 @@ struct DistributedRunResult {
   /// Fig 6c notes sub-regions are "carefully divided to avoid load-balance
   /// problems").
   double load_imbalance = 1.0;
+  /// Halo latency accounting, summed over ranks: seconds blocked in recv,
+  /// seconds of compute executed while halo messages were in flight, and
+  /// hidden / (hidden + wait) — the fraction of halo latency taken off the
+  /// critical path by the nonblocking overlap.
+  double halo_wait_seconds = 0.0;
+  double halo_hidden_seconds = 0.0;
+  double halo_overlap_ratio = 0.0;
+  /// Neighbor-list rebuilds per rank (ranks rebuild in lockstep), and the
+  /// subset forced early by the skin/2 displacement trigger.
+  std::uint64_t neighbor_rebuilds = 0;
+  std::uint64_t early_rebuilds = 0;
   /// Snapshot of the final state, sorted by global atom id (for parity
   /// tests against a serial run). Filled only when gather_state is set.
   std::vector<Vec3> final_pos, final_vel, final_force;
@@ -43,6 +59,11 @@ struct DistributedOptions {
   std::array<int, 3> grid{0, 0, 0};  ///< ranks per dimension; {0,0,0} = auto
   bool gather_state = false;
   bool init_velocities = true;  ///< draw MB velocities before distribution
+  /// Rebuild early when any rank trips the skin/2 displacement criterion
+  /// (OR-allreduced each step). Off reproduces the historical fixed-period
+  /// behavior, which lets fast atoms silently leave the skin — only tests
+  /// demonstrating that failure mode should disable this.
+  bool displacement_rebuild = true;
 };
 
 /// Runs `sim.steps` MD steps of the global configuration on `nranks`

@@ -30,20 +30,61 @@ struct HaloMetrics {
 };
 }  // namespace
 
-std::vector<double> HaloExchange::send_recv(Communicator& comm, int dest, int src, int tag,
-                                            const std::vector<double>& payload) {
+void HaloExchange::post_send(Communicator& comm, int dest, int tag,
+                             const std::vector<double>& payload) {
   HaloMetrics& metrics = HaloMetrics::get();
-  comm.send_vec(dest, tag, payload);
+  comm.isend_vec(dest, tag, payload);  // buffered: the Request is born complete
   bytes_sent_ += payload.size() * sizeof(double);
   ++messages_sent_;
   metrics.bytes.inc(payload.size() * sizeof(double));
   metrics.messages.inc();
+}
+
+std::vector<double> HaloExchange::wait_recv(Request& req) {
   WallTimer wait;
-  auto incoming = comm.recv_vec<double>(src, tag);
+  auto incoming = req.take_vec<double>();
   const double waited = wait.seconds();
   wait_seconds_ += waited;
   TimerRegistry::instance().add("halo.wait", waited);
   return incoming;
+}
+
+std::vector<double> HaloExchange::send_recv(Communicator& comm, int dest, int src, int tag,
+                                            const std::vector<double>& payload) {
+  post_send(comm, dest, tag, payload);
+  Request req = comm.irecv(src, tag);
+  return wait_recv(req);
+}
+
+void HaloExchange::note_overlap_window() {
+  const double hidden = overlap_timer_.seconds();
+  hidden_seconds_ += hidden;
+  TimerRegistry::instance().add("halo.hidden", hidden);
+}
+
+std::vector<double> HaloExchange::pack_positions(const Stage& st, const md::Atoms& atoms) const {
+  std::vector<double> payload;
+  payload.reserve(3 * st.send_idx.size());
+  for (int a : st.send_idx) {
+    const Vec3 p = atoms.pos[static_cast<std::size_t>(a)] + st.shift;
+    payload.push_back(p.x);
+    payload.push_back(p.y);
+    payload.push_back(p.z);
+  }
+  return payload;
+}
+
+std::vector<double> HaloExchange::pack_ghost_forces(const Stage& st,
+                                                    const md::Atoms& atoms) const {
+  std::vector<double> payload;
+  payload.reserve(3 * st.recv_count);
+  for (std::size_t k = 0; k < st.recv_count; ++k) {
+    const Vec3& f = atoms.force[st.recv_begin + k];
+    payload.push_back(f.x);
+    payload.push_back(f.y);
+    payload.push_back(f.z);
+  }
+  return payload;
 }
 
 HaloExchange::HaloExchange(const md::Box& box, const Decomp& decomp, int rank,
@@ -113,49 +154,110 @@ void HaloExchange::exchange_ghosts(Communicator& comm, md::Atoms& atoms) {
 }
 
 void HaloExchange::update_ghost_positions(Communicator& comm, md::Atoms& atoms) {
+  begin_update_ghosts(comm, atoms);
+  finish_update_ghosts(comm, atoms);
+}
+
+void HaloExchange::begin_update_ghosts(Communicator& comm, md::Atoms& atoms) {
   ScopedTimer timer("halo.update", "halo");
-  for (const Stage& st : stages_) {
-    std::vector<double> payload;
-    payload.reserve(3 * st.send_idx.size());
-    for (int a : st.send_idx) {
-      const Vec3 p = atoms.pos[static_cast<std::size_t>(a)] + st.shift;
-      payload.push_back(p.x);
-      payload.push_back(p.y);
-      payload.push_back(p.z);
-    }
-    const auto incoming = send_recv(comm, st.send_to, st.recv_from, 200 + st.tag, payload);
+  DP_CHECK_MSG(!update_active_ && !reduce_active_,
+               "begin_update_ghosts: another begin/finish pair is still open");
+  // The x stages' send_idx reference only local atoms (they were selected
+  // from the pre-ghost candidate range), whose positions are final for this
+  // step — so both x sends can be posted before any force work. The y and z
+  // payloads read ghost positions that arrive with the earlier stages; those
+  // sends are posted in finish_update_ghosts() as their inputs land.
+  pending_.clear();
+  pending_.reserve(stages_.size());
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    if (s < 2) post_send(comm, st.send_to, 200 + st.tag, pack_positions(st, atoms));
+    pending_.push_back(comm.irecv(st.recv_from, 200 + st.tag));
+  }
+  update_active_ = true;
+  overlap_timer_.reset();
+}
+
+void HaloExchange::finish_update_ghosts(Communicator& comm, md::Atoms& atoms) {
+  ScopedTimer timer("halo.update", "halo");
+  DP_CHECK_MSG(update_active_, "finish_update_ghosts without begin_update_ghosts");
+  note_overlap_window();
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    // Entering dimension d (stage pairs {2,3} = y, {4,5} = z): the previous
+    // dimension's ghosts are unpacked, so both of this dimension's payloads
+    // are now readable. Their send_idx predate this dimension's recvs, so
+    // neither pair member depends on the other — post both at once.
+    if (s >= 2 && s % 2 == 0)
+      for (std::size_t t : {s, s + 1})
+        post_send(comm, stages_[t].send_to, 200 + stages_[t].tag,
+                  pack_positions(stages_[t], atoms));
+    const Stage& st = stages_[s];
+    const auto incoming = wait_recv(pending_[s]);
     DP_CHECK(incoming.size() == 3 * st.recv_count);
     for (std::size_t k = 0; k < st.recv_count; ++k)
       atoms.pos[st.recv_begin + k] = {incoming[3 * k], incoming[3 * k + 1],
                                       incoming[3 * k + 2]};
   }
+  pending_.clear();
+  update_active_ = false;
 }
 
 void HaloExchange::reduce_forces(Communicator& comm, md::Atoms& atoms) {
+  begin_reduce_forces(comm, atoms);
+  finish_reduce_forces(comm, atoms);
+}
+
+void HaloExchange::begin_reduce_forces(Communicator& comm, md::Atoms& atoms) {
   ScopedTimer timer("halo.reduce", "halo");
-  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
-    const Stage& st = *it;
-    // Return the forces accumulated on the ghosts this stage created...
-    std::vector<double> payload;
-    payload.reserve(3 * st.recv_count);
-    for (std::size_t k = 0; k < st.recv_count; ++k) {
-      const Vec3& f = atoms.force[st.recv_begin + k];
-      payload.push_back(f.x);
-      payload.push_back(f.y);
-      payload.push_back(f.z);
-    }
-    // ... and fold the returned forces into the atoms we sent out.
-    const auto incoming = send_recv(comm, st.recv_from, st.send_to, 400 + st.tag, payload);
+  DP_CHECK_MSG(!update_active_ && !reduce_active_,
+               "begin_reduce_forces: another begin/finish pair is still open");
+  // Reversed plan: the z stages go first. Their payloads read the forces on
+  // their own ghost ranges, which are final as soon as the local force
+  // evaluation is done, and the sibling z stage's fold cannot touch them
+  // (its send_idx predate both z recv ranges) — so both z sends post here.
+  // The y and x payloads absorb folds from the stages before them in the
+  // reversed order; those sends are posted in finish_reduce_forces().
+  pending_.clear();
+  pending_.reserve(stages_.size());
+  for (std::size_t r = 0; r < stages_.size(); ++r) {
+    const Stage& st = stages_[stages_.size() - 1 - r];
+    if (r < 2) post_send(comm, st.recv_from, 400 + st.tag, pack_ghost_forces(st, atoms));
+    pending_.push_back(comm.irecv(st.send_to, 400 + st.tag));
+  }
+  reduce_active_ = true;
+  overlap_timer_.reset();
+}
+
+void HaloExchange::finish_reduce_forces(Communicator& comm, md::Atoms& atoms) {
+  ScopedTimer timer("halo.reduce", "halo");
+  DP_CHECK_MSG(reduce_active_, "finish_reduce_forces without begin_reduce_forces");
+  note_overlap_window();
+  for (std::size_t r = 0; r < stages_.size(); ++r) {
+    // Entering dimension d of the reversed walk (r == 2 → y, r == 4 → x):
+    // every fold that can write into this dimension's ghost ranges has run
+    // (later dimensions' send_idx never reach them), so both payloads are
+    // final — post both at once. The fold order below is exactly the
+    // blocking loop's, so the reduction stays bitwise reproducible.
+    if (r >= 2 && r % 2 == 0)
+      for (std::size_t t : {r, r + 1}) {
+        const Stage& ps = stages_[stages_.size() - 1 - t];
+        post_send(comm, ps.recv_from, 400 + ps.tag, pack_ghost_forces(ps, atoms));
+      }
+    const Stage& st = stages_[stages_.size() - 1 - r];
+    const auto incoming = wait_recv(pending_[r]);
     DP_CHECK(incoming.size() == 3 * st.send_idx.size());
+    // Fold the returned ghost forces into the atoms we sent out.
     for (std::size_t k = 0; k < st.send_idx.size(); ++k) {
       atoms.force[static_cast<std::size_t>(st.send_idx[k])] +=
           Vec3{incoming[3 * k], incoming[3 * k + 1], incoming[3 * k + 2]};
     }
   }
+  pending_.clear();
+  reduce_active_ = false;
 }
 
 void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int rank,
-             md::Atoms& atoms, std::vector<std::int64_t>* ids) {
+             md::Atoms& atoms, std::vector<std::int64_t>* ids, int rebuild_every) {
   ScopedTimer timer("halo.migrate", "halo");
   // Wrap everything first so coordinate comparisons are global.
   for (auto& p : atoms.pos) p = box.wrap(p);
@@ -216,10 +318,35 @@ void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int r
     tag += 2;
   }
 
-  // Post-condition: one hop per dimension was enough.
-  for (const auto& p : atoms.pos)
-    DP_CHECK_MSG(decomp.owner_of(p) == rank, "atom travelled more than one sub-domain per "
-                                             "migration; migrate more often");
+  // Post-condition: one hop per dimension was enough. When it wasn't, say
+  // which atom, how far past this rank's slab it sits, and what rebuild
+  // period produced the situation — a finite overshoot on a fast atom means
+  // `rebuild_every` (migration cadence) is mis-tuned for the dynamics, while
+  // a wild coordinate points at real corruption (NaN forces, broken box).
+  const Vec3 my_lo = decomp.lo(rank);
+  const Vec3 my_hi = decomp.hi(rank);
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    const Vec3& p = atoms.pos[a];
+    const int owner = decomp.owner_of(p);
+    if (owner == rank) continue;
+    double overshoot = 0.0;
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (p[d] < my_lo[d]) overshoot = std::max(overshoot, my_lo[d] - p[d]);
+      if (p[d] >= my_hi[d]) overshoot = std::max(overshoot, p[d] - my_hi[d]);
+    }
+    DP_CHECK_MSG(false, "migrate: atom id "
+                            << (ids ? (*ids)[a] : static_cast<std::int64_t>(a))
+                            << " at (" << p.x << ", " << p.y << ", " << p.z
+                            << ") travelled more than one sub-domain in one rebuild "
+                               "interval (owner rank " << owner << ", holding rank "
+                            << rank << ", " << overshoot
+                            << " length units past the local slab, rebuild period "
+                            << rebuild_every
+                            << " steps). If the coordinate looks physical, lower "
+                               "rebuild_every (the displacement trigger only guards "
+                               "the neighbor skin, not sub-domain hops); if not, "
+                               "suspect corrupted forces or box");
+  }
 }
 
 }  // namespace dp::par

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "md/atoms.hpp"
 #include "md/box.hpp"
 #include "parallel/decomp.hpp"
@@ -27,12 +28,33 @@ class HaloExchange {
   void exchange_ghosts(Communicator& comm, md::Atoms& atoms);
 
   /// Re-sends current positions along the recorded plan (between neighbor
-  /// list rebuilds, when membership hasn't changed).
+  /// list rebuilds, when membership hasn't changed). Equivalent to
+  /// begin_update_ghosts() immediately followed by finish_update_ghosts().
   void update_ghost_positions(Communicator& comm, md::Atoms& atoms);
 
+  /// Nonblocking ghost-position refresh. begin posts the x-leg isends (their
+  /// payloads read only local positions) and the irecvs of all six stages,
+  /// then returns so force work on interior atoms can run while messages are
+  /// in flight; finish completes the staged plan (the y payloads read the x
+  /// ghosts, the z payloads read both, so those legs are posted as their
+  /// inputs arrive). begin/finish pairs must not nest or interleave with the
+  /// reduce pair.
+  void begin_update_ghosts(Communicator& comm, md::Atoms& atoms);
+  void finish_update_ghosts(Communicator& comm, md::Atoms& atoms);
+
   /// Sends ghost forces back along the reversed plan, accumulating into the
-  /// owners' force arrays; ghost forces are consumed.
+  /// owners' force arrays; ghost forces are consumed. Equivalent to
+  /// begin_reduce_forces() immediately followed by finish_reduce_forces().
   void reduce_forces(Communicator& comm, md::Atoms& atoms);
+
+  /// Nonblocking ghost-force reduction. begin posts the reversed plan's
+  /// first (z) leg — its payloads are final as soon as the local force
+  /// evaluation is done — plus every irecv; work that does not read boundary
+  /// forces (e.g. the interior half-kick) runs while messages are in flight;
+  /// finish folds incoming forces in exactly the blocking call's stage
+  /// order, so the reduction stays bitwise reproducible.
+  void begin_reduce_forces(Communicator& comm, md::Atoms& atoms);
+  void finish_reduce_forces(Communicator& comm, md::Atoms& atoms);
 
   std::size_t n_local() const { return n_local_; }
   std::size_t n_ghost() const { return n_ghost_; }
@@ -44,6 +66,10 @@ class HaloExchange {
   std::uint64_t messages_sent() const { return messages_sent_; }
   /// Seconds spent blocked in recv (wait + unpack) across all exchanges.
   double wait_seconds() const { return wait_seconds_; }
+  /// Seconds of compute executed between a begin_* post and the matching
+  /// finish_* — the window in which halo traffic progressed off the
+  /// critical path (the latency-hiding the paper's Sec 3.5.4 relies on).
+  double hidden_seconds() const { return hidden_seconds_; }
 
  private:
   struct Stage {
@@ -54,9 +80,18 @@ class HaloExchange {
     std::size_t recv_begin = 0, recv_count = 0;
   };
 
-  /// send + timed recv of one stage, updating the communication counters.
+  /// isend of one stage payload, updating the communication counters.
+  void post_send(Communicator& comm, int dest, int tag, const std::vector<double>& payload);
+  /// Timed completion of a posted irecv, charged to wait_seconds_.
+  std::vector<double> wait_recv(Request& req);
+  /// post_send + irecv + wait_recv of one lockstep stage (structural
+  /// exchange at rebuild time, where payload sizes change).
   std::vector<double> send_recv(Communicator& comm, int dest, int src, int tag,
                                 const std::vector<double>& payload);
+  std::vector<double> pack_positions(const Stage& st, const md::Atoms& atoms) const;
+  std::vector<double> pack_ghost_forces(const Stage& st, const md::Atoms& atoms) const;
+  /// Charges the begin->finish window to hidden_seconds_.
+  void note_overlap_window();
 
   md::Box box_;
   const Decomp& decomp_;
@@ -67,13 +102,26 @@ class HaloExchange {
   std::size_t n_local_ = 0, n_ghost_ = 0;
   std::uint64_t bytes_sent_ = 0, messages_sent_ = 0;
   double wait_seconds_ = 0.0;
+  double hidden_seconds_ = 0.0;
+
+  /// In-flight nonblocking exchange: one pending irecv per stage plus the
+  /// overlap-window timer. Instance state owned by one rank thread, like
+  /// everything else in this class; the Requests carry the mailbox
+  /// happens-before (see minimpi.cpp).
+  std::vector<Request> pending_;
+  WallTimer overlap_timer_;
+  bool update_active_ = false;
+  bool reduce_active_ = false;
 };
 
 /// Moves atoms that left this rank's sub-domain to their new owners (one
 /// staged hop per dimension; callers migrate often enough that atoms never
 /// travel more than one sub-domain per migration). `ids` (optional) carries
-/// opaque per-atom identifiers along.
+/// opaque per-atom identifiers along. `rebuild_every` (optional) is the
+/// caller's rebuild period, quoted in the post-condition diagnostic when an
+/// atom is found to have travelled more than one sub-domain per migration.
 void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int rank,
-             md::Atoms& atoms, std::vector<std::int64_t>* ids = nullptr);
+             md::Atoms& atoms, std::vector<std::int64_t>* ids = nullptr,
+             int rebuild_every = -1);
 
 }  // namespace dp::par

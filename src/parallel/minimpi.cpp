@@ -22,7 +22,11 @@ struct Message {
 //    condvar when its (src, tag) match is absent. The unlock in send()
 //    happens-before the matching lock in recv(), so the payload bytes are
 //    fully visible to the receiver. No rank ever holds two mailbox locks at
-//    once — there is no lock ordering to violate.
+//    once — there is no lock ordering to violate. The nonblocking API rides
+//    the same edges: isend() is send() (buffered, completes at post time)
+//    and Request::test()/wait() match under the destination mailbox mutex
+//    via try_recv()/recv(), so a completed Request's payload is published
+//    exactly like a blocking receive's.
 //
 //  * Barrier: a single mutex guards (count, generation). The last arriving
 //    rank resets the count, bumps the generation and notifies; waiters sleep
@@ -77,6 +81,23 @@ class World {
       }
       box.cv.wait(lock);
     }
+  }
+
+  /// Nonblocking variant of recv(): one scan under the mailbox mutex, no
+  /// condvar sleep. The mutex hand-off from send() supplies the same
+  /// happens-before as the blocking path, so a true return publishes the
+  /// payload bytes completely.
+  bool try_recv(int me, int src, int tag, std::vector<std::byte>& out) {
+    auto& box = mailboxes_[static_cast<std::size_t>(me)];
+    std::lock_guard lock(box.mu);
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        out = std::move(it->payload);
+        box.queue.erase(it);
+        return true;
+      }
+    }
+    return false;
   }
 
   void barrier() {
@@ -175,6 +196,52 @@ void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) 
 
 std::vector<std::byte> Communicator::recv(int src, int tag) {
   return world_->recv(rank_, src, tag);
+}
+
+bool Communicator::try_recv(int src, int tag, std::vector<std::byte>& out) {
+  return world_->try_recv(rank_, src, tag, out);
+}
+
+Request Communicator::isend(int dest, int tag, const void* data, std::size_t bytes) {
+  // Buffered transport: the payload is copied into the destination mailbox
+  // before we return, so the send Request is born complete.
+  world_->send(rank_, dest, tag, data, bytes);
+  Request req;
+  req.kind_ = Request::Kind::Send;
+  req.done_ = true;
+  return req;
+}
+
+Request Communicator::irecv(int src, int tag) {
+  Request req;
+  req.kind_ = Request::Kind::Recv;
+  req.comm_ = this;
+  req.src_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+bool Request::test() {
+  if (done_) return true;
+  DP_CHECK_MSG(kind_ == Kind::Recv && comm_ != nullptr, "test() on an empty Request");
+  done_ = comm_->try_recv(src_, tag_, payload_);
+  return done_;
+}
+
+void Request::wait() {
+  if (done_) return;
+  DP_CHECK_MSG(kind_ == Kind::Recv && comm_ != nullptr, "wait() on an empty Request");
+  payload_ = comm_->recv(src_, tag_);
+  done_ = true;
+}
+
+std::vector<std::byte> Request::take() {
+  DP_CHECK_MSG(kind_ == Kind::Recv, "take() is only valid on an irecv Request");
+  wait();
+  kind_ = Kind::None;  // consumed: a second take() is a usage error
+  done_ = false;
+  comm_ = nullptr;
+  return std::move(payload_);
 }
 
 void Communicator::barrier() { world_->barrier(); }

@@ -30,6 +30,81 @@ struct CommStats {
 };
 
 class World;
+class Communicator;
+
+/// Handle to a nonblocking point-to-point operation (isend / irecv).
+///
+/// Lifetime and threading discipline (see docs/STATIC_ANALYSIS.md):
+///  * A Request is owned by exactly one rank thread — the one that posted
+///    it — and must not outlive the run_parallel callback that created it
+///    (it holds a pointer to that rank's Communicator). It is move-only;
+///    moving transfers ownership and leaves the source empty.
+///  * Completion happens-before: test()/wait() match the message under the
+///    destination mailbox mutex, the same hand-off blocking recv() uses, so
+///    a completed Request's payload is fully visible to the owning thread.
+///    No new cross-thread state is introduced by the nonblocking API.
+///  * On this buffered shared-memory transport isend() completes at post
+///    time (the payload is copied into the destination mailbox), so send
+///    Requests are born complete and may be discarded immediately.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& o) noexcept { steal(o); }
+  Request& operator=(Request&& o) noexcept {
+    if (this != &o) steal(o);
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True if this handle refers to an operation (empty handles are inert).
+  bool valid() const { return kind_ != Kind::None; }
+  /// True once the operation has completed (send: always).
+  bool done() const { return done_; }
+
+  /// Nonblocking completion probe: polls the mailbox once for a matching
+  /// message. Returns true (and captures the payload) when complete.
+  bool test();
+  /// Blocks until the operation completes (irecv: until the message lands).
+  void wait();
+
+  /// Payload of a completed irecv; waits first if still in flight. Moves
+  /// the bytes out — call once.
+  std::vector<std::byte> take();
+  template <class T>
+  std::vector<T> take_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = take();
+    DP_CHECK_MSG(bytes.size() % sizeof(T) == 0, "message size not a multiple of element size");
+    std::vector<T> v(bytes.size() / sizeof(T));
+    // Empty messages leave both pointers null; memcpy(null, null, 0) is UB.
+    if (!bytes.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+ private:
+  friend class Communicator;
+  enum class Kind : std::uint8_t { None, Send, Recv };
+
+  void steal(Request& o) {
+    kind_ = o.kind_;
+    done_ = o.done_;
+    comm_ = o.comm_;
+    src_ = o.src_;
+    tag_ = o.tag_;
+    payload_ = std::move(o.payload_);
+    o.kind_ = Kind::None;
+    o.done_ = false;
+    o.comm_ = nullptr;
+  }
+
+  Kind kind_ = Kind::None;
+  bool done_ = false;
+  Communicator* comm_ = nullptr;
+  int src_ = -1;
+  int tag_ = 0;
+  std::vector<std::byte> payload_;
+};
 
 /// Per-rank handle, valid inside run_parallel's callback.
 class Communicator {
@@ -40,6 +115,19 @@ class Communicator {
   /// Blocking tagged send/recv of raw bytes (send never blocks: buffered).
   void send(int dest, int tag, const void* data, std::size_t bytes);
   std::vector<std::byte> recv(int src, int tag);
+
+  /// Nonblocking point-to-point. isend() buffers the payload and returns a
+  /// completed Request; irecv() returns a Request that completes (via
+  /// test()/wait()) when a message matching (src, tag) arrives. Posting
+  /// order is free: matching is by (src, tag), FIFO within one stream.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+  Request irecv(int src, int tag);
+
+  template <class T>
+  Request isend_vec(int dest, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend(dest, tag, v.data(), v.size() * sizeof(T));
+  }
 
   template <class T>
   void send_vec(int dest, int tag, const std::vector<T>& v) {
@@ -74,8 +162,14 @@ class Communicator {
 
  private:
   friend class World;
+  friend class Request;
   friend CommStats run_parallel(int, const std::function<void(Communicator&)>&);
   Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  /// Single nonblocking mailbox poll for (src, tag); true = message moved
+  /// into `out`.
+  bool try_recv(int src, int tag, std::vector<std::byte>& out);
+
   World* world_;
   int rank_;
 };

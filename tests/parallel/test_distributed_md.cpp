@@ -187,6 +187,93 @@ TEST(DistributedMd, WaterTwoTypesMatchSerial) {
     EXPECT_LT(norm(result.final_force[i] - serial_atoms.force[i]), 1e-8) << "atom " << i;
 }
 
+TEST(DistributedMd, DisplacementTriggerKeepsParityUnderAggressiveDynamics) {
+  // Hot atoms, a thin skin, and rebuild_every far beyond the trajectory
+  // length: the fixed-period rebuild never fires, so correctness rests
+  // entirely on the skin/2 displacement trigger (the serial driver has
+  // always applied it; the distributed driver historically did not).
+  auto sys = md::make_fcc(6, 6, 6, 3.7, 63.5, 0.1, 81);
+  md::SimulationConfig sc;
+  sc.dt = 0.002;
+  sc.steps = 100;
+  sc.temperature = 3000.0;
+  sc.skin = 0.2;
+  sc.rebuild_every = 1000;
+  sc.thermo_every = 100;
+  sc.seed = 82;
+
+  md::LennardJones serial_lj(0.4, 2.34, 4.5);
+  md::Simulation serial(sys, serial_lj, sc);
+  serial.run();
+  const auto& serial_atoms = serial.configuration().atoms;
+
+  DistributedOptions opts;
+  opts.grid = {2, 2, 1};
+  opts.gather_state = true;
+  const auto r = run_distributed_md(
+      4, sys, [] { return std::make_unique<md::LennardJones>(0.4, 2.34, 4.5); }, sc, opts);
+
+  // The trigger must actually fire — otherwise this test proves nothing.
+  EXPECT_GE(r.early_rebuilds, 1u);
+  EXPECT_GE(r.neighbor_rebuilds, r.early_rebuilds);
+  ASSERT_EQ(r.final_force.size(), serial_atoms.size());
+  for (std::size_t i = 0; i < serial_atoms.size(); ++i)
+    EXPECT_LT(norm(r.final_force[i] - serial_atoms.force[i]), 1e-8) << "atom " << i;
+}
+
+TEST(DistributedMd, WithoutDisplacementTriggerAggressiveDynamicsDiverges) {
+  // Same scenario with the trigger disabled: the distributed run must go
+  // visibly wrong (stale lists let atoms slip past the skin — or an atom
+  // outruns migration entirely and the post-condition throws). This pins
+  // down that the parity test above discriminates against the old behavior.
+  auto sys = md::make_fcc(6, 6, 6, 3.7, 63.5, 0.1, 81);
+  md::SimulationConfig sc;
+  sc.dt = 0.002;
+  sc.steps = 100;
+  sc.temperature = 3000.0;
+  sc.skin = 0.2;
+  sc.rebuild_every = 1000;
+  sc.thermo_every = 100;
+  sc.seed = 82;
+
+  md::LennardJones serial_lj(0.4, 2.34, 4.5);
+  md::Simulation serial(sys, serial_lj, sc);
+  serial.run();
+  const auto& serial_atoms = serial.configuration().atoms;
+
+  DistributedOptions opts;
+  opts.grid = {2, 2, 1};
+  opts.gather_state = true;
+  opts.displacement_rebuild = false;
+  double max_err = 0.0;
+  try {
+    const auto r = run_distributed_md(
+        4, sys, [] { return std::make_unique<md::LennardJones>(0.4, 2.34, 4.5); }, sc,
+        opts);
+    EXPECT_EQ(r.early_rebuilds, 0u);
+    for (std::size_t i = 0; i < serial_atoms.size(); ++i)
+      max_err = std::max(max_err, norm(r.final_force[i] - serial_atoms.force[i]));
+  } catch (const Error&) {
+    max_err = 1.0;  // crashing on the migrate post-condition also counts
+  }
+  EXPECT_GT(max_err, 1e-3);
+}
+
+TEST(DistributedMd, OverlapHidesHaloLatency) {
+  // Multi-rank run dominated by non-rebuild steps: every step opens two
+  // begin/finish overlap windows, so hidden time must accumulate.
+  auto sys = md::make_fcc(8, 8, 8, 3.7, 63.5, 0.05, 83);
+  md::SimulationConfig sc = fast_sim(20);
+  DistributedOptions opts;
+  opts.grid = {2, 2, 1};
+  const auto r = run_distributed_md(
+      4, sys, [] { return std::make_unique<md::LennardJones>(0.4, 2.34, 4.5); }, sc, opts);
+  EXPECT_GT(r.halo_hidden_seconds, 0.0);
+  EXPECT_GE(r.halo_overlap_ratio, 0.0);
+  EXPECT_LE(r.halo_overlap_ratio, 1.0);
+  EXPECT_GE(r.neighbor_rebuilds, 1u);
+}
+
 TEST(DistributedMd, PairModeAndMixedPathsWork) {
   core::ModelConfig cfg = core::ModelConfig::tiny(2);
   cfg.type_one_side = false;  // per-pair embedding nets

@@ -261,6 +261,48 @@ TEST(TabStress, SharedTableExtrapolationCounter) {
             before + static_cast<std::size_t>(kRanks) * kRounds * 4);
 }
 
+TEST(MinimpiStress, NonblockingStorm) {
+  // All-to-all via isend/irecv with pathological sizes: every round each
+  // rank posts all its receives up front, fires sends in rotated order, then
+  // completes via alternating test()-polling and wait(). Payloads alternate
+  // between empty (null-data edge, exercised both in send and take_vec) and
+  // megabyte-scale (forces real memcpy traffic through the mailboxes while
+  // other ranks' scans run). A TSan schedule where try_recv races a
+  // concurrent send on the same mailbox is exactly the target.
+  constexpr std::size_t kHuge = 1 << 20;  // 8 MiB of doubles per big message
+  const auto stats = run_parallel(kRanks, [](dp::par::Communicator& comm) {
+    const int me = comm.rank();
+    const int n = comm.size();
+    for (int round = 0; round < 6; ++round) {
+      std::vector<dp::par::Request> rx;
+      rx.reserve(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) rx.push_back(comm.irecv((me + k) % n, round));
+      for (int k = 0; k < n; ++k) {
+        const int peer = (me + n - k) % n;
+        const bool big = (peer + round) % 2 == 0;
+        std::vector<double> payload(big ? kHuge : 0,
+                                    static_cast<double>(me * 100 + round));
+        comm.isend_vec(peer, round, payload);
+      }
+      for (int k = 0; k < n; ++k) {
+        auto& req = rx[static_cast<std::size_t>(k)];
+        if (k % 2 == 0)
+          while (!req.test()) {
+          }
+        const int peer = (me + k) % n;
+        const auto got = req.take_vec<double>();  // waits when still pending
+        const bool big = (me + round) % 2 == 0;
+        ASSERT_EQ(got.size(), big ? kHuge : 0u);
+        if (big) {
+          ASSERT_DOUBLE_EQ(got.front(), peer * 100 + round);
+          ASSERT_DOUBLE_EQ(got.back(), peer * 100 + round);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(kRanks) * kRanks * 6);
+}
+
 TEST(MinimpiStress, ManyWorldsSequential) {
   // World construction/destruction churn: catches leaks of mailboxes,
   // stale thread handles, and init-order issues under ASan/LSan.

@@ -77,6 +77,23 @@ class RuleTest(unittest.TestCase):
         self.assertNotIn("include-hygiene",
                          rules("src/parallel/minimpi.hpp", "class Communicator {};\n"))
 
+    def test_blocking_p2p_scoped_to_step_driver(self):
+        self.assertIn("blocking-p2p",
+                      rules("src/parallel/distributed_md.cpp", "comm.send(1, 0, p, n);\n"))
+        self.assertIn("blocking-p2p",
+                      rules("src/parallel/distributed_md.cpp", "comm.send_vec(1, 0, v);\n"))
+        self.assertIn("blocking-p2p",
+                      rules("src/parallel/distributed_md.cpp",
+                            "auto v = comm.recv_vec<double>(1, 0);\n"))
+        # The nonblocking API is the point of the rule — it must not fire.
+        ok = ("auto r = comm.isend_vec(1, 0, v);\n"
+              "auto q = comm.irecv(1, 0);\n")
+        self.assertNotIn("blocking-p2p", rules("src/parallel/distributed_md.cpp", ok))
+        # Other files (halo.cpp's structural exchange, collectives) are free
+        # to use the blocking calls.
+        self.assertNotIn("blocking-p2p",
+                         rules("src/parallel/halo.cpp", "comm.send_vec(1, 0, v);\n"))
+
     def test_sp_precision(self):
         self.assertIn("sp-precision", rules("src/tab/table_sp.hpp", "double h_;\n"))
         self.assertIn("sp-precision", rules("src/tab/table_sp.cpp", "long double x;\n"))
