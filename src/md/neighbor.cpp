@@ -1,7 +1,16 @@
 #include "md/neighbor.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -11,6 +20,134 @@
 namespace dp::md {
 
 namespace {
+
+/// Non-owning callable handed to the build team: the lambda lives in the
+/// caller's frame for the whole dispatch, so no std::function allocation
+/// ever happens on the rebuild path.
+struct BodyRef {
+  void* ctx;
+  void (*fn)(void*, int, int);
+  template <class F, class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, BodyRef>>>
+  explicit BodyRef(F& f)
+      : ctx(&f), fn([](void* c, int t, int T) { (*static_cast<F*>(c))(t, T); }) {}
+  void operator()(int t, int T) const { fn(ctx, t, T); }
+};
+
+/// Persistent fork-join team for the neighbor build, one per master thread
+/// (rank threads in the distributed driver each get their own — the same
+/// per-rank ownership the rest of the list follows). The team size is taken
+/// from OpenMP (`omp_get_max_threads()`, so `OMP_NUM_THREADS` and
+/// `omp_set_num_threads` behave exactly as they would for a `parallel`
+/// region), but dispatch and barriers are built on std::mutex /
+/// std::condition_variable rather than libgomp: the repo's sanitizer floor
+/// requires TSan-green with ZERO suppressions, and libgomp's futex-based
+/// pool handoff and barriers are invisible to TSan (the runtime is not
+/// instrumented), so a pooled `#pragma omp parallel` region reports
+/// unfixable false races on its own capture struct. Mirrors the minimpi
+/// move: the in-tree primitive keeps every happens-before edge visible.
+///
+/// Happens-before: the master publishes the job (body pointer, T) under
+/// `mu_` and workers read it under `mu_` — lock hand-off edge in; workers
+/// bump `done_` under `mu_` and the master waits for all of them — edge
+/// out. barrier() is the minimpi generation barrier. Discipline: one
+/// master per team (thread_local singleton), and every one of the T
+/// participants of a job must execute the same sequence of barrier()
+/// calls, which the phase structure below guarantees.
+class BuildTeam {
+ public:
+  ~BuildTeam() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Runs body(t, T) on T threads; the caller executes t = 0. Returns after
+  /// every worker (participant or not) has checked in.
+  void run(int T, BodyRef body) {
+    if (T <= 1 && workers_.empty()) {
+      T_ = 1;
+      body(0, 1);
+      return;
+    }
+    while (static_cast<int>(workers_.size()) < T - 1)
+      workers_.emplace_back(&BuildTeam::worker, this,
+                           static_cast<int>(workers_.size()) + 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      body_ = &body;
+      T_ = T;
+      done_ = 0;
+      bar_count_ = 0;
+      ++job_gen_;
+    }
+    job_cv_.notify_all();
+    body(0, T);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_ == workers_.size(); });
+    body_ = nullptr;
+  }
+
+  /// Generation barrier across the T participants of the current job.
+  void barrier() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::uint64_t gen = bar_gen_;
+    if (++bar_count_ == T_) {
+      bar_count_ = 0;
+      ++bar_gen_;
+      bar_cv_.notify_all();
+    } else {
+      bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
+    }
+  }
+
+ private:
+  void worker(int idx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const BodyRef* body = nullptr;
+      int T = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        job_cv_.wait(lk, [&] { return stop_ || job_gen_ != seen; });
+        if (stop_) return;
+        seen = job_gen_;
+        body = body_;
+        T = T_;
+      }
+      // Workers beyond the current T (left over from a wider earlier job)
+      // skip the body but still check in, so run() can retire the job.
+      if (idx < T) (*body)(idx, T);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++done_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable job_cv_, done_cv_, bar_cv_;
+  std::vector<std::thread> workers_;
+  const BodyRef* body_ = nullptr;
+  int T_ = 1;
+  std::size_t done_ = 0;
+  std::uint64_t job_gen_ = 0;
+  std::uint64_t bar_gen_ = 0;
+  int bar_count_ = 0;
+  bool stop_ = false;
+};
+
+/// The calling thread's persistent team, created on first rebuild and torn
+/// down at thread exit. thread_local keeps the one-master discipline by
+/// construction.
+BuildTeam& build_team() {
+  static thread_local BuildTeam team;
+  return team;
+}
+
 struct CellGrid {
   int nx, ny, nz;
   double cx, cy, cz;  // cell sizes
@@ -24,26 +161,176 @@ struct CellGrid {
     return (ix * ny + iy) * nz + iz;
   }
 };
+
+/// Contiguous, ascending split of [0, n) for thread t of T. Contiguity in
+/// thread order is load-bearing: it makes "(thread, position in chunk)"
+/// order equal global index order, which is what keeps the parallel
+/// counting sort and the slab copies byte-identical to the serial build.
+inline std::size_t chunk_bound(std::size_t n, int t, int T) {
+  return n * static_cast<std::size_t>(t) / static_cast<std::size_t>(T);
+}
+
+/// Deterministic parallel CSR construction: per-center counts + per-thread
+/// caches -> exclusive scan -> disjoint slab copies.
+///
+/// Happens-before argument (see docs/STATIC_ANALYSIS.md): the walk phase
+/// writes disjoint `offsets` slots and thread-private caches; a barrier
+/// orders every count before the thread-0 scan; a second barrier orders
+/// the scan (and the `list.resize`) before every slab copy; slab copies
+/// target disjoint [offsets[begin], offsets[end]) ranges by construction.
+/// BuildTeam::run's check-in orders all writes before any reader of the
+/// list. No atomics are needed — every cross-thread edge is a BuildTeam
+/// barrier or the job hand-off, all mutex-based and TSan-visible.
+///
+/// `walk(i, out)` appends center i's neighbors to `out` in the same order
+/// a serial loop would produce; the concatenation in center order is then
+/// independent of the thread count, so the output CSR is byte-identical
+/// at any OMP_NUM_THREADS.
+template <class Walk>
+void fill_csr_parallel(std::size_t n_centers, std::vector<int>& offsets,
+                       std::vector<int>& list, NeighborWorkspace& ws, Walk&& walk) {
+  offsets.assign(n_centers + 1, 0);
+  const int team_size = std::max(1, omp_get_max_threads());
+  if (ws.tl.size() < static_cast<std::size_t>(team_size))
+    ws.tl.resize(static_cast<std::size_t>(team_size));
+  bool overflow = false;
+  BuildTeam& team = build_team();
+  auto body = [&](int t, int T) {
+    std::vector<int>& buf = ws.tl[static_cast<std::size_t>(t)];
+    buf.clear();
+    const std::size_t begin = chunk_bound(n_centers, t, T);
+    const std::size_t end = chunk_bound(n_centers, t + 1, T);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t before = buf.size();
+      walk(i, buf);
+      // Per-center counts fit an int (a center has < n_atoms <= INT_MAX
+      // neighbors); the *sum* is checked below before the scan commits.
+      offsets[i + 1] = static_cast<int>(buf.size() - before);
+    }
+    team.barrier();
+    if (t == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < n_centers; ++i)
+        total += static_cast<std::size_t>(offsets[i + 1]);
+      if (total > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+        overflow = true;  // checked after the job; slab copies are skipped
+      } else {
+        for (std::size_t i = 0; i < n_centers; ++i) offsets[i + 1] += offsets[i];
+        list.resize(total);
+      }
+    }
+    team.barrier();  // scan + resize visible to every slab copy below
+    if (!overflow && begin < end && !buf.empty())
+      std::memcpy(list.data() + offsets[begin], buf.data(), buf.size() * sizeof(int));
+  };
+  team.run(team_size, BodyRef(body));
+  DP_CHECK_MSG(!overflow,
+               "neighbor list exceeds 2^31 slots — the int CSR cannot index it; "
+               "shard the system across ranks or widen the index type");
+}
+
+/// Two-pass parallel counting sort of atoms into cells. Pass 1 fills
+/// per-thread histograms over contiguous index chunks; a single-threaded
+/// scan converts them to per-(cell, thread) cursors; pass 2 scatters.
+/// Within a cell, slots are ordered by (thread, index-in-chunk) which — by
+/// chunk contiguity — is global index order: byte-identical to the serial
+/// cursor fill at any thread count. Same barrier-only happens-before
+/// structure as fill_csr_parallel.
+void bin_atoms_parallel(const Box& box, const std::vector<Vec3>& pos, const CellGrid& grid,
+                        int ncells, bool periodic, NeighborWorkspace& ws) {
+  const std::size_t n_pos = pos.size();
+  ws.atom_cell.resize(n_pos);
+  ws.cell_atoms.resize(n_pos);
+  ws.cell_start.resize(static_cast<std::size_t>(ncells) + 1);
+  const int team_size = std::max(1, omp_get_max_threads());
+  ws.hist.assign(static_cast<std::size_t>(team_size) * static_cast<std::size_t>(ncells), 0);
+  BuildTeam& team = build_team();
+  auto body = [&](int t, int T) {
+    int* h = ws.hist.data() + static_cast<std::size_t>(t) * static_cast<std::size_t>(ncells);
+    const std::size_t begin = chunk_bound(n_pos, t, T);
+    const std::size_t end = chunk_bound(n_pos, t + 1, T);
+    for (std::size_t a = begin; a < end; ++a) {
+      // Non-periodic ghost positions may lie outside the box; index_of's
+      // clamp handles the fringe since the ghost shell is thinner than one
+      // cell (cells >= cutoff >= ghost shell).
+      const Vec3 r = periodic ? box.wrap(pos[a]) : pos[a];
+      const int c = grid.index_of(r);
+      ws.atom_cell[a] = c;
+      ++h[c];
+    }
+    team.barrier();
+    if (t == 0) {
+      int run = 0;  // n_pos <= INT_MAX is checked by build()
+      for (int c = 0; c < ncells; ++c) {
+        ws.cell_start[static_cast<std::size_t>(c)] = run;
+        for (int tt = 0; tt < T; ++tt) {
+          int& slot = ws.hist[static_cast<std::size_t>(tt) * static_cast<std::size_t>(ncells) +
+                              static_cast<std::size_t>(c)];
+          const int count = slot;
+          slot = run;  // becomes thread tt's scatter cursor for cell c
+          run += count;
+        }
+      }
+      ws.cell_start[static_cast<std::size_t>(ncells)] = run;
+    }
+    team.barrier();  // cursors visible to every scatter below
+    for (std::size_t a = begin; a < end; ++a)
+      ws.cell_atoms[static_cast<std::size_t>(h[ws.atom_cell[a]]++)] = static_cast<int>(a);
+  };
+  team.run(team_size, BodyRef(body));
+}
+
+struct NeighborMetrics {
+  obs::Counter& builds = obs::MetricsRegistry::instance().counter("neighbor.builds");
+  obs::Histogram& build_seconds =
+      obs::MetricsRegistry::instance().histogram("neighbor.build_seconds");
+  obs::Histogram& bin_seconds =
+      obs::MetricsRegistry::instance().histogram("neighbor.bin_seconds");
+  obs::Histogram& walk_seconds =
+      obs::MetricsRegistry::instance().histogram("neighbor.walk_seconds");
+  obs::Gauge& workspace_bytes =
+      obs::MetricsRegistry::instance().gauge("neighbor.workspace_bytes");
+  static NeighborMetrics& get() {
+    static NeighborMetrics m;
+    return m;
+  }
+};
 }  // namespace
+
+std::size_t NeighborWorkspace::bytes() const {
+  std::size_t b = (atom_cell.capacity() + cell_start.capacity() + cell_atoms.capacity() +
+                   hist.capacity() + half_offsets.capacity() + half_list.capacity()) *
+                  sizeof(int);
+  b += tl.capacity() * sizeof(std::vector<int>);
+  for (const auto& v : tl) b += v.capacity() * sizeof(int);
+  return b;
+}
+
+std::size_t NeighborList::workspace_bytes() const {
+  return ws_.bytes() + (offsets_.capacity() + list_.capacity()) * sizeof(int) +
+         pos_at_build_.capacity() * sizeof(Vec3);
+}
 
 void NeighborList::build_half(const Box& box, const std::vector<Vec3>& pos, bool periodic) {
   // Build the full list, then keep each pair on its lower-index atom: the
   // extra pass is cheap next to the distance tests and reuses the same
-  // (well-tested) cell machinery.
+  // (well-tested) cell machinery. The filter itself runs through the
+  // count-then-fill scheme, writing into workspace scratch that is then
+  // swapped with the CSR (swap exchanges capacities, so both buffers reach
+  // their steady size after one warm-up cycle and stay allocation-free).
   build(box, pos, SIZE_MAX, periodic);
-  std::vector<int> half_list;
-  std::vector<int> half_offsets(offsets_.size(), 0);
-  half_list.reserve(list_.size() / 2);
-  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
-    for (int idx = offsets_[i]; idx < offsets_[i + 1]; ++idx) {
-      const int j = list_[static_cast<std::size_t>(idx)];
-      if (static_cast<std::size_t>(j) > i) half_list.push_back(j);
-    }
-    half_offsets[i + 1] = static_cast<int>(half_list.size());
-  }
-  list_ = std::move(half_list);
-  offsets_ = std::move(half_offsets);
+  const std::size_t n = n_centers();
+  fill_csr_parallel(n, ws_.half_offsets, ws_.half_list, ws_,
+                    [&](std::size_t i, std::vector<int>& out) {
+                      for (int idx = offsets_[i]; idx < offsets_[i + 1]; ++idx) {
+                        const int j = list_[static_cast<std::size_t>(idx)];
+                        if (static_cast<std::size_t>(j) > i) out.push_back(j);
+                      }
+                    });
+  offsets_.swap(ws_.half_offsets);
+  list_.swap(ws_.half_list);
   half_ = true;
+  NeighborMetrics::get().workspace_bytes.set(static_cast<double>(workspace_bytes()));
 }
 
 void NeighborList::build(const Box& box, const std::vector<Vec3>& pos, std::size_t n_centers,
@@ -54,19 +341,20 @@ void NeighborList::build(const Box& box, const std::vector<Vec3>& pos, std::size
   struct BuildRecord {
     WallTimer t;
     ~BuildRecord() {
-      static obs::Counter& builds = obs::MetricsRegistry::instance().counter("neighbor.builds");
-      static obs::Histogram& seconds =
-          obs::MetricsRegistry::instance().histogram("neighbor.build_seconds");
-      builds.inc();
-      seconds.observe(t.seconds());
+      NeighborMetrics& m = NeighborMetrics::get();
+      m.builds.inc();
+      m.build_seconds.observe(t.seconds());
     }
   } build_record;
   obs::TraceSpan span("neighbor.build", "neighbor");
   half_ = false;
   if (n_centers == SIZE_MAX) n_centers = pos.size();
   DP_CHECK(n_centers <= pos.size());
+  DP_CHECK_MSG(pos.size() <= static_cast<std::size_t>(std::numeric_limits<int>::max()),
+               "atom count exceeds the int neighbor-index range");
   periodic_ = periodic;
-  pos_at_build_ = pos;
+  n_atoms_at_build_ = pos.size();
+  pos_at_build_.assign(pos.begin(), pos.begin() + static_cast<std::ptrdiff_t>(n_centers));
 
   const double cut = build_cutoff();
   const Vec3 L = box.lengths();
@@ -84,71 +372,62 @@ void NeighborList::build(const Box& box, const std::vector<Vec3>& pos, std::size
   CellGrid grid{nx, ny, nz, L.x / nx, L.y / ny, L.z / nz};
   const int ncells = nx * ny * nz;
 
-  // Bucket every atom (ghosts included) into cells. Non-periodic ghost
-  // positions may lie outside the box; clamp handles the fringe since the
-  // ghost shell is thinner than one cell (cells >= cutoff >= ghost shell).
-  std::vector<int> cell_count(ncells, 0);
-  std::vector<int> atom_cell(pos.size());
-  for (std::size_t a = 0; a < pos.size(); ++a) {
-    const Vec3 r = periodic ? box.wrap(pos[a]) : pos[a];
-    atom_cell[a] = grid.index_of(r);
-    ++cell_count[atom_cell[a]];
-  }
-  std::vector<int> cell_start(ncells + 1, 0);
-  for (int c = 0; c < ncells; ++c) cell_start[c + 1] = cell_start[c] + cell_count[c];
-  std::vector<int> cell_atoms(pos.size());
+  NeighborMetrics& metrics = NeighborMetrics::get();
   {
-    std::vector<int> cursor(cell_start.begin(), cell_start.end() - 1);
-    for (std::size_t a = 0; a < pos.size(); ++a) cell_atoms[cursor[atom_cell[a]]++] = a;
+    WallTimer bin_timer;
+    bin_atoms_parallel(box, pos, grid, ncells, periodic, ws_);
+    metrics.bin_seconds.observe(bin_timer.seconds());
   }
 
   const double cut2 = cut * cut;
-  offsets_.assign(n_centers + 1, 0);
-  list_.clear();
-  list_.reserve(n_centers * 64);
-
-  for (std::size_t i = 0; i < n_centers; ++i) {
-    const Vec3 ri = pos[i];
-    const int ci = atom_cell[i];
-    const int ix = ci / (ny * nz), iy = (ci / nz) % ny, iz = ci % nz;
-    for (int dx = -1; dx <= 1; ++dx)
-      for (int dy = -1; dy <= 1; ++dy)
-        for (int dz = -1; dz <= 1; ++dz) {
-          int jx = ix + dx, jy = iy + dy, jz = iz + dz;
-          if (periodic) {
-            jx = (jx + nx) % nx;
-            jy = (jy + ny) % ny;
-            jz = (jz + nz) % nz;
-          } else if (jx < 0 || jy < 0 || jz < 0 || jx >= nx || jy >= ny || jz >= nz) {
-            continue;
-          }
-          const int cj = (jx * ny + jy) * nz + jz;
-          for (int s = cell_start[cj]; s < cell_start[cj + 1]; ++s) {
-            const int j = cell_atoms[s];
-            if (static_cast<std::size_t>(j) == i) continue;
-            Vec3 d = pos[j] - ri;
-            if (periodic) d = box.min_image(d);
-            if (norm2(d) < cut2) list_.push_back(j);
-          }
-        }
-    offsets_[i + 1] = static_cast<int>(list_.size());
-  }
+  WallTimer walk_timer;
+  fill_csr_parallel(
+      n_centers, offsets_, list_, ws_, [&](std::size_t i, std::vector<int>& out) {
+        const Vec3 ri = pos[i];
+        const int ci = ws_.atom_cell[i];
+        const int ix = ci / (ny * nz), iy = (ci / nz) % ny, iz = ci % nz;
+        for (int dx = -1; dx <= 1; ++dx)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dz = -1; dz <= 1; ++dz) {
+              int jx = ix + dx, jy = iy + dy, jz = iz + dz;
+              if (periodic) {
+                jx = (jx + nx) % nx;
+                jy = (jy + ny) % ny;
+                jz = (jz + nz) % nz;
+              } else if (jx < 0 || jy < 0 || jz < 0 || jx >= nx || jy >= ny || jz >= nz) {
+                continue;
+              }
+              const auto cj = static_cast<std::size_t>((jx * ny + jy) * nz + jz);
+              for (int s = ws_.cell_start[cj]; s < ws_.cell_start[cj + 1]; ++s) {
+                const int j = ws_.cell_atoms[static_cast<std::size_t>(s)];
+                if (static_cast<std::size_t>(j) == i) continue;
+                Vec3 d = pos[static_cast<std::size_t>(j)] - ri;
+                if (periodic) d = box.min_image(d);
+                if (norm2(d) < cut2) out.push_back(j);
+              }
+            }
+      });
+  metrics.walk_seconds.observe(walk_timer.seconds());
+  metrics.workspace_bytes.set(static_cast<double>(workspace_bytes()));
 }
 
 void NeighborList::build_brute(const Box& box, const std::vector<Vec3>& pos,
                                std::size_t n_centers, bool periodic) {
   const double cut2 = build_cutoff() * build_cutoff();
-  offsets_.assign(n_centers + 1, 0);
-  list_.clear();
-  for (std::size_t i = 0; i < n_centers; ++i) {
-    for (std::size_t j = 0; j < pos.size(); ++j) {
-      if (j == i) continue;
-      Vec3 d = pos[j] - pos[i];
-      if (periodic) d = box.min_image(d);
-      if (norm2(d) < cut2) list_.push_back(static_cast<int>(j));
-    }
-    offsets_[i + 1] = static_cast<int>(list_.size());
-  }
+  const std::size_t n_pos = pos.size();
+  NeighborMetrics& metrics = NeighborMetrics::get();
+  WallTimer walk_timer;
+  fill_csr_parallel(n_centers, offsets_, list_, ws_,
+                    [&](std::size_t i, std::vector<int>& out) {
+                      for (std::size_t j = 0; j < n_pos; ++j) {
+                        if (j == i) continue;
+                        Vec3 d = pos[j] - pos[i];
+                        if (periodic) d = box.min_image(d);
+                        if (norm2(d) < cut2) out.push_back(static_cast<int>(j));
+                      }
+                    });
+  metrics.walk_seconds.observe(walk_timer.seconds());
+  metrics.workspace_bytes.set(static_cast<double>(workspace_bytes()));
 }
 
 std::size_t NeighborList::max_neighbors() const {
@@ -165,8 +444,12 @@ double NeighborList::mean_neighbors() const {
 
 bool NeighborList::needs_rebuild(const Box& box, const std::vector<Vec3>& pos,
                                  std::size_t n_check) const {
-  if (pos.size() != pos_at_build_.size()) return true;
-  const std::size_t n = std::min(n_check, pos.size());
+  // Staleness guard: any change in the total atom count (locals + ghosts)
+  // invalidates the list outright. Only center positions are retained, so
+  // the displacement scan covers at most the build's center prefix — the
+  // only part this predicate ever consulted.
+  if (pos.size() != n_atoms_at_build_) return true;
+  const std::size_t n = std::min(n_check, pos_at_build_.size());
   const double limit2 = 0.25 * skin_ * skin_;
   for (std::size_t i = 0; i < n; ++i) {
     Vec3 d = pos[i] - pos_at_build_[i];
@@ -188,7 +471,9 @@ NeighborList NeighborList::prefix(std::size_t k) const {
   DP_CHECK(k < offsets_.size());
   out.offsets_.assign(offsets_.begin(), offsets_.begin() + static_cast<std::ptrdiff_t>(k + 1));
   out.list_.assign(list_.begin(), list_.begin() + offsets_[k]);
-  out.pos_at_build_ = pos_at_build_;
+  out.pos_at_build_.assign(pos_at_build_.begin(),
+                           pos_at_build_.begin() + static_cast<std::ptrdiff_t>(k));
+  out.n_atoms_at_build_ = n_atoms_at_build_;
   return out;
 }
 
@@ -201,7 +486,7 @@ NeighborList NeighborList::compact(std::size_t begin, std::size_t end,
   atom_index.clear();
   // Dense remap table (this file is a hot path: no hash maps). Centers claim
   // the first slots so the compact system's center prefix is [0, end-begin).
-  std::vector<int> remap(pos_at_build_.size(), -1);
+  std::vector<int> remap(n_atoms_at_build_, -1);
   for (std::size_t i = begin; i < end; ++i) {
     remap[i] = static_cast<int>(atom_index.size());
     atom_index.push_back(static_cast<int>(i));
@@ -219,9 +504,11 @@ NeighborList NeighborList::compact(std::size_t begin, std::size_t end,
     }
     out.offsets_[i - begin + 1] = static_cast<int>(out.list_.size());
   }
-  out.pos_at_build_.reserve(atom_index.size());
-  for (int a : atom_index)
-    out.pos_at_build_.push_back(pos_at_build_[static_cast<std::size_t>(a)]);
+  // Compact centers are the first end-begin slots; only their positions are
+  // retained (ghost slots are never consulted by needs_rebuild).
+  out.pos_at_build_.assign(pos_at_build_.begin() + static_cast<std::ptrdiff_t>(begin),
+                           pos_at_build_.begin() + static_cast<std::ptrdiff_t>(end));
+  out.n_atoms_at_build_ = atom_index.size();
   return out;
 }
 

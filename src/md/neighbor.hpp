@@ -5,6 +5,19 @@
 // buffer region") on top of the model cutoff and rebuilt every
 // `rebuild_every` steps; the skin/2 displacement criterion is checked so a
 // too-fast atom can never silently escape the list.
+//
+// Construction is thread-parallel (team size follows OMP_NUM_THREADS /
+// omp_set_num_threads, but dispatch uses an in-tree mutex/condvar fork-join
+// team so every synchronization edge is sanitizer-visible — see
+// docs/STATIC_ANALYSIS.md) and deterministic: binning is a two-pass
+// counting sort with per-thread histograms, the stencil walk is a
+// count-then-fill scheme (per-center counts -> exclusive scan -> each
+// thread copies its cached neighbors into its disjoint slab of `list_`),
+// so the output CSR is byte-identical to the single-thread build at any
+// thread count. All scratch lives in a persistent, grow-only
+// NeighborWorkspace owned by the list: after warm-up, rebuilds allocate
+// nothing (enforced by the `neighbor-workspace` dplint rule and measured
+// through the `neighbor.workspace_bytes` gauge).
 #pragma once
 
 #include <cstddef>
@@ -15,6 +28,23 @@
 #include "md/box.hpp"
 
 namespace dp::md {
+
+/// Persistent scratch for NeighborList::build* — grow-only, reused across
+/// rebuilds so steady-state construction performs zero allocations. One
+/// workspace per list instance; a NeighborList (and thus its workspace) is
+/// owned by exactly one thread at a time (see docs/STATIC_ANALYSIS.md).
+struct NeighborWorkspace {
+  std::vector<int> atom_cell;   ///< cell index of every atom (ghosts incl.)
+  std::vector<int> cell_start;  ///< CSR over cells: ncells + 1
+  std::vector<int> cell_atoms;  ///< atoms sorted by cell, stable by index
+  std::vector<int> hist;        ///< per-thread cell histograms (T * ncells)
+  std::vector<std::vector<int>> tl;  ///< per-thread neighbor caches
+  std::vector<int> half_offsets;     ///< build_half filter output scratch
+  std::vector<int> half_list;
+
+  /// Bytes currently reserved (capacities, not sizes).
+  std::size_t bytes() const;
+};
 
 class NeighborList {
  public:
@@ -49,7 +79,9 @@ class NeighborList {
   /// True once some of the first `n_check` atoms (default: all) moved more
   /// than skin/2 since the last build(). Distributed ranks check only their
   /// local atoms: every atom is local on exactly one rank, so the
-  /// OR-allreduce of the per-rank answers covers ghosts too.
+  /// OR-allreduce of the per-rank answers covers ghosts too. Only center
+  /// positions are retained from the build (ghosts are never consulted), so
+  /// `n_check` is clamped to the build's center count.
   bool needs_rebuild(const Box& box, const std::vector<Vec3>& pos,
                      std::size_t n_check = SIZE_MAX) const;
 
@@ -72,8 +104,12 @@ class NeighborList {
   double skin() const { return skin_; }
   double build_cutoff() const { return rc_ + skin_; }
 
+  /// Bytes of persistent storage (workspace + CSR + retained positions),
+  /// by capacity. Constant across rebuilds once warm = zero steady-state
+  /// allocations; also published as the `neighbor.workspace_bytes` gauge.
+  std::size_t workspace_bytes() const;
+
  private:
-  void build_cells(const Box& box, const std::vector<Vec3>& pos);
   void build_brute(const Box& box, const std::vector<Vec3>& pos, std::size_t n_centers,
                    bool periodic);
 
@@ -82,8 +118,14 @@ class NeighborList {
   bool half_ = false;
   std::vector<int> offsets_;  // CSR: n_centers + 1
   std::vector<int> list_;
+  // Center positions at build time (the prefix needs_rebuild consults) plus
+  // the full atom count, which stands in for the old whole-vector copy in
+  // the staleness guard. Ghost positions are never stored: they are not
+  // checked, and at scale they are a large fraction of `pos`.
   std::vector<Vec3> pos_at_build_;
+  std::size_t n_atoms_at_build_ = 0;
   bool periodic_ = true;
+  NeighborWorkspace ws_;
 };
 
 /// O(N^2) reference used by tests and tiny systems.

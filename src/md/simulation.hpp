@@ -52,6 +52,9 @@ class Simulation {
   int current_step() const { return step_; }
   /// Number of force evaluations so far (steps + the initial one).
   int force_evaluations() const { return force_evals_; }
+  /// The driver's neighbor list (tests and benches probe its steady-state
+  /// workspace footprint through this).
+  const NeighborList& neighbor_list() const { return nlist_; }
 
   /// Optional per-step observer (step index, sample of the current state).
   std::function<void(int, const ThermoSample&)> on_thermo;

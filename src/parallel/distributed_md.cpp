@@ -294,6 +294,12 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     const double bytes_max = comm.allreduce_max(rank_bytes);
     const double wait_max = comm.allreduce_max(rank_wait);
     const double hidden_max = comm.allreduce_max(rank_hidden);
+    // Steady-state neighbor workspace footprint: the parallel rebuild path
+    // is allocation-free once warm, so the fleet-wide max is a meaningful
+    // per-rank memory gauge (and a regression tripwire if it ever grows
+    // with step count instead of plateauing).
+    const double rank_nlist_bytes = static_cast<double>(nlist.workspace_bytes());
+    const double nlist_bytes_max = comm.allreduce_max(rank_nlist_bytes);
     const double latency_total = comm_sums[1] + comm_sums[2];
     const double overlap_ratio = latency_total > 0 ? comm_sums[2] / latency_total : 0.0;
     if (rank == 0) {
@@ -305,6 +311,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       reg.gauge("halo.hidden_seconds_mean").set(comm_sums[2] / nranks);
       reg.gauge("halo.hidden_seconds_max").set(hidden_max);
       reg.gauge("halo.overlap_ratio").set(overlap_ratio);
+      reg.gauge("neighbor.workspace_bytes_max").set(nlist_bytes_max);
       reg.gauge("md.load_imbalance")
           .set(mean_local > 0 ? max_local_global / mean_local : 1.0);
     }
@@ -316,6 +323,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
                  {"halo_messages", static_cast<double>(halo_ex.messages_sent())},
                  {"halo_wait_seconds", rank_wait},
                  {"halo_hidden_seconds", rank_hidden},
+                 {"neighbor_workspace_bytes", rank_nlist_bytes},
                  {"local_atoms", static_cast<double>(n_local)},
                  {"ghost_atoms", static_cast<double>(halo_ex.n_ghost())}});
     if (rank == 0) {

@@ -12,7 +12,9 @@
 // -LE stress, the sanitizer jobs run everything (see docs/STATIC_ANALYSIS.md).
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
@@ -23,6 +25,8 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "md/box.hpp"
+#include "md/neighbor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/minimpi.hpp"
@@ -301,6 +305,58 @@ TEST(MinimpiStress, NonblockingStorm) {
     }
   });
   EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(kRanks) * kRanks * 6);
+}
+
+TEST(NeighborStress, RebuildStormWithConcurrentQueries) {
+  // The distributed-driver concurrency shape for neighbor maintenance:
+  // every rank thread owns one NeighborList that it rebuilds (spawning an
+  // OpenMP team inside the rank thread — the ranks x threads product the
+  // TSan job re-runs with OMP_NUM_THREADS=4) while, in the same rounds,
+  // all ranks hammer needs_rebuild on a shared, never-rebuilt list (const
+  // reads only) and the shared metrics registry absorbs counter/histogram
+  // traffic from every team. Parity between a 1-thread and an N-thread
+  // rebuild of the same frame is asserted under the storm, so a torn
+  // workspace write fails functionally, not just under TSan.
+  const dp::md::Box box(22.0, 22.0, 22.0);
+  std::vector<dp::Vec3> base(300);
+  {
+    dp::Rng rng(404);
+    for (auto& r : base)
+      r = {rng.uniform(0.0, 22.0), rng.uniform(0.0, 22.0), rng.uniform(0.0, 22.0)};
+  }
+  dp::md::NeighborList shared_list(5.0, 2.0);
+  shared_list.build(box, base);
+
+  run_parallel(kRanks, [&](dp::par::Communicator& comm) {
+    const int me = comm.rank();
+    dp::Rng rng(1000 + static_cast<std::uint64_t>(me));
+    std::vector<dp::Vec3> pos = base;
+    dp::md::NeighborList mine(5.0, 1.0);
+    dp::md::NeighborList check(5.0, 1.0);
+    for (int round = 0; round < 12; ++round) {
+      for (auto& r : pos) r = box.wrap(r + rng.unit_vector() * rng.uniform(0.0, 0.3));
+      // Concurrent const queries on the shared list while other ranks are
+      // mid-rebuild on their own lists.
+      ASSERT_FALSE(shared_list.needs_rebuild(box, base));
+      (void)mine.needs_rebuild(box, pos);
+      mine.build(box, pos);
+      if (round % 4 == 0) {
+        // omp_set_num_threads sets a per-thread ICV: pinning this rank's
+        // team to 1 thread never affects the other ranks' teams.
+        const int saved = omp_get_max_threads();
+        omp_set_num_threads(1);
+        check.build(box, pos);
+        omp_set_num_threads(saved);
+        ASSERT_EQ(check.n_centers(), mine.n_centers());
+        for (std::size_t i = 0; i < check.n_centers(); ++i) {
+          const auto a = mine.neighbors(i);
+          const auto b = check.neighbors(i);
+          ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+              << "rank " << me << " round " << round << " center " << i;
+        }
+      }
+    }
+  });
 }
 
 TEST(MinimpiStress, ManyWorldsSequential) {

@@ -94,6 +94,49 @@ class RuleTest(unittest.TestCase):
         self.assertNotIn("blocking-p2p",
                          rules("src/parallel/halo.cpp", "comm.send_vec(1, 0, v);\n"))
 
+    def test_neighbor_workspace(self):
+        bad = ("void NeighborList::build(const Box& box) {\n"
+               "  std::vector<int> scratch(n);\n"
+               "}\n")
+        self.assertIn("neighbor-workspace", rules("src/md/neighbor.cpp", bad))
+        nested = ("void NeighborList::build_half(const Box& box) {\n"
+                  "  std::vector<std::vector<int>> caches;\n"
+                  "}\n")
+        self.assertIn("neighbor-workspace", rules("src/md/neighbor.cpp", nested))
+        # References into the persistent workspace (including lambda
+        # parameters) are the sanctioned pattern.
+        ok = ("void NeighborList::build_brute(const Box& box) {\n"
+              "  std::vector<int>& buf = ws_.tl[t];\n"
+              "  fill([&](std::size_t i, std::vector<int>& out) { out.clear(); });\n"
+              "}\n")
+        self.assertNotIn("neighbor-workspace", rules("src/md/neighbor.cpp", ok))
+        # Non-build members and other files keep their locals.
+        compact = ("NeighborList NeighborList::compact() const {\n"
+                   "  std::vector<int> remap(n, -1);\n"
+                   "}\n")
+        self.assertNotIn("neighbor-workspace", rules("src/md/neighbor.cpp", compact))
+        self.assertNotIn("neighbor-workspace",
+                         rules("src/md/lattice.cpp",
+                               "void f() { std::vector<int> v; }\n"))
+        # A declaration without a body (header-style) must not confuse the
+        # body scanner into scanning the rest of the file.
+        decl = ("void NeighborList::build(const Box& box);\n"
+                "void elsewhere() { std::vector<int> v; }\n")
+        self.assertNotIn("neighbor-workspace", rules("src/md/neighbor.cpp", decl))
+
+    def test_narrowing_cast(self):
+        self.assertIn("narrowing-cast", rules("src/md/neighbor.cpp", "int j = (int)a;\n"))
+        self.assertIn("narrowing-cast", rules("src/md/neighbor.hpp", "x = (unsigned)n;\n"))
+        self.assertIn("narrowing-cast",
+                      rules("src/md/neighbor.cpp", "y = (long long)(a * b);\n"))
+        self.assertNotIn("narrowing-cast",
+                         rules("src/md/neighbor.cpp", "auto j = static_cast<int>(a);\n"))
+        self.assertNotIn("narrowing-cast",
+                         rules("src/md/neighbor.cpp", "auto b = n * sizeof(int);\n"))
+        self.assertNotIn("narrowing-cast", rules("src/md/neighbor.cpp", "void f(int);\n"))
+        # Other files are outside the rule's scope.
+        self.assertNotIn("narrowing-cast", rules("src/md/lattice.cpp", "int j = (int)a;\n"))
+
     def test_sp_precision(self):
         self.assertIn("sp-precision", rules("src/tab/table_sp.hpp", "double h_;\n"))
         self.assertIn("sp-precision", rules("src/tab/table_sp.cpp", "long double x;\n"))
