@@ -118,6 +118,9 @@ void build_env_mat(const ModelConfig& cfg, const md::Box& box, const md::Atoms& 
   out.deriv.assign(n * static_cast<std::size_t>(nm) * 12, 0.0);
   out.slot_atom.assign(n * static_cast<std::size_t>(nm), -1);
   out.count_by_type.assign(n * static_cast<std::size_t>(cfg.ntypes), 0);
+  out.type_off.resize(static_cast<std::size_t>(cfg.ntypes) + 1);
+  for (int t = 0; t <= cfg.ntypes; ++t)
+    out.type_off[static_cast<std::size_t>(t)] = cfg.type_offset(t);
   out.overflow = 0;
 
   if (kernel == EnvMatKernel::Baseline) {

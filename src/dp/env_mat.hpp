@@ -34,6 +34,7 @@ struct EnvMat {
   AlignedVector<double> deriv;     ///< n_atoms * nm * 12
   std::vector<int> slot_atom;      ///< n_atoms * nm; -1 = padded slot
   std::vector<int> count_by_type;  ///< n_atoms * ntypes: filled slots per block
+  std::vector<int> type_off;       ///< ntypes + 1: slot offset of each type block
   std::size_t overflow = 0;        ///< neighbors dropped because a block was full
 
   const double* rmat_row(std::size_t i, int slot) const {
@@ -49,6 +50,10 @@ struct EnvMat {
   int count(std::size_t i, int t) const {
     return count_by_type[i * static_cast<std::size_t>(ntypes) + static_cast<std::size_t>(t)];
   }
+  /// Slot offset of type t's block within an atom's nm reserved slots
+  /// (mirrors ModelConfig::type_offset so consumers of a built EnvMat need
+  /// no config handle to walk the type blocks).
+  int type_offset(int t) const { return type_off[static_cast<std::size_t>(t)]; }
   /// Fraction of slots that are padding — the paper's "redundant zeros".
   double padding_fraction() const;
 };

@@ -16,40 +16,34 @@ inline Vec3 slot_pair_gradient(const double* g_row, const double* d_row) {
 }
 }  // namespace
 
-void prod_force(const EnvMat& env, const double* g_rmat, std::vector<Vec3>& forces) {
-  const int nm = env.nm;
-  for (std::size_t i = 0; i < env.n_atoms; ++i) {
-    Vec3 fi{};
-    for (int slot = 0; slot < nm; ++slot) {
-      const int j = env.atom_at(i, slot);
-      if (j < 0) continue;
-      const Vec3 f = slot_pair_gradient(
-          g_rmat + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4,
-          env.deriv_row(i, slot));
-      // E depends on d = r_j - r_i:  F_i = +dE/dd, F_j = -dE/dd.
-      fi += f;
-      forces[static_cast<std::size_t>(j)] -= f;
-    }
-    forces[i] += fi;
-  }
-}
-
-void prod_virial(const EnvMat& env, const double* g_rmat, const md::Box& box,
-                 const md::Atoms& atoms, bool periodic, Mat3& virial) {
+void prod_force_virial(const EnvMat& env, const double* g_rmat, const md::Box& box,
+                       const md::Atoms& atoms, bool periodic, std::vector<Vec3>& forces,
+                       Mat3& virial) {
   const int nm = env.nm;
   for (std::size_t i = 0; i < env.n_atoms; ++i) {
     const Vec3 ri = atoms.pos[i];
-    for (int slot = 0; slot < nm; ++slot) {
-      const int j = env.atom_at(i, slot);
-      if (j < 0) continue;
-      const Vec3 f = slot_pair_gradient(
-          g_rmat + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4,
-          env.deriv_row(i, slot));
-      Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
-      if (periodic) d = box.min_image(d);
-      // W += r_ij (x) f_ij with r_ij = r_i - r_j = -d and f_ij = +f on i.
-      virial += outer(d, f) * (-1.0);
+    Vec3 fi{};
+    // Walk only the filled prefix of each type block (count_by_type), not
+    // the padded tail — a padded slot's gradient row is identically zero.
+    for (int t = 0; t < env.ntypes; ++t) {
+      const int base = env.type_offset(t);
+      const int cnt = env.count(i, t);
+      for (int k = 0; k < cnt; ++k) {
+        const int slot = base + k;
+        const int j = env.atom_at(i, slot);
+        const Vec3 f = slot_pair_gradient(
+            g_rmat + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4,
+            env.deriv_row(i, slot));
+        // E depends on d = r_j - r_i:  F_i = +dE/dd, F_j = -dE/dd.
+        fi += f;
+        forces[static_cast<std::size_t>(j)] -= f;
+        Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
+        if (periodic) d = box.min_image(d);
+        // W += r_ij (x) f_ij with r_ij = r_i - r_j = -d and f_ij = +f on i.
+        virial += outer(d, f) * (-1.0);
+      }
     }
+    forces[i] += fi;
   }
 }
 

@@ -2,9 +2,12 @@
 // gradients into atomic forces and the global virial (paper Sec 3.4.3).
 //
 // Input g_rmat holds dE/dR~ for every (atom, slot) — including the chain
-// contribution dE/ds folded into column 0 by the caller. The kernels contract
-// it with descrpt_a_deriv and apply Newton's third law: the slot contributes
-// +f to the center and -f to the neighbor.
+// contribution dE/ds folded into column 0 by the caller. The kernel contracts
+// it with descrpt_a_deriv and applies Newton's third law: the slot contributes
+// +f to the center and -f to the neighbor. Force and virial come out of ONE
+// walk over the filled slots: the pair gradient and the minimum-image
+// displacement are each evaluated once per slot and feed both accumulators
+// (the original two-operator formulation recomputed both for the virial).
 #pragma once
 
 #include <vector>
@@ -18,11 +21,10 @@ namespace dp::core {
 
 /// forces[k] += contributions for both centers and neighbors (ghosts
 /// included); forces must be pre-sized to atoms.size() (not cleared here).
-void prod_force(const EnvMat& env, const double* g_rmat, std::vector<Vec3>& forces);
-
-/// Accumulates the virial  W += sum_slots (r_i - r_j) (x) f_slot ; needs the
-/// displacement vectors, recomputed from positions exactly as env-mat did.
-void prod_virial(const EnvMat& env, const double* g_rmat, const md::Box& box,
-                 const md::Atoms& atoms, bool periodic, Mat3& virial);
+/// virial += sum_slots (r_i - r_j) (x) f_slot, displacement recomputed from
+/// positions exactly as env-mat did.
+void prod_force_virial(const EnvMat& env, const double* g_rmat, const md::Box& box,
+                       const md::Atoms& atoms, bool periodic, std::vector<Vec3>& forces,
+                       Mat3& virial);
 
 }  // namespace dp::core

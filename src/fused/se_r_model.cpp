@@ -99,8 +99,7 @@ md::ForceResult SeRFusedDP::compute(const md::Box& box, md::Atoms& atoms,
   md::ForceResult out;
   out.energy = energy_total;
   atoms.zero_forces();
-  prod_force(env_, g_rmat.data(), atoms.force);
-  prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+  prod_force_virial(env_, g_rmat.data(), box, atoms, periodic, atoms.force, out.virial);
   return out;
 }
 

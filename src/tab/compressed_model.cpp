@@ -131,8 +131,7 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
   {
     ScopedTimer t("compressed.prod_force", "kernel");
     atoms.zero_forces();
-    prod_force(env_, g_rmat.data(), atoms.force);
-    prod_virial(env_, g_rmat.data(), box, atoms, periodic, out.virial);
+    prod_force_virial(env_, g_rmat.data(), box, atoms, periodic, atoms.force, out.virial);
   }
   return out;
 }
