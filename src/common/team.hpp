@@ -1,0 +1,151 @@
+// In-tree fork-join thread team shared by the deterministic parallel
+// kernels (neighbor build, environment-matrix build, force/virial fold).
+//
+// The team size follows OpenMP (`omp_get_max_threads()`, so OMP_NUM_THREADS
+// and omp_set_num_threads behave exactly as they would for a `parallel`
+// region), but dispatch and barriers are built on std::mutex /
+// std::condition_variable rather than libgomp: the repo's sanitizer floor
+// requires TSan-green with ZERO suppressions, and libgomp's futex-based
+// pool handoff and barriers are invisible to TSan (the runtime is not
+// instrumented), so a pooled `#pragma omp parallel` region with mid-job
+// barriers reports unfixable false races on its own capture struct. Mirrors
+// the minimpi move: the in-tree primitive keeps every happens-before edge
+// visible. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dp {
+
+/// Non-owning callable handed to the team: the lambda lives in the caller's
+/// frame for the whole dispatch, so no std::function allocation ever happens
+/// on a hot path.
+struct BodyRef {
+  void* ctx;
+  void (*fn)(void*, int, int);
+  template <class F, class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, BodyRef>>>
+  explicit BodyRef(F& f)
+      : ctx(&f), fn([](void* c, int t, int T) { (*static_cast<F*>(c))(t, T); }) {}
+  void operator()(int t, int T) const { fn(ctx, t, T); }
+};
+
+/// Contiguous, ascending split of [0, n) for thread t of T. Contiguity in
+/// thread order is load-bearing: it makes "(thread, position in chunk)"
+/// order equal global index order, which is what keeps the parallel
+/// counting sorts and the slab copies byte-identical to the serial path.
+inline std::size_t chunk_bound(std::size_t n, int t, int T) {
+  return n * static_cast<std::size_t>(t) / static_cast<std::size_t>(T);
+}
+
+/// Persistent fork-join team, one per master thread (rank threads in the
+/// distributed driver each get their own — the same per-rank ownership the
+/// neighbor list follows).
+///
+/// Happens-before: the master publishes the job (body pointer, T) under
+/// `mu_` and workers read it under `mu_` — lock hand-off edge in; workers
+/// bump `done_` under `mu_` and the master waits for all of them — edge
+/// out. barrier() is the minimpi generation barrier. Discipline: one
+/// master per team (thread_local singleton via team()), and every one of
+/// the T participants of a job must execute the same sequence of barrier()
+/// calls, which each caller's phase structure must guarantee.
+class BuildTeam {
+ public:
+  ~BuildTeam() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Runs body(t, T) on T threads; the caller executes t = 0. Returns after
+  /// every worker (participant or not) has checked in.
+  void run(int T, BodyRef body) {
+    if (T <= 1 && workers_.empty()) {
+      T_ = 1;
+      body(0, 1);
+      return;
+    }
+    while (static_cast<int>(workers_.size()) < T - 1)
+      workers_.emplace_back(&BuildTeam::worker, this, static_cast<int>(workers_.size()) + 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      body_ = &body;
+      T_ = T;
+      done_ = 0;
+      bar_count_ = 0;
+      ++job_gen_;
+    }
+    job_cv_.notify_all();
+    body(0, T);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_ == workers_.size(); });
+    body_ = nullptr;
+  }
+
+  /// Generation barrier across the T participants of the current job.
+  void barrier() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::uint64_t gen = bar_gen_;
+    if (++bar_count_ == T_) {
+      bar_count_ = 0;
+      ++bar_gen_;
+      bar_cv_.notify_all();
+    } else {
+      bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
+    }
+  }
+
+  /// The calling thread's persistent team, created on first use and torn
+  /// down at thread exit. thread_local keeps the one-master discipline by
+  /// construction; sequential kernels on one master share the same team.
+  static BuildTeam& team() {
+    static thread_local BuildTeam instance;
+    return instance;
+  }
+
+ private:
+  void worker(int idx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const BodyRef* body = nullptr;
+      int T = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        job_cv_.wait(lk, [&] { return stop_ || job_gen_ != seen; });
+        if (stop_) return;
+        seen = job_gen_;
+        body = body_;
+        T = T_;
+      }
+      // Workers beyond the current T (left over from a wider earlier job)
+      // skip the body but still check in, so run() can retire the job.
+      if (idx < T) (*body)(idx, T);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++done_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable job_cv_, done_cv_, bar_cv_;
+  std::vector<std::thread> workers_;
+  const BodyRef* body_ = nullptr;
+  int T_ = 1;
+  std::size_t done_ = 0;
+  std::uint64_t job_gen_ = 0;
+  std::uint64_t bar_gen_ = 0;
+  int bar_count_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dp

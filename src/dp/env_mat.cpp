@@ -1,32 +1,131 @@
 #include "dp/env_mat.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 
+#include "common/team.hpp"
 #include "dp/switch_fn.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dp::core {
 
-double EnvMat::padding_fraction() const {
-  if (n_atoms == 0 || nm == 0) return 0.0;
+namespace {
+EnvMatThreadStats& mutable_thread_stats() {
+  static thread_local EnvMatThreadStats stats;
+  return stats;
+}
+}  // namespace
+
+const EnvMatThreadStats& env_mat_thread_stats() { return mutable_thread_stats(); }
+
+std::size_t EnvMat::filled_slots() const {
+  if (compact()) return block_start.empty() ? 0 : block_start.back();
   std::size_t filled = 0;
   for (int c : count_by_type) filled += static_cast<std::size_t>(c);
-  return 1.0 - static_cast<double>(filled) / (static_cast<double>(n_atoms) * nm);
+  return filled;
+}
+
+double EnvMat::padding_fraction() const {
+  if (n_atoms == 0 || nm == 0) return 0.0;
+  return 1.0 - static_cast<double>(filled_slots()) /
+                   (static_cast<double>(n_atoms) * static_cast<double>(nm));
+}
+
+std::size_t EnvMat::dense_bytes() const {
+  const std::size_t slots = n_atoms * static_cast<std::size_t>(nm);
+  return slots * (16 * sizeof(double) + sizeof(int)) +
+         n_atoms * static_cast<std::size_t>(ntypes) * sizeof(int);
+}
+
+std::size_t EnvMat::compact_bytes() const {
+  const std::size_t blocks = n_atoms * static_cast<std::size_t>(ntypes);
+  return filled_slots() * (19 * sizeof(double) + sizeof(int)) + blocks * sizeof(int) +
+         (blocks + 1) * sizeof(std::size_t);
+}
+
+std::size_t EnvMat::storage_bytes() const {
+  return rmat.capacity() * sizeof(double) + deriv.capacity() * sizeof(double) +
+         diff.capacity() * sizeof(double) + slot_atom.capacity() * sizeof(int) +
+         count_by_type.capacity() * sizeof(int) + block_start.capacity() * sizeof(std::size_t) +
+         type_off.capacity() * sizeof(int);
+}
+
+void EnvMat::reset_dense(std::size_t n, const ModelConfig& cfg) {
+  layout = EnvMatLayout::Dense;
+  n_atoms = n;
+  nm = cfg.nm();
+  ntypes = cfg.ntypes;
+  // The zero fill below is the dense layout's cost, not an accident: padded
+  // slots must read as exact zeros (the paper's "redundant zeros").
+  rmat.assign(n * static_cast<std::size_t>(nm) * 4, 0.0);
+  deriv.assign(n * static_cast<std::size_t>(nm) * 12, 0.0);
+  slot_atom.assign(n * static_cast<std::size_t>(nm), -1);
+  count_by_type.assign(n * static_cast<std::size_t>(cfg.ntypes), 0);
+  type_off.resize(static_cast<std::size_t>(cfg.ntypes) + 1);
+  for (int t = 0; t <= cfg.ntypes; ++t)
+    type_off[static_cast<std::size_t>(t)] = cfg.type_offset(t);
+  overflow = 0;
+}
+
+void EnvMat::reset_compact_header(std::size_t n, const ModelConfig& cfg) {
+  layout = EnvMatLayout::Compact;
+  n_atoms = n;
+  nm = cfg.nm();
+  ntypes = cfg.ntypes;
+  // No zero fill anywhere: counts are fully rewritten by the count phase and
+  // the prefix by the scan; slot arrays are sized later by grow_compact_slots.
+  count_by_type.resize(n * static_cast<std::size_t>(cfg.ntypes));
+  block_start.resize(n * static_cast<std::size_t>(cfg.ntypes) + 1);
+  type_off.resize(static_cast<std::size_t>(cfg.ntypes) + 1);
+  for (int t = 0; t <= cfg.ntypes; ++t)
+    type_off[static_cast<std::size_t>(t)] = cfg.type_offset(t);
+  overflow = 0;
+}
+
+void EnvMat::grow_compact_slots(std::size_t total) {
+  // resize, never assign: no O(slots) zeroing, and capacity only grows.
+  rmat.resize(total * 4);
+  deriv.resize(total * 12);
+  diff.resize(total * 3);
+  slot_atom.resize(total);
+}
+
+void EnvMatWorkspace::Slab::ensure(std::size_t slot_cap, int ntypes) {
+  if (rmat.size() < slot_cap * 4) {
+    rmat.resize(slot_cap * 4);
+    deriv.resize(slot_cap * 12);
+    diff.resize(slot_cap * 3);
+    atom.resize(slot_cap);
+  }
+  if (counts.size() < static_cast<std::size_t>(ntypes)) {
+    counts.resize(static_cast<std::size_t>(ntypes));
+    cursor.resize(static_cast<std::size_t>(ntypes));
+  }
+}
+
+std::size_t EnvMatWorkspace::Slab::bytes() const {
+  return cand.capacity() * sizeof(EnvCandidate) + rmat.capacity() * sizeof(double) +
+         deriv.capacity() * sizeof(double) + diff.capacity() * sizeof(double) +
+         atom.capacity() * sizeof(int) + counts.capacity() * sizeof(int) +
+         cursor.capacity() * sizeof(int);
+}
+
+void EnvMatWorkspace::ensure_threads(int team_size) {
+  if (tl.size() < static_cast<std::size_t>(team_size))
+    tl.resize(static_cast<std::size_t>(team_size));
+}
+
+std::size_t EnvMatWorkspace::bytes() const {
+  std::size_t b = tl.capacity() * sizeof(Slab);
+  for (const Slab& s : tl) b += s.bytes();
+  return b;
 }
 
 namespace {
-
-struct Candidate {
-  double r2;
-  int atom;
-  Vec3 d;
-  bool operator<(const Candidate& o) const {
-    return r2 != o.r2 ? r2 < o.r2 : atom < o.atom;
-  }
-};
 
 // Writes the 4 rmat entries and the 12 derivative entries of one slot.
 inline void fill_slot(double* rrow, double* drow, const Vec3& d, double r2, double rcut_smth,
@@ -53,139 +152,205 @@ inline void fill_slot(double* rrow, double* drow, const Vec3& d, double r2, doub
     }
 }
 
-void build_one_atom(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
-                    std::span<const int> nbrs, std::size_t i, bool periodic, EnvMat& out,
-                    std::vector<Candidate>& scratch, std::size_t& overflow) {
-  const int nm = cfg.nm();
-  const double rc2 = cfg.rcut * cfg.rcut;
-  const Vec3 ri = atoms.pos[i];
-
-  // Partition candidates by neighbor type (scratch reused across atoms).
-  scratch.clear();
-  for (int j : nbrs) {
-    Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
-    if (periodic) d = box.min_image(d);
-    const double r2 = norm2(d);
-    if (r2 < rc2 && r2 > 0.0) scratch.push_back({r2, j, d});
-  }
-  std::sort(scratch.begin(), scratch.end());
-
-  double* rmat_i = out.rmat.data() + i * static_cast<std::size_t>(nm) * 4;
-  double* deriv_i = out.deriv.data() + i * static_cast<std::size_t>(nm) * 12;
-  int* slots_i = out.slot_atom.data() + i * static_cast<std::size_t>(nm);
-  int* counts_i = out.count_by_type.data() + i * static_cast<std::size_t>(cfg.ntypes);
-
-  for (const auto& c : scratch) {
-    const int t = atoms.type[static_cast<std::size_t>(c.atom)];
-    int& fill = counts_i[t];
-    if (fill >= cfg.sel[static_cast<std::size_t>(t)]) {
-      ++overflow;
-      continue;
+/// Reference operator, written the way the original ProdEnvMatA was: fresh
+/// per-atom containers, candidate distances recomputed from positions at
+/// fill time instead of being carried through the sort. Emits the dense
+/// padded layout (the caller has already reset it).
+void build_dense_reference(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
+                           const md::NeighborList& nlist, bool periodic, EnvMat& out) {
+  const std::size_t n = out.n_atoms;
+  const int nm = out.nm;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 ri = atoms.pos[i];
+    const double rc2 = cfg.rcut * cfg.rcut;
+    std::vector<std::vector<std::pair<double, int>>> groups(
+        static_cast<std::size_t>(cfg.ntypes));
+    for (int j : nlist.neighbors(i)) {
+      Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
+      if (periodic) d = box.min_image(d);
+      const double r2 = norm2(d);
+      if (r2 < rc2 && r2 > 0.0)
+        groups[static_cast<std::size_t>(atoms.type[static_cast<std::size_t>(j)])]
+            .emplace_back(std::sqrt(r2), j);
     }
-    const int slot = cfg.type_offset(t) + fill;
-    fill_slot(rmat_i + 4 * slot, deriv_i + 12 * slot, c.d, c.r2, cfg.rcut_smth, cfg.rcut);
-    slots_i[slot] = c.atom;
-    ++fill;
+    double* rmat_i = out.rmat.data() + i * static_cast<std::size_t>(nm) * 4;
+    double* deriv_i = out.deriv.data() + i * static_cast<std::size_t>(nm) * 12;
+    int* slots_i = out.slot_atom.data() + i * static_cast<std::size_t>(nm);
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      auto& group = groups[static_cast<std::size_t>(t)];
+      std::sort(group.begin(), group.end());
+      const int cap = cfg.sel[static_cast<std::size_t>(t)];
+      int fill = 0;
+      for (const auto& [r, j] : group) {
+        if (fill >= cap) {
+          ++out.overflow;
+          continue;
+        }
+        // Recompute the displacement (the redundancy the optimized
+        // operator removes).
+        Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
+        if (periodic) d = box.min_image(d);
+        const int slot = cfg.type_offset(t) + fill;
+        fill_slot(rmat_i + 4 * slot, deriv_i + 12 * slot, d, norm2(d), cfg.rcut_smth,
+                  cfg.rcut);
+        slots_i[slot] = j;
+        ++fill;
+      }
+      out.count_by_type[i * static_cast<std::size_t>(cfg.ntypes) + static_cast<std::size_t>(t)] =
+          fill;
+    }
   }
+}
+
+/// Compact CSR build: count -> scan -> fill, parallel over contiguous atom
+/// chunks with per-thread staging slabs (paper Sec 3.4.2's redundancy
+/// removal applied to the operator's OUTPUT, not just its inner loops).
+///
+/// Happens-before / determinism argument (see docs/STATIC_ANALYSIS.md): the
+/// count-and-stage phase writes disjoint count_by_type rows and
+/// thread-private slabs; a barrier orders every count before the thread-0
+/// prefix scan; a second barrier orders the scan (and the slot-array resize)
+/// before the slab copies, which target disjoint [block_start[begin * nt],
+/// block_start[end * nt]) ranges by chunk contiguity. Slot CONTENT depends
+/// only on per-atom data, and the concatenation in atom order is what the
+/// scan encodes — so the output is byte-identical at any thread count.
+void build_compact(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
+                   const md::NeighborList& nlist, EnvMat& out, EnvMatWorkspace& ws,
+                   bool periodic) {
+  const std::size_t n = nlist.n_centers();
+  const std::size_t nt = static_cast<std::size_t>(cfg.ntypes);
+  const std::size_t nm = static_cast<std::size_t>(cfg.nm());
+  const double rc2 = cfg.rcut * cfg.rcut;
+  const int team_size = std::max(1, omp_get_max_threads());
+  ws.ensure_threads(team_size);
+  out.reset_compact_header(n, cfg);
+
+  BuildTeam& team = BuildTeam::team();
+  auto body = [&](int t, int T) {
+    EnvMatWorkspace::Slab& slab = ws.tl[static_cast<std::size_t>(t)];
+    const std::size_t begin = chunk_bound(n, t, T);
+    const std::size_t end = chunk_bound(n, t + 1, T);
+    // Stage capacity: each atom fills at most min(|nbrs|, nm) slots.
+    std::size_t cap = 0;
+    for (std::size_t i = begin; i < end; ++i)
+      cap += std::min(nlist.neighbors(i).size(), nm);
+    slab.ensure(cap, cfg.ntypes);
+    slab.n_slots = 0;
+    slab.overflow = 0;
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vec3 ri = atoms.pos[i];
+      slab.cand.clear();
+      for (int j : nlist.neighbors(i)) {
+        Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
+        if (periodic) d = box.min_image(d);
+        const double r2 = norm2(d);
+        if (r2 < rc2 && r2 > 0.0) slab.cand.push_back({r2, j, d});
+      }
+      std::sort(slab.cand.begin(), slab.cand.end());
+
+      // Count per type, cap at sel[], scan into atom-local block offsets.
+      std::fill(slab.counts.begin(), slab.counts.end(), 0);
+      for (const EnvCandidate& c : slab.cand)
+        ++slab.counts[static_cast<std::size_t>(atoms.type[static_cast<std::size_t>(c.atom)])];
+      int fill_total = 0;
+      for (std::size_t ty = 0; ty < nt; ++ty) {
+        const int capped = std::min(slab.counts[ty], cfg.sel[ty]);
+        slab.overflow += static_cast<std::size_t>(slab.counts[ty] - capped);
+        slab.counts[ty] = capped;  // remaining per-type quota for the fill walk
+        slab.cursor[ty] = fill_total;
+        fill_total += capped;
+        out.count_by_type[i * nt + ty] = capped;
+      }
+
+      // Fill: candidates arrive distance-sorted, so the first `capped` of
+      // each type land in the block — the nearest ones, exactly the dense
+      // reference's insertion order.
+      for (const EnvCandidate& c : slab.cand) {
+        const std::size_t ty =
+            static_cast<std::size_t>(atoms.type[static_cast<std::size_t>(c.atom)]);
+        if (slab.counts[ty] == 0) continue;  // quota spent: farthest are dropped
+        --slab.counts[ty];
+        const std::size_t s =
+            slab.n_slots + static_cast<std::size_t>(slab.cursor[ty]++);
+        fill_slot(slab.rmat.data() + 4 * s, slab.deriv.data() + 12 * s, c.d, c.r2,
+                  cfg.rcut_smth, cfg.rcut);
+        slab.atom[s] = c.atom;
+        slab.diff[3 * s + 0] = c.d.x;
+        slab.diff[3 * s + 1] = c.d.y;
+        slab.diff[3 * s + 2] = c.d.z;
+      }
+      slab.n_slots += static_cast<std::size_t>(fill_total);
+    }
+
+    team.barrier();
+    if (t == 0) {
+      std::size_t run = 0;
+      for (std::size_t idx = 0; idx < n * nt; ++idx) {
+        out.block_start[idx] = run;
+        run += static_cast<std::size_t>(out.count_by_type[idx]);
+      }
+      out.block_start[n * nt] = run;
+      out.grow_compact_slots(run);
+    }
+    team.barrier();  // scan + resize visible to every slab copy below
+    if (slab.n_slots > 0) {
+      const std::size_t dst = out.block_start[begin * nt];
+      std::memcpy(out.rmat.data() + dst * 4, slab.rmat.data(),
+                  slab.n_slots * 4 * sizeof(double));
+      std::memcpy(out.deriv.data() + dst * 12, slab.deriv.data(),
+                  slab.n_slots * 12 * sizeof(double));
+      std::memcpy(out.diff.data() + dst * 3, slab.diff.data(),
+                  slab.n_slots * 3 * sizeof(double));
+      std::memcpy(out.slot_atom.data() + dst, slab.atom.data(), slab.n_slots * sizeof(int));
+    }
+  };
+  team.run(team_size, BodyRef(body));
+
+  std::size_t overflow_total = 0;
+  for (int t = 0; t < team_size; ++t) overflow_total += ws.tl[static_cast<std::size_t>(t)].overflow;
+  out.overflow = overflow_total;
 }
 
 }  // namespace
 
 void build_env_mat(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
-                   const md::NeighborList& nlist, EnvMat& out, EnvMatKernel kernel,
-                   bool periodic) {
-  // Counters land in the registry via RAII so both kernel paths (including
-  // the baseline early return) are covered; overflow > 0 flags sel[] too
-  // small for the density, the paper's main correctness hazard at scale.
+                   const md::NeighborList& nlist, EnvMat& out, EnvMatWorkspace& ws,
+                   EnvMatKernel kernel, bool periodic) {
+  // Counters land in the registry via RAII so both kernel paths are covered;
+  // overflow > 0 flags sel[] too small for the density, the paper's main
+  // correctness hazard at scale.
   struct BuildRecord {
     const EnvMat& env;
     ~BuildRecord() {
       static obs::Counter& builds = obs::MetricsRegistry::instance().counter("env_mat.builds");
       static obs::Counter& overflow =
           obs::MetricsRegistry::instance().counter("env_mat.overflow");
+      static obs::Gauge& dense_gauge =
+          obs::MetricsRegistry::instance().gauge("env_mat.dense_bytes");
+      static obs::Gauge& compact_gauge =
+          obs::MetricsRegistry::instance().gauge("env_mat.compact_bytes");
       builds.inc();
       if (env.overflow > 0) overflow.inc(env.overflow);
+      // Both gauges every build: what each layout costs for THIS system,
+      // whichever one was materialized — the Fig 3 memory comparison.
+      EnvMatThreadStats& stats = mutable_thread_stats();
+      stats.dense_bytes = env.dense_bytes();
+      stats.compact_bytes = env.compact_bytes();
+      dense_gauge.set(static_cast<double>(stats.dense_bytes));
+      compact_gauge.set(static_cast<double>(stats.compact_bytes));
     }
   } build_record{out};
   obs::TraceSpan span("env_mat.build", "dp");
   cfg.validate();
   const std::size_t n = nlist.n_centers();
-  const int nm = cfg.nm();
-  out.n_atoms = n;
-  out.nm = nm;
-  out.ntypes = cfg.ntypes;
-  out.rmat.assign(n * static_cast<std::size_t>(nm) * 4, 0.0);
-  out.deriv.assign(n * static_cast<std::size_t>(nm) * 12, 0.0);
-  out.slot_atom.assign(n * static_cast<std::size_t>(nm), -1);
-  out.count_by_type.assign(n * static_cast<std::size_t>(cfg.ntypes), 0);
-  out.type_off.resize(static_cast<std::size_t>(cfg.ntypes) + 1);
-  for (int t = 0; t <= cfg.ntypes; ++t)
-    out.type_off[static_cast<std::size_t>(t)] = cfg.type_offset(t);
-  out.overflow = 0;
 
   if (kernel == EnvMatKernel::Baseline) {
-    // Reference operator, written the way the original ProdEnvMatA was:
-    // fresh per-atom containers, candidate distances recomputed from
-    // positions at fill time instead of being carried through the sort.
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec3 ri = atoms.pos[i];
-      const double rc2 = cfg.rcut * cfg.rcut;
-      std::vector<std::vector<std::pair<double, int>>> groups(
-          static_cast<std::size_t>(cfg.ntypes));
-      for (int j : nlist.neighbors(i)) {
-        Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
-        if (periodic) d = box.min_image(d);
-        const double r2 = norm2(d);
-        if (r2 < rc2 && r2 > 0.0)
-          groups[static_cast<std::size_t>(atoms.type[static_cast<std::size_t>(j)])]
-              .emplace_back(std::sqrt(r2), j);
-      }
-      double* rmat_i = out.rmat.data() + i * static_cast<std::size_t>(nm) * 4;
-      double* deriv_i = out.deriv.data() + i * static_cast<std::size_t>(nm) * 12;
-      int* slots_i = out.slot_atom.data() + i * static_cast<std::size_t>(nm);
-      for (int t = 0; t < cfg.ntypes; ++t) {
-        auto& group = groups[static_cast<std::size_t>(t)];
-        std::sort(group.begin(), group.end());
-        const int cap = cfg.sel[static_cast<std::size_t>(t)];
-        int fill = 0;
-        for (const auto& [r, j] : group) {
-          if (fill >= cap) {
-            ++out.overflow;
-            continue;
-          }
-          // Recompute the displacement (the redundancy the optimized
-          // operator removes).
-          Vec3 d = atoms.pos[static_cast<std::size_t>(j)] - ri;
-          if (periodic) d = box.min_image(d);
-          const int slot = cfg.type_offset(t) + fill;
-          fill_slot(rmat_i + 4 * slot, deriv_i + 12 * slot, d, norm2(d), cfg.rcut_smth,
-                    cfg.rcut);
-          slots_i[slot] = j;
-          ++fill;
-        }
-        out.count_by_type[i * static_cast<std::size_t>(cfg.ntypes) +
-                          static_cast<std::size_t>(t)] = fill;
-      }
-    }
+    out.reset_dense(n, cfg);
+    build_dense_reference(cfg, box, atoms, nlist, periodic, out);
     return;
   }
-
-  // Optimized operator: thread-parallel over atoms with thread-local scratch
-  // (the GPU version of the paper assigns atoms to thread blocks the same
-  // way; shared-memory staging there corresponds to scratch reuse here).
-  std::size_t overflow_total = 0;
-#pragma omp parallel reduction(+ : overflow_total)
-  {
-    std::vector<Candidate> scratch;
-    scratch.reserve(static_cast<std::size_t>(nm));
-    std::size_t overflow_local = 0;
-#pragma omp for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-      build_one_atom(cfg, box, atoms, nlist.neighbors(i), i, periodic, out, scratch,
-                     overflow_local);
-    overflow_total += overflow_local;
-  }
-  out.overflow = overflow_total;
+  build_compact(cfg, box, atoms, nlist, out, ws, periodic);
 }
 
 }  // namespace dp::core

@@ -1,24 +1,38 @@
 // Environment-matrix construction — the ProdEnvMatA customized operator
-// (paper Sec 3.4.3 / 3.5.3).
+// (paper Sec 3.4.2 / 3.4.3 / 3.5.3).
 //
 // For every local atom i the operator emits:
-//   * rmat  (N_m x 4):  rows  s(r) * (1, x/r, y/r, z/r)  (paper Eq. 1),
-//     grouped by neighbor type (sel[t] slots per type, distance-sorted inside
-//     each block) and zero-padded up to the reserved slot count;
-//   * deriv (N_m x 4 x 3):  d(rmat row)/d(r_j - r_i)  — `descrpt_a_deriv`,
-//     the 12-component AoS the SVE conversion kernels operate on;
-//   * slot_atom: which atom occupies each slot (-1 for padding).
+//   * rmat  (4 doubles per slot):  rows  s(r) * (1, x/r, y/r, z/r)  (paper
+//     Eq. 1), grouped by neighbor type and distance-sorted inside each block;
+//   * deriv (12 doubles per slot):  d(rmat row)/d(r_j - r_i)  —
+//     `descrpt_a_deriv`, the AoS the SVE conversion kernels operate on;
+//   * slot_atom: which atom occupies each slot.
 //
-// Two builders produce bit-identical output: `Baseline` is the plain
-// reference; `Optimized` is the restructured operator the paper reports as
-// 3x faster on V100 (single distance evaluation per candidate, insertion
-// into fixed slot arrays, OpenMP over atoms).
+// Two kernels, two layouts:
+//   * `Baseline` materializes the paper's original DENSE layout — every atom
+//     reserves N_m = sum(sel[t]) slots, real neighbors fill a prefix of each
+//     type block and the rest is zero padding (the "redundant zeros" of
+//     Sec 3.4.2, ~60-80% of the array for copper's sel = 500).
+//   * `Optimized` materializes the COMPACT CSR layout: a prefix sum over the
+//     real per-(atom, type) neighbor counts assigns each block a contiguous
+//     slot range, so rmat/deriv/slot_atom store only filled slots and no
+//     zeroing traffic is ever issued. It also carries the minimum-image
+//     displacement per slot (`diff`), so the force/virial scatter never
+//     recomputes it. The build is thread-parallel and byte-identical at any
+//     thread count (count -> scan -> disjoint slab copies, the same
+//     discipline as the neighbor-list CSR build).
+//
+// Both layouts are walked through the same accessors: global slot indices
+// from `block_begin(i, t)`, payload via `rmat_at` / `deriv_at` / `atom_of`.
+// For a dense matrix `block_begin` degenerates to i * nm + type_off[t], so
+// layout-aware consumers need no branches in their inner loops.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/types.hpp"
 #include "dp/model_config.hpp"
 #include "md/atoms.hpp"
 #include "md/box.hpp"
@@ -26,17 +40,46 @@
 
 namespace dp::core {
 
+enum class EnvMatLayout { Dense, Compact };
+
 struct EnvMat {
+  EnvMatLayout layout = EnvMatLayout::Dense;
   std::size_t n_atoms = 0;
   int nm = 0;
   int ntypes = 1;
-  AlignedVector<double> rmat;      ///< n_atoms * nm * 4
-  AlignedVector<double> deriv;     ///< n_atoms * nm * 12
-  std::vector<int> slot_atom;      ///< n_atoms * nm; -1 = padded slot
-  std::vector<int> count_by_type;  ///< n_atoms * ntypes: filled slots per block
-  std::vector<int> type_off;       ///< ntypes + 1: slot offset of each type block
-  std::size_t overflow = 0;        ///< neighbors dropped because a block was full
+  AlignedVector<double> rmat;   ///< 4 per stored slot (dense: n * nm slots)
+  AlignedVector<double> deriv;  ///< 12 per stored slot
+  AlignedVector<double> diff;   ///< compact only: 3 per slot, d = r_j - r_i
+  std::vector<int> slot_atom;   ///< per stored slot; -1 = padding (dense only)
+  std::vector<int> count_by_type;        ///< n * ntypes: filled slots per block
+  std::vector<std::size_t> block_start;  ///< compact: n * ntypes + 1 slot prefix
+  std::vector<int> type_off;  ///< ntypes + 1: dense slot offset of each block
+  std::size_t overflow = 0;   ///< neighbors dropped because a block was full
 
+  bool compact() const { return layout == EnvMatLayout::Compact; }
+
+  /// Global index of the first slot of atom i's type-t block. Valid in both
+  /// layouts; slots of the block are contiguous from here (`count(i, t)` of
+  /// them are real; dense blocks continue with padding up to sel[t]).
+  std::size_t block_begin(std::size_t i, int t) const {
+    return compact() ? block_start[i * static_cast<std::size_t>(ntypes) +
+                                   static_cast<std::size_t>(t)]
+                     : i * static_cast<std::size_t>(nm) +
+                           static_cast<std::size_t>(type_off[static_cast<std::size_t>(t)]);
+  }
+  const double* rmat_at(std::size_t slot) const { return rmat.data() + slot * 4; }
+  const double* deriv_at(std::size_t slot) const { return deriv.data() + slot * 12; }
+  /// Minimum-image displacement r_j - r_i carried through the build.
+  /// Compact layout only.
+  const double* diff_at(std::size_t slot) const { return diff.data() + slot * 3; }
+  int atom_of(std::size_t slot) const { return slot_atom[slot]; }
+  /// Number of stored slots == rows of the matching g_rmat gradient buffer.
+  std::size_t stored_slots() const {
+    return compact() ? block_start.back() : n_atoms * static_cast<std::size_t>(nm);
+  }
+
+  // Legacy dense-layout accessors (slot is an offset within atom i's nm
+  // reserved slots). Only meaningful when !compact().
   const double* rmat_row(std::size_t i, int slot) const {
     return rmat.data() + (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)) * 4;
   }
@@ -47,22 +90,101 @@ struct EnvMat {
   int atom_at(std::size_t i, int slot) const {
     return slot_atom[i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(slot)];
   }
+
   int count(std::size_t i, int t) const {
     return count_by_type[i * static_cast<std::size_t>(ntypes) + static_cast<std::size_t>(t)];
   }
   /// Slot offset of type t's block within an atom's nm reserved slots
   /// (mirrors ModelConfig::type_offset so consumers of a built EnvMat need
-  /// no config handle to walk the type blocks).
+  /// no config handle to walk the type blocks). Dense addressing only.
   int type_offset(int t) const { return type_off[static_cast<std::size_t>(t)]; }
-  /// Fraction of slots that are padding — the paper's "redundant zeros".
+  /// Real (non-padding) slots across all atoms, valid in both layouts.
+  std::size_t filled_slots() const;
+  /// Fraction of reserved slots that are padding — the paper's "redundant
+  /// zeros". Relative to the dense reservation in both layouts.
   double padding_fraction() const;
+
+  /// Footprint the DENSE layout occupies (or would occupy) for this system:
+  /// slot payload plus per-block counts. Published as `env_mat.dense_bytes`.
+  std::size_t dense_bytes() const;
+  /// Footprint of the COMPACT layout for this system: filled-slot payload
+  /// (incl. diff) plus counts and the block prefix. `env_mat.compact_bytes`.
+  std::size_t compact_bytes() const;
+  /// Capacity-based bytes actually held by this object (grow-only buffers).
+  std::size_t storage_bytes() const;
+
+  // Sizing helpers, out of line so build_env_mat's body issues no direct
+  // assign/resize (tools/dplint `env-hot-alloc` keeps it that way). All are
+  // grow-only in steady state: resize never shrinks capacity, and only
+  // reset_dense pays zero-fill traffic (deliberately — that IS the dense
+  // baseline being measured).
+  void reset_dense(std::size_t n, const ModelConfig& cfg);
+  void reset_compact_header(std::size_t n, const ModelConfig& cfg);
+  void grow_compact_slots(std::size_t total);
+};
+
+/// One neighbor candidate of the compact build: squared distance, index and
+/// minimum-image displacement, ordered the way slots are (distance, then
+/// index, inside each type block).
+struct EnvCandidate {
+  double r2;
+  int atom;
+  Vec3 d;
+  bool operator<(const EnvCandidate& o) const {
+    return r2 != o.r2 ? r2 < o.r2 : atom < o.atom;
+  }
+};
+
+/// Persistent scratch of the compact parallel build: per-thread slabs stage
+/// each thread's contiguous atom chunk before one memcpy into the global
+/// arrays. Grow-only, so steady-state builds allocate nothing (the same
+/// discipline as md::NeighborWorkspace).
+struct EnvMatWorkspace {
+  struct Slab {
+    std::vector<EnvCandidate> cand;    ///< per-atom candidate gather
+    AlignedVector<double> rmat;        ///< staged slots: 4 per slot
+    AlignedVector<double> deriv;       ///< 12 per slot
+    AlignedVector<double> diff;        ///< 3 per slot
+    std::vector<int> atom;             ///< 1 per slot
+    std::vector<int> counts;           ///< ntypes: per-type quota scratch
+    std::vector<int> cursor;           ///< ntypes: per-type write cursor
+    std::size_t n_slots = 0;           ///< slots staged by the current build
+    std::size_t overflow = 0;          ///< drops counted by the current build
+    void ensure(std::size_t slot_cap, int ntypes);
+    std::size_t bytes() const;
+  };
+  std::vector<Slab> tl;
+  void ensure_threads(int team_size);
+  std::size_t bytes() const;
 };
 
 enum class EnvMatKernel { Baseline, Optimized };
 
+/// Footprint of the most recent build on the CALLING thread. The registry
+/// gauges (`env_mat.dense_bytes` / `env_mat.compact_bytes`) are global
+/// last-writer-wins; distributed rank threads read these instead, so each
+/// rank aggregates its OWN env footprint into the allreduce.
+struct EnvMatThreadStats {
+  std::size_t dense_bytes = 0;
+  std::size_t compact_bytes = 0;
+};
+const EnvMatThreadStats& env_mat_thread_stats();
+
 /// Builds the environment matrices of the first nlist.n_centers() atoms.
+/// `Baseline` emits the dense padded layout, `Optimized` the compact CSR
+/// layout; ws is only touched by the compact build.
 void build_env_mat(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
-                   const md::NeighborList& nlist, EnvMat& out,
+                   const md::NeighborList& nlist, EnvMat& out, EnvMatWorkspace& ws,
                    EnvMatKernel kernel = EnvMatKernel::Optimized, bool periodic = true);
+
+/// Convenience overload with a per-thread persistent workspace — callers
+/// that own no EnvMatWorkspace (tests, benches, the training path) stay
+/// allocation-free in steady state too.
+inline void build_env_mat(const ModelConfig& cfg, const md::Box& box, const md::Atoms& atoms,
+                          const md::NeighborList& nlist, EnvMat& out,
+                          EnvMatKernel kernel = EnvMatKernel::Optimized, bool periodic = true) {
+  static thread_local EnvMatWorkspace ws;
+  build_env_mat(cfg, box, atoms, nlist, out, ws, kernel, periodic);
+}
 
 }  // namespace dp::core

@@ -1,21 +1,80 @@
 #include "fused/fused_model.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <cstring>
 
 #include "common/cost.hpp"
+#include "common/team.hpp"
 #include "common/timer.hpp"
-#include "dp/descriptor.hpp"
-#include "dp/prod_force.hpp"
 #include "obs/metrics.hpp"
 
 namespace dp::fused {
 
-using core::AtomKernelScratch;
 using core::ModelConfig;
 using tab::TabulatedEmbedding;
 
+namespace {
+
+/// Pass-2 per-slot contraction: g_rmat[c] = <g_a[c], row>, plus the dE/ds
+/// table term <R~ g_a, drow> folded into column 0. Kept noinline so exactly
+/// ONE compiled instance serves both the cached and the re-evaluated path —
+/// if the compiler clones the reduction per branch (different pointer
+/// provenance), the clones may contract/unroll differently and the
+/// "staging is an exact rewrite" invariant breaks in the last bit.
+__attribute__((noinline)) void slot_gradient(const double* rrow, const double* row,
+                                             const double* drow, const double* g_a,
+                                             std::size_t m, double* grow) {
+  double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc_s = 0;
+  const double r0 = rrow[0], r1 = rrow[1], r2 = rrow[2], r3 = rrow[3];
+  const double* ga0 = g_a;
+  const double* ga1 = g_a + m;
+  const double* ga2 = g_a + 2 * m;
+  const double* ga3 = g_a + 3 * m;
+#pragma omp simd reduction(+ : acc0, acc1, acc2, acc3, acc_s)
+  for (std::size_t b = 0; b < m; ++b) {
+    const double gb = row[b];
+    acc0 += ga0[b] * gb;
+    acc1 += ga1[b] * gb;
+    acc2 += ga2[b] * gb;
+    acc3 += ga3[b] * gb;
+    acc_s += (r0 * ga0[b] + r1 * ga1[b] + r2 * ga2[b] + r3 * ga3[b]) * drow[b];
+  }
+  grow[0] = acc0 + acc_s;
+  grow[1] = acc1;
+  grow[2] = acc2;
+  grow[3] = acc3;
+}
+
+}  // namespace
+
 FusedDP::FusedDP(const tab::TabulatedDP& tabulated, FusedOptions opts)
     : tab_(tabulated), opts_(opts) {}
+
+void FusedDP::prepare(std::size_t n) {
+  const ModelConfig& cfg = tab_.model().config();
+  const std::size_t m = cfg.m();
+  atom_energy_.resize(n);
+  g_rmat_.resize(env_.stored_slots() * 4);
+  scratch_.resize(static_cast<std::size_t>(std::max(1, omp_get_max_threads())));
+  for (ThreadScratch& sc : scratch_) {
+    sc.g_row.resize(m);
+    sc.dg_row.resize(m);
+    sc.a_mat.resize(4 * m);
+    sc.g_a.resize(4 * m);
+    if (opts_.cache_rows) sc.row_cache.resize(static_cast<std::size_t>(cfg.nm()) * 2 * m);
+  }
+}
+
+std::size_t FusedDP::workspace_bytes() const {
+  std::size_t b = env_.storage_bytes() + env_ws_.bytes() + prod_ws_.bytes() +
+                  g_rmat_.capacity() * sizeof(double) +
+                  atom_energy_.capacity() * sizeof(double) +
+                  scratch_.capacity() * sizeof(ThreadScratch);
+  for (const ThreadScratch& sc : scratch_) b += sc.bytes();
+  return b;
+}
 
 md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
                                  const md::NeighborList& nlist, bool periodic) {
@@ -24,123 +83,116 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
   const ModelConfig& cfg = model.config();
   {
     ScopedTimer t("fused.env_mat", "kernel");
-    build_env_mat(cfg, box, atoms, nlist, env_, opts_.env_kernel, periodic);
+    build_env_mat(cfg, box, atoms, nlist, env_, env_ws_, opts_.env_kernel, periodic);
   }
   const std::size_t n = env_.n_atoms;
   const std::size_t m = cfg.m();
   const std::size_t m_sub = cfg.axis_neuron;
   const int nm = cfg.nm();
   const double scale = 1.0 / static_cast<double>(nm);
+  prepare(n);
 
-  atom_energy_.assign(n, 0.0);
-  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
   std::size_t slots_processed = 0;
   double energy_total = 0.0;
 
   {
-    ScopedTimer t("fused.descriptor", "kernel");
-#pragma omp parallel reduction(+ : slots_processed, energy_total)
-    {
+    ScopedTimer timer_desc("fused.descriptor", "kernel");
+    // BuildTeam, not `#pragma omp parallel`: the zero-suppression TSan floor
+    // (common/team.hpp) — libgomp's reduction write-back on the region's
+    // capture frame is invisible to TSan. Partials live in ThreadScratch
+    // and fold on the master in ascending thread order.
+    const int team_size = static_cast<int>(scratch_.size());
+    BuildTeam& team = BuildTeam::team();
+    auto body = [&](int tid, int T) {
       // Per-thread scratch: one embedding row + its derivative (the
       // "registers" of the CUDA kernel), the A accumulator, and the fitting
-      // workspace. Nothing scales with N_m * M unless cache_rows staging is
-      // enabled.
-      AlignedVector<double> g_row(m), dg_row(m), a_mat(4 * m), g_a(4 * m);
-      AlignedVector<double> row_cache;
-      if (opts_.cache_rows)
-        row_cache.resize(static_cast<std::size_t>(nm) * 2 * m);
-      AtomKernelScratch scratch;
-#pragma omp for schedule(static)
-      for (std::size_t i = 0; i < n; ++i) {
-        std::memset(a_mat.data(), 0, 4 * m * sizeof(double));
+      // workspace — persistent members, nothing allocated per call.
+      ThreadScratch& sc = scratch_[static_cast<std::size_t>(tid)];
+      sc.slots_partial = 0;
+      sc.energy_partial = 0.0;
+      const std::size_t i_begin = chunk_bound(n, tid, T);
+      const std::size_t i_end = chunk_bound(n, tid + 1, T);
+      for (std::size_t i = i_begin; i < i_end; ++i) {
+        std::memset(sc.a_mat.data(), 0, 4 * m * sizeof(double));
 
         // ---- Pass 1: fused tabulate + rank-1 contraction ----------------
         for (int ty = 0; ty < cfg.ntypes; ++ty) {
           const TabulatedEmbedding& table = tab_.table_pair(atoms.type[i], ty);
+          const std::size_t base = env_.block_begin(i, ty);
           const int off = cfg.type_offset(ty);
-          const int limit =
-              opts_.skip_padding ? env_.count(i, ty) : cfg.sel[static_cast<std::size_t>(ty)];
+          const int limit = (env_.compact() || opts_.skip_padding)
+                                ? env_.count(i, ty)
+                                : cfg.sel[static_cast<std::size_t>(ty)];
           for (int k = 0; k < limit; ++k) {
-            const double* rrow = env_.rmat_row(i, off + k);
-            const double* row = g_row.data();
+            const double* rrow = env_.rmat_at(base + static_cast<std::size_t>(k));
+            const double* row = sc.g_row.data();
             if (opts_.cache_rows) {
               // Single table walk: value + derivative staged for pass 2.
-              double* cache =
-                  row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
+              // (Cache indexed by the dense in-atom offset in both layouts.)
+              double* cache = sc.row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
               if (opts_.blocked_table)
                 table.eval_with_deriv_blocked(rrow[0], cache, cache + m);
               else
                 table.eval_with_deriv(rrow[0], cache, cache + m);
               row = cache;
             } else if (opts_.blocked_table) {
-              table.eval_blocked(rrow[0], g_row.data());
+              table.eval_blocked(rrow[0], sc.g_row.data());
             } else {
-              table.eval(rrow[0], g_row.data());
+              table.eval(rrow[0], sc.g_row.data());
             }
             // outer-product update: A_c += rrow[c] * row (Fig 4 (c))
             for (int c = 0; c < 4; ++c) {
               const double rv = rrow[c];
-              double* arow = a_mat.data() + static_cast<std::size_t>(c) * m;
+              double* arow = sc.a_mat.data() + static_cast<std::size_t>(c) * m;
 #pragma omp simd
               for (std::size_t b = 0; b < m; ++b) arow[b] += rv * row[b];
             }
-            ++slots_processed;
+            ++sc.slots_partial;
           }
         }
-        for (double& v : a_mat) v *= scale;
+        for (double& v : sc.a_mat) v *= scale;
 
         const double e_i = core::descriptor_fit_atom(model.fitting(atoms.type[i]),
-                                                     a_mat.data(), m, m_sub, scale, scratch,
-                                                     g_a.data());
+                                                     sc.a_mat.data(), m, m_sub, scale,
+                                                     sc.scratch, sc.g_a.data());
         atom_energy_[i] = e_i;
-        energy_total += e_i;
+        sc.energy_partial += e_i;
 
         // ---- Pass 2: re-walk slots, fuse dE/dR~ and dE/ds ----------------
         for (int ty = 0; ty < cfg.ntypes; ++ty) {
           const TabulatedEmbedding& table = tab_.table_pair(atoms.type[i], ty);
+          const std::size_t base = env_.block_begin(i, ty);
           const int off = cfg.type_offset(ty);
-          const int limit =
-              opts_.skip_padding ? env_.count(i, ty) : cfg.sel[static_cast<std::size_t>(ty)];
+          const int limit = (env_.compact() || opts_.skip_padding)
+                                ? env_.count(i, ty)
+                                : cfg.sel[static_cast<std::size_t>(ty)];
           for (int k = 0; k < limit; ++k) {
-            const double* rrow = env_.rmat_row(i, off + k);
-            const double* row = g_row.data();
-            const double* drow = dg_row.data();
+            const std::size_t s = base + static_cast<std::size_t>(k);
+            const double* rrow = env_.rmat_at(s);
+            const double* row = sc.g_row.data();
+            const double* drow = sc.dg_row.data();
             if (opts_.cache_rows) {
               const double* cache =
-                  row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
+                  sc.row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
               row = cache;
               drow = cache + m;
             } else if (opts_.blocked_table) {
-              table.eval_with_deriv_blocked(rrow[0], g_row.data(), dg_row.data());
+              table.eval_with_deriv_blocked(rrow[0], sc.g_row.data(), sc.dg_row.data());
             } else {
-              table.eval_with_deriv(rrow[0], g_row.data(), dg_row.data());
+              table.eval_with_deriv(rrow[0], sc.g_row.data(), sc.dg_row.data());
             }
-            double* grow =
-                g_rmat.data() +
-                (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4;
-            // g_rmat[c] = <g_a[c], g_row>;  dE/ds = <R~ g_a, dg_row>
-            double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc_s = 0;
-            const double r0 = rrow[0], r1 = rrow[1], r2 = rrow[2], r3 = rrow[3];
-            const double* ga0 = g_a.data();
-            const double* ga1 = g_a.data() + m;
-            const double* ga2 = g_a.data() + 2 * m;
-            const double* ga3 = g_a.data() + 3 * m;
-#pragma omp simd reduction(+ : acc0, acc1, acc2, acc3, acc_s)
-            for (std::size_t b = 0; b < m; ++b) {
-              const double gb = row[b];
-              acc0 += ga0[b] * gb;
-              acc1 += ga1[b] * gb;
-              acc2 += ga2[b] * gb;
-              acc3 += ga3[b] * gb;
-              acc_s += (r0 * ga0[b] + r1 * ga1[b] + r2 * ga2[b] + r3 * ga3[b]) * drow[b];
-            }
-            grow[0] = acc0 + acc_s;
-            grow[1] = acc1;
-            grow[2] = acc2;
-            grow[3] = acc3;
+            slot_gradient(rrow, row, drow, sc.g_a.data(), m, g_rmat_.data() + s * 4);
           }
         }
+        // Dense layout without skip_padding walked the padded tails above;
+        // their g_rmat rows were written too (and are never read by the
+        // scatter, which walks counts only).
       }
+    };
+    team.run(team_size, BodyRef(body));
+    for (const ThreadScratch& sc : scratch_) {
+      slots_processed += sc.slots_partial;
+      energy_total += sc.energy_partial;
     }
   }
 
@@ -151,8 +203,19 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
         obs::MetricsRegistry::instance().counter("fused.slots_processed");
     static obs::Gauge& padding_metric =
         obs::MetricsRegistry::instance().gauge("fused.padding_fraction");
+    static obs::Counter& bytes_saved_metric =
+        obs::MetricsRegistry::instance().counter("fused.bytes_saved");
     slots_metric.inc(slots_processed);
     padding_metric.set(env_.padding_fraction());
+    if (env_.compact()) {
+      // Env payload saved by the CSR plus the padded g_rmat rows never
+      // materialized; clamped — tiny systems can spend more on the prefix
+      // than the padding they avoid.
+      const std::size_t dense = env_.dense_bytes() + slots_total_ * 4 * sizeof(double);
+      const std::size_t compact =
+          env_.compact_bytes() + env_.stored_slots() * 4 * sizeof(double);
+      if (dense > compact) bytes_saved_metric.inc(dense - compact);
+    }
   }
   CostRegistry::instance().add(
       "fused.descriptor",
@@ -165,7 +228,8 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
   {
     ScopedTimer t("fused.prod_force", "kernel");
     atoms.zero_forces();
-    prod_force_virial(env_, g_rmat.data(), box, atoms, periodic, atoms.force, out.virial);
+    prod_force_virial(env_, g_rmat_.data(), box, atoms, periodic, atoms.force, out.virial,
+                      prod_ws_);
   }
   return out;
 }

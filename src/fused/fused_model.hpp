@@ -6,22 +6,27 @@
 // allocated (Fig 3's dashed lines). The backward pass re-walks the slots and
 // re-evaluates the (cheap) table instead of loading a stored G.
 //
-// Redundancy removal: the slot loops run only over the filled part of each
-// type block instead of all N_m reserved slots (Fig 4) — exact, because a
-// padded slot's environment-matrix row is identically zero.
+// Redundancy removal: with the compact CSR environment matrix (the default
+// `Optimized` kernel) only filled slots are ever stored or walked — the
+// padded zeros of Sec 3.4.2 don't exist in memory at all. With the dense
+// `Baseline` kernel the slot loops still skip the padded tail of each type
+// block when `skip_padding` is set (Fig 4) — exact, because a padded slot's
+// environment-matrix row is identically zero.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "dp/descriptor.hpp"
 #include "dp/env_mat.hpp"
+#include "dp/prod_force.hpp"
 #include "md/force_field.hpp"
 #include "tab/tabulated_model.hpp"
 
 namespace dp::fused {
 
 struct FusedOptions {
-  bool skip_padding = true;   ///< redundancy removal (Sec 3.4.2)
+  bool skip_padding = true;   ///< redundancy removal (Sec 3.4.2), dense layout only
   bool blocked_table = false; ///< SVE-style table layout (Sec 3.5.1)
   core::EnvMatKernel env_kernel = core::EnvMatKernel::Optimized;  ///< ProdEnvMatA variant
   /// Cache each atom's embedding rows (value + derivative) in a per-thread
@@ -45,11 +50,34 @@ class FusedDP final : public md::ForceField {
   /// Slot statistics of the last compute() — Fig 4's redundancy story.
   std::size_t slots_processed() const { return slots_processed_; }
   std::size_t slots_total() const { return slots_total_; }
+  /// Capacity-based bytes of every persistent buffer this model owns.
+  std::size_t workspace_bytes() const;
 
  private:
+  /// Per-thread scratch, sized once by prepare() and indexed by
+  /// omp_get_thread_num() inside the parallel region.
+  struct ThreadScratch {
+    AlignedVector<double> g_row, dg_row, a_mat, g_a, row_cache;
+    core::AtomKernelScratch scratch;
+    // Per-thread reduction partials, folded by the master in ascending
+    // thread order after the team joins (no shared reduction frame).
+    std::size_t slots_partial = 0;
+    double energy_partial = 0.0;
+    std::size_t bytes() const {
+      return (g_row.capacity() + dg_row.capacity() + a_mat.capacity() + g_a.capacity() +
+              row_cache.capacity()) *
+             sizeof(double);
+    }
+  };
+  void prepare(std::size_t n);
+
   const tab::TabulatedDP& tab_;
   FusedOptions opts_;
   core::EnvMat env_;
+  core::EnvMatWorkspace env_ws_;
+  core::ProdForceWorkspace prod_ws_;
+  AlignedVector<double> g_rmat_;
+  std::vector<ThreadScratch> scratch_;
   std::vector<double> atom_energy_;
   std::size_t slots_processed_ = 0;
   std::size_t slots_total_ = 0;

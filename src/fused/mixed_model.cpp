@@ -1,7 +1,11 @@
 #include "fused/mixed_model.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <cstring>
 
+#include "common/team.hpp"
 #include "common/timer.hpp"
 #include "dp/descriptor.hpp"
 #include "dp/prod_force.hpp"
@@ -50,85 +54,104 @@ void MixedFusedDP::eval_table_deriv(std::size_t idx, float s, float* g, float* d
     tables_hp_[idx].eval_with_deriv(s, g, dg);
 }
 
+void MixedFusedDP::prepare(std::size_t n) {
+  const std::size_t m = tab_.model().config().m();
+  atom_energy_.resize(n);
+  g_rmat_.resize(env_.stored_slots() * 4);
+  scratch_.resize(static_cast<std::size_t>(std::max(1, omp_get_max_threads())));
+  for (ThreadScratch& sc : scratch_) {
+    sc.g_row.resize(m);
+    sc.dg_row.resize(m);
+    sc.a_sp.resize(4 * m);
+    sc.ga_sp.resize(4 * m);
+    sc.a_mat.resize(4 * m);
+    sc.g_a.resize(4 * m);
+  }
+}
+
 md::ForceResult MixedFusedDP::compute(const md::Box& box, md::Atoms& atoms,
                                       const md::NeighborList& nlist, bool periodic) {
   ScopedTimer timer("mixed.compute");
   const core::DPModel& model = tab_.model();
   const ModelConfig& cfg = model.config();
-  build_env_mat(cfg, box, atoms, nlist, env_, core::EnvMatKernel::Optimized, periodic);
+  build_env_mat(cfg, box, atoms, nlist, env_, env_ws_, core::EnvMatKernel::Optimized,
+                periodic);
 
   const std::size_t n = env_.n_atoms;
   const std::size_t m = cfg.m();
   const std::size_t m_sub = cfg.axis_neuron;
   const int nm = cfg.nm();
   const double scale = 1.0 / static_cast<double>(nm);
+  prepare(n);
 
-  atom_energy_.assign(n, 0.0);
-  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
   double energy_total = 0.0;
 
-#pragma omp parallel reduction(+ : energy_total)
-  {
-    AlignedVector<float> g_row(m), dg_row(m), a_sp(4 * m), ga_sp(4 * m);
-    AlignedVector<double> a_mat(4 * m), g_a(4 * m);
-    AtomKernelScratch scratch;
-#pragma omp for schedule(static)
-    for (std::size_t i = 0; i < n; ++i) {
-      std::memset(a_sp.data(), 0, 4 * m * sizeof(float));
+  // BuildTeam, not `#pragma omp parallel` — zero-suppression TSan floor
+  // (common/team.hpp); per-thread energy partials fold on the master.
+  const int team_size = static_cast<int>(scratch_.size());
+  BuildTeam& team = BuildTeam::team();
+  auto body = [&](int tid, int T) {
+    ThreadScratch& sc = scratch_[static_cast<std::size_t>(tid)];
+    sc.energy_partial = 0.0;
+    const std::size_t i_begin = chunk_bound(n, tid, T);
+    const std::size_t i_end = chunk_bound(n, tid + 1, T);
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      std::memset(sc.a_sp.data(), 0, 4 * m * sizeof(float));
 
       // ---- Pass 1 in single precision ----------------------------------
       for (int ty = 0; ty < cfg.ntypes; ++ty) {
         const std::size_t table = model.pair_index(atoms.type[i], ty);
-        const int off = cfg.type_offset(ty);
+        const std::size_t base = env_.block_begin(i, ty);
         const int limit = env_.count(i, ty);
         for (int k = 0; k < limit; ++k) {
-          const double* rrow = env_.rmat_row(i, off + k);
-          eval_table(table, static_cast<float>(rrow[0]), g_row.data());
+          const double* rrow = env_.rmat_at(base + static_cast<std::size_t>(k));
+          eval_table(table, static_cast<float>(rrow[0]), sc.g_row.data());
           const float r[4] = {static_cast<float>(rrow[0]), static_cast<float>(rrow[1]),
                               static_cast<float>(rrow[2]), static_cast<float>(rrow[3])};
           for (int c = 0; c < 4; ++c) {
             const float rv = r[c];
-            float* arow = a_sp.data() + static_cast<std::size_t>(c) * m;
+            float* arow = sc.a_sp.data() + static_cast<std::size_t>(c) * m;
 #pragma omp simd
-            for (std::size_t b = 0; b < m; ++b) arow[b] += rv * g_row[b];
+            for (std::size_t b = 0; b < m; ++b) arow[b] += rv * sc.g_row[b];
           }
         }
       }
       // ---- Descriptor + fitting in double -------------------------------
       for (std::size_t k = 0; k < 4 * m; ++k)
-        a_mat[k] = static_cast<double>(a_sp[k]) * scale;
-      const double e_i = core::descriptor_fit_atom(model.fitting(atoms.type[i]), a_mat.data(),
-                                                   m, m_sub, scale, scratch, g_a.data());
+        sc.a_mat[k] = static_cast<double>(sc.a_sp[k]) * scale;
+      const double e_i =
+          core::descriptor_fit_atom(model.fitting(atoms.type[i]), sc.a_mat.data(), m, m_sub,
+                                    scale, sc.scratch, sc.g_a.data());
       atom_energy_[i] = e_i;
-      energy_total += e_i;
+      sc.energy_partial += e_i;
 
       // ---- Pass 2 in single precision, accumulated into double ----------
-      for (std::size_t k = 0; k < 4 * m; ++k) ga_sp[k] = static_cast<float>(g_a[k]);
+      for (std::size_t k = 0; k < 4 * m; ++k) sc.ga_sp[k] = static_cast<float>(sc.g_a[k]);
       for (int ty = 0; ty < cfg.ntypes; ++ty) {
         const std::size_t table = model.pair_index(atoms.type[i], ty);
-        const int off = cfg.type_offset(ty);
+        const std::size_t base = env_.block_begin(i, ty);
         const int limit = env_.count(i, ty);
         for (int k = 0; k < limit; ++k) {
-          const double* rrow = env_.rmat_row(i, off + k);
-          eval_table_deriv(table, static_cast<float>(rrow[0]), g_row.data(), dg_row.data());
-          double* grow =
-              g_rmat.data() +
-              (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4;
+          const std::size_t s = base + static_cast<std::size_t>(k);
+          const double* rrow = env_.rmat_at(s);
+          eval_table_deriv(table, static_cast<float>(rrow[0]), sc.g_row.data(),
+                           sc.dg_row.data());
+          double* grow = g_rmat_.data() + s * 4;
           float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc_s = 0;
           const float r0 = static_cast<float>(rrow[0]), r1 = static_cast<float>(rrow[1]),
                       r2 = static_cast<float>(rrow[2]), r3 = static_cast<float>(rrow[3]);
-          const float* ga0 = ga_sp.data();
-          const float* ga1 = ga_sp.data() + m;
-          const float* ga2 = ga_sp.data() + 2 * m;
-          const float* ga3 = ga_sp.data() + 3 * m;
+          const float* ga0 = sc.ga_sp.data();
+          const float* ga1 = sc.ga_sp.data() + m;
+          const float* ga2 = sc.ga_sp.data() + 2 * m;
+          const float* ga3 = sc.ga_sp.data() + 3 * m;
 #pragma omp simd reduction(+ : acc0, acc1, acc2, acc3, acc_s)
           for (std::size_t b = 0; b < m; ++b) {
-            const float gb = g_row[b];
+            const float gb = sc.g_row[b];
             acc0 += ga0[b] * gb;
             acc1 += ga1[b] * gb;
             acc2 += ga2[b] * gb;
             acc3 += ga3[b] * gb;
-            acc_s += (r0 * ga0[b] + r1 * ga1[b] + r2 * ga2[b] + r3 * ga3[b]) * dg_row[b];
+            acc_s += (r0 * ga0[b] + r1 * ga1[b] + r2 * ga2[b] + r3 * ga3[b]) * sc.dg_row[b];
           }
           grow[0] = static_cast<double>(acc0) + static_cast<double>(acc_s);
           grow[1] = acc1;
@@ -137,12 +160,15 @@ md::ForceResult MixedFusedDP::compute(const md::Box& box, md::Atoms& atoms,
         }
       }
     }
-  }
+  };
+  team.run(team_size, BodyRef(body));
+  for (const ThreadScratch& sc : scratch_) energy_total += sc.energy_partial;
 
   md::ForceResult out;
   out.energy = energy_total;
   atoms.zero_forces();
-  prod_force_virial(env_, g_rmat.data(), box, atoms, periodic, atoms.force, out.virial);
+  prod_force_virial(env_, g_rmat_.data(), box, atoms, periodic, atoms.force, out.virial,
+                    prod_ws_);
   return out;
 }
 

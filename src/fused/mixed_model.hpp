@@ -13,7 +13,9 @@
 
 #include <vector>
 
+#include "dp/descriptor.hpp"
 #include "dp/env_mat.hpp"
+#include "dp/prod_force.hpp"
 #include "md/force_field.hpp"
 #include "tab/table_sp.hpp"
 #include "tab/tabulated_model.hpp"
@@ -40,12 +42,24 @@ class MixedFusedDP final : public md::ForceField {
  private:
   void eval_table(std::size_t idx, float s, float* g) const;
   void eval_table_deriv(std::size_t idx, float s, float* g, float* dg) const;
+  void prepare(std::size_t n);
+
+  struct ThreadScratch {
+    AlignedVector<float> g_row, dg_row, a_sp, ga_sp;
+    AlignedVector<double> a_mat, g_a;
+    core::AtomKernelScratch scratch;
+    double energy_partial = 0.0;  ///< folded by the master, ascending thread order
+  };
 
   const tab::TabulatedDP& tab_;
   MixedPrecision precision_;
   std::vector<tab::TabulatedEmbeddingSP> tables_sp_;
   std::vector<tab::TabulatedEmbeddingHP> tables_hp_;
   core::EnvMat env_;
+  core::EnvMatWorkspace env_ws_;
+  core::ProdForceWorkspace prod_ws_;
+  AlignedVector<double> g_rmat_;
+  std::vector<ThreadScratch> scratch_;
   std::vector<double> atom_energy_;
 };
 

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "dp/env_mat.hpp"
+#include "dp/prod_force.hpp"
 #include "md/force_field.hpp"
+#include "nn/fitting_net.hpp"
 #include "tab/tabulated_model.hpp"
 
 namespace dp::fused {
@@ -37,9 +39,21 @@ class SeRFusedDP final : public md::ForceField {
   const std::vector<double>& atom_energies() const { return atom_energy_; }
 
  private:
+  void prepare(std::size_t n);
+
+  struct ThreadScratch {
+    AlignedVector<double> g_row, dg_row, d_vec, g_d;
+    nn::FittingNet::Workspace fit_ws;
+    double energy_partial = 0.0;  ///< folded by the master, ascending thread order
+  };
+
   const tab::TabulatedDP& tab_;
   std::vector<AlignedVector<double>> g_zero_;  ///< g(0) per embedding table
   core::EnvMat env_;
+  core::EnvMatWorkspace env_ws_;
+  core::ProdForceWorkspace prod_ws_;
+  AlignedVector<double> g_rmat_;
+  std::vector<ThreadScratch> scratch_;
   std::vector<double> atom_energy_;
 };
 

@@ -9,6 +9,10 @@ namespace {
 // cache-friendly order for row-major operands of the sizes used here.
 inline void gemm_kernel(const double* a, const double* b, double* c,
                         std::size_t m, std::size_t k, std::size_t n, bool accumulate) {
+  // A zero-row/column product is a legal no-op (the compact env layout
+  // feeds an empty batch for an atom with no neighbors), but its output
+  // pointer may be null — keep it away from memset's nonnull contract.
+  if (m == 0 || n == 0) return;
   if (!accumulate) std::memset(c, 0, m * n * sizeof(double));
   for (std::size_t i = 0; i < m; ++i) {
     const double* arow = a + i * k;
@@ -49,6 +53,7 @@ void gemm_tn_acc(const double* a, const double* b, double* c,
 
 void gemm_tn(const double* a, const double* b, double* c,
              std::size_t m, std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0) return;
   std::memset(c, 0, m * n * sizeof(double));
   // C += A^T B accumulated as a sum over k rank-1 updates, each touching one
   // row of A and one row of B — exactly the outer-product form the fused

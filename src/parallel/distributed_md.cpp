@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/timer.hpp"
+#include "dp/env_mat.hpp"
 #include "md/integrator.hpp"
 #include "parallel/minimpi.hpp"
 #include "md/units.hpp"
@@ -300,6 +301,14 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     // with step count instead of plateauing).
     const double rank_nlist_bytes = static_cast<double>(nlist.workspace_bytes());
     const double nlist_bytes_max = comm.allreduce_max(rank_nlist_bytes);
+    // Environment-matrix footprint of this rank's last build (thread-local,
+    // so each rank reports its own): what the compact CSR costs vs what the
+    // dense padded layout would — the Fig 3 memory-saving story per rank.
+    const auto& env_stats = core::env_mat_thread_stats();
+    const double rank_env_compact = static_cast<double>(env_stats.compact_bytes);
+    const double rank_env_dense = static_cast<double>(env_stats.dense_bytes);
+    const double env_compact_max = comm.allreduce_max(rank_env_compact);
+    const double env_dense_max = comm.allreduce_max(rank_env_dense);
     const double latency_total = comm_sums[1] + comm_sums[2];
     const double overlap_ratio = latency_total > 0 ? comm_sums[2] / latency_total : 0.0;
     if (rank == 0) {
@@ -312,6 +321,8 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       reg.gauge("halo.hidden_seconds_max").set(hidden_max);
       reg.gauge("halo.overlap_ratio").set(overlap_ratio);
       reg.gauge("neighbor.workspace_bytes_max").set(nlist_bytes_max);
+      reg.gauge("env_mat.compact_bytes_max").set(env_compact_max);
+      reg.gauge("env_mat.dense_bytes_max").set(env_dense_max);
       reg.gauge("md.load_imbalance")
           .set(mean_local > 0 ? max_local_global / mean_local : 1.0);
     }
@@ -324,6 +335,8 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
                  {"halo_wait_seconds", rank_wait},
                  {"halo_hidden_seconds", rank_hidden},
                  {"neighbor_workspace_bytes", rank_nlist_bytes},
+                 {"env_compact_bytes", rank_env_compact},
+                 {"env_dense_bytes", rank_env_dense},
                  {"local_atoms", static_cast<double>(n_local)},
                  {"ghost_atoms", static_cast<double>(halo_ex.n_ghost())}});
     if (rank == 0) {

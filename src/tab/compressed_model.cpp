@@ -1,24 +1,47 @@
 #include "tab/compressed_model.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/cost.hpp"
 #include "common/timer.hpp"
-#include "dp/descriptor.hpp"
-#include "dp/prod_force.hpp"
 #include "nn/gemm.hpp"
-#include "nn/tensor.hpp"
 #include "obs/metrics.hpp"
 
 namespace dp::tab {
 
-using core::AtomKernelScratch;
 using core::EnvMat;
 using core::ModelConfig;
 
 CompressedDP::CompressedDP(const TabulatedDP& tabulated, bool use_blocked_layout,
                            core::EnvMatKernel env_kernel)
     : tab_(tabulated), blocked_(use_blocked_layout), env_kernel_(env_kernel) {}
+
+void CompressedDP::prepare(std::size_t n) {
+  const ModelConfig& cfg = tab_.model().config();
+  const std::size_t m = cfg.m();
+  const std::size_t nt = static_cast<std::size_t>(cfg.ntypes);
+  atom_energy_.resize(n);
+  g_rmat_.resize(env_.stored_slots() * 4);
+  g_by_type_.resize(nt);
+  dg_by_type_.resize(nt);
+  row_off_.resize(nt * (n + 1));
+  int max_sel = 0;
+  for (std::size_t t = 0; t < nt; ++t) {
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      row_off_[t * (n + 1) + i] = run;
+      run += static_cast<std::size_t>(rows_of(i, static_cast<int>(t)));
+    }
+    row_off_[t * (n + 1) + n] = run;
+    g_by_type_[t].resize(run, m);
+    dg_by_type_[t].resize(run, m);
+    max_sel = std::max(max_sel, cfg.sel[t]);
+  }
+  a_mat_.resize(4 * m);
+  g_a_.resize(4 * m);
+  g_g_.resize(static_cast<std::size_t>(max_sel) * m);
+}
 
 md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
                                       const md::NeighborList& nlist, bool periodic) {
@@ -27,40 +50,40 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
   const ModelConfig& cfg = model.config();
   {
     ScopedTimer t("compressed.env_mat", "kernel");
-    build_env_mat(cfg, box, atoms, nlist, env_, env_kernel_, periodic);
+    build_env_mat(cfg, box, atoms, nlist, env_, env_ws_, env_kernel_, periodic);
   }
   const std::size_t n = env_.n_atoms;
   const std::size_t m = cfg.m();
   const std::size_t m_sub = cfg.axis_neuron;
   const int nm = cfg.nm();
   const double scale = 1.0 / static_cast<double>(nm);
+  prepare(n);
 
-  // ---- Tabulated embedding: G and dG/ds materialized over every slot
-  // (padding included — no redundancy removal yet at this step) ------------
-  std::vector<nn::Matrix> g_by_type(static_cast<std::size_t>(cfg.ntypes));
-  std::vector<nn::Matrix> dg_by_type(static_cast<std::size_t>(cfg.ntypes));
+  // ---- Tabulated embedding: G and dG/ds materialized over every stored
+  // slot (the dense layout keeps its padded rows — redundancy removal is a
+  // later optimization step; the compact layout has none to keep) ----------
   embedding_bytes_ = 0;
   std::size_t rows_tabulated = 0;
   {
     ScopedTimer t("compressed.tabulation", "kernel");
     for (int ty = 0; ty < cfg.ntypes; ++ty) {
       const TabulatedEmbedding& table = tab_.table(ty);
-      const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
-      const int off = cfg.type_offset(ty);
-      const std::size_t rows = n * static_cast<std::size_t>(sel_t);
-      nn::Matrix& g = g_by_type[static_cast<std::size_t>(ty)];
-      nn::Matrix& dg = dg_by_type[static_cast<std::size_t>(ty)];
-      g.resize(rows, m);
-      dg.resize(rows, m);
-      for (std::size_t i = 0; i < n; ++i)
-        for (int k = 0; k < sel_t; ++k) {
-          const double s = env_.rmat_row(i, off + k)[0];
-          const std::size_t row = i * static_cast<std::size_t>(sel_t) + static_cast<std::size_t>(k);
+      const std::size_t rows = row_of(ty, n);
+      nn::Matrix& g = g_by_type_[static_cast<std::size_t>(ty)];
+      nn::Matrix& dg = dg_by_type_[static_cast<std::size_t>(ty)];
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t base = env_.block_begin(i, ty);
+        const std::size_t r0 = row_of(ty, i);
+        const int cnt = rows_of(i, ty);
+        for (int k = 0; k < cnt; ++k) {
+          const double s = env_.rmat_at(base + static_cast<std::size_t>(k))[0];
+          const std::size_t row = r0 + static_cast<std::size_t>(k);
           if (blocked_)
             table.eval_with_deriv_blocked(s, g.row(row), dg.row(row));
           else
             table.eval_with_deriv(s, g.row(row), dg.row(row));
         }
+      }
       rows_tabulated += rows;
       embedding_bytes_ += (g.size() + dg.size()) * sizeof(double);
       CostRegistry::instance().add(
@@ -77,52 +100,41 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
   }
 
   // ---- Per-atom descriptor + fit + backward (same dataflow as baseline) --
-  atom_energy_.assign(n, 0.0);
-  AlignedVector<double> g_rmat(n * static_cast<std::size_t>(nm) * 4, 0.0);
   md::ForceResult out;
   {
     ScopedTimer t("compressed.descriptor_fit", "kernel");
-    AlignedVector<double> a_mat(4 * m), g_a(4 * m);
-    AlignedVector<double> g_g;  // dE/dG rows of one atom's block
-    AtomKernelScratch scratch;
     for (std::size_t i = 0; i < n; ++i) {
-      std::memset(a_mat.data(), 0, 4 * m * sizeof(double));
+      std::memset(a_mat_.data(), 0, 4 * m * sizeof(double));
       for (int ty = 0; ty < cfg.ntypes; ++ty) {
-        const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
-        const int off = cfg.type_offset(ty);
-        nn::gemm_tn_acc(env_.rmat_row(i, off),
-                        g_by_type[static_cast<std::size_t>(ty)].row(
-                            i * static_cast<std::size_t>(sel_t)),
-                        a_mat.data(), 4, static_cast<std::size_t>(sel_t), m);
+        const std::size_t krows = static_cast<std::size_t>(rows_of(i, ty));
+        if (krows == 0) continue;
+        nn::gemm_tn_acc(env_.rmat_at(env_.block_begin(i, ty)),
+                        g_by_type_[static_cast<std::size_t>(ty)].row(row_of(ty, i)),
+                        a_mat_.data(), 4, krows, m);
       }
-      for (double& v : a_mat) v *= scale;
+      for (double& v : a_mat_) v *= scale;
 
-      atom_energy_[i] = core::descriptor_fit_atom(model.fitting(atoms.type[i]), a_mat.data(),
-                                                  m, m_sub, scale, scratch, g_a.data());
+      atom_energy_[i] = core::descriptor_fit_atom(model.fitting(atoms.type[i]), a_mat_.data(),
+                                                  m, m_sub, scale, scratch_, g_a_.data());
       out.energy += atom_energy_[i];
 
       for (int ty = 0; ty < cfg.ntypes; ++ty) {
-        const int sel_t = cfg.sel[static_cast<std::size_t>(ty)];
-        const int off = cfg.type_offset(ty);
-        const std::size_t row0 = i * static_cast<std::size_t>(sel_t);
-        // g_rmat_block (sel x 4) = G_block * g_a^T
-        nn::gemm_nt(g_by_type[static_cast<std::size_t>(ty)].row(row0), g_a.data(),
-                    g_rmat.data() +
-                        (i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off)) * 4,
-                    static_cast<std::size_t>(sel_t), m, 4);
+        const std::size_t krows = static_cast<std::size_t>(rows_of(i, ty));
+        if (krows == 0) continue;
+        const std::size_t base = env_.block_begin(i, ty);
+        const std::size_t r0 = row_of(ty, i);
+        // g_rmat_block (rows x 4) = G_block * g_a^T
+        nn::gemm_nt(g_by_type_[static_cast<std::size_t>(ty)].row(r0), g_a_.data(),
+                    g_rmat_.data() + base * 4, krows, m, 4);
         // dE/dG_block = R~_block * g_a, then dE/ds = <dE/dG, dG/ds> per row.
-        g_g.resize(static_cast<std::size_t>(sel_t) * m);
-        nn::gemm(env_.rmat_row(i, off), g_a.data(), g_g.data(),
-                 static_cast<std::size_t>(sel_t), 4, m);
-        for (int k = 0; k < sel_t; ++k) {
-          const double* gg = g_g.data() + static_cast<std::size_t>(k) * m;
-          const double* dg = dg_by_type[static_cast<std::size_t>(ty)].row(
-              row0 + static_cast<std::size_t>(k));
+        nn::gemm(env_.rmat_at(base), g_a_.data(), g_g_.data(), krows, 4, m);
+        for (std::size_t k = 0; k < krows; ++k) {
+          const double* gg = g_g_.data() + k * m;
+          const double* dg = dg_by_type_[static_cast<std::size_t>(ty)].row(r0 + k);
           double acc = 0.0;
 #pragma omp simd reduction(+ : acc)
           for (std::size_t b = 0; b < m; ++b) acc += gg[b] * dg[b];
-          g_rmat[(i * static_cast<std::size_t>(nm) + static_cast<std::size_t>(off + k)) * 4] +=
-              acc;
+          g_rmat_[(base + k) * 4] += acc;
         }
       }
     }
@@ -131,7 +143,8 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
   {
     ScopedTimer t("compressed.prod_force", "kernel");
     atoms.zero_forces();
-    prod_force_virial(env_, g_rmat.data(), box, atoms, periodic, atoms.force, out.virial);
+    prod_force_virial(env_, g_rmat_.data(), box, atoms, periodic, atoms.force, out.virial,
+                      prod_ws_);
   }
   return out;
 }

@@ -11,8 +11,11 @@
 
 #include <vector>
 
+#include "dp/descriptor.hpp"
 #include "dp/env_mat.hpp"
+#include "dp/prod_force.hpp"
 #include "md/force_field.hpp"
+#include "nn/tensor.hpp"
 #include "tab/tabulated_model.hpp"
 
 namespace dp::tab {
@@ -35,10 +38,29 @@ class CompressedDP final : public md::ForceField {
   std::size_t embedding_bytes() const { return embedding_bytes_; }
 
  private:
+  void prepare(std::size_t n);
+  /// First G/dG row of atom i within type t's batch.
+  std::size_t row_of(int t, std::size_t i) const {
+    return row_off_[static_cast<std::size_t>(t) * (env_.n_atoms + 1) + i];
+  }
+  /// Rows atom i contributes for type t (all reserved slots when dense,
+  /// filled slots when compact).
+  int rows_of(std::size_t i, int t) const {
+    return env_.compact() ? env_.count(i, t)
+                          : tab_.model().config().sel[static_cast<std::size_t>(t)];
+  }
+
   const TabulatedDP& tab_;
   bool blocked_;
   core::EnvMatKernel env_kernel_;
   core::EnvMat env_;
+  core::EnvMatWorkspace env_ws_;
+  core::ProdForceWorkspace prod_ws_;
+  AlignedVector<double> g_rmat_;
+  std::vector<nn::Matrix> g_by_type_, dg_by_type_;
+  AlignedVector<double> a_mat_, g_a_, g_g_;
+  core::AtomKernelScratch scratch_;
+  std::vector<std::size_t> row_off_;  ///< ntypes * (n + 1) per-type row prefix
   std::vector<double> atom_energy_;
   std::size_t embedding_bytes_ = 0;
 };

@@ -109,7 +109,10 @@ double energy_with_gradients(const core::DPModel& model, const md::Box& box,
                              double seed, ModelGrads* grads) {
   const ModelConfig& cfg = model.config();
   EnvMat env;
-  build_env_mat(cfg, box, atoms, nlist, env, core::EnvMatKernel::Optimized);
+  // The training path addresses slots densely (fixed sel[t]-row batches per
+  // type, padded rows included) and is never on the MD hot loop, so it keeps
+  // the dense Baseline layout rather than the compact CSR one.
+  build_env_mat(cfg, box, atoms, nlist, env, core::EnvMatKernel::Baseline);
 
   const std::size_t n = env.n_atoms;
   const std::size_t m = cfg.m();

@@ -58,6 +58,9 @@ md::Configuration small_copper() {
 }
 
 TEST(EnvMat, BaselineAndOptimizedIdentical) {
+  // The kernels emit different layouts (dense padded vs compact CSR) but the
+  // SAME logical matrix: per (atom, type) block, identical counts and
+  // bitwise-identical filled-slot payloads.
   auto cfg = ModelConfig::tiny();
   cfg.rcut = 4.0;
   auto sys = small_copper();
@@ -66,12 +69,24 @@ TEST(EnvMat, BaselineAndOptimizedIdentical) {
   EnvMat a, b;
   build_env_mat(cfg, sys.box, sys.atoms, nl, a, EnvMatKernel::Baseline);
   build_env_mat(cfg, sys.box, sys.atoms, nl, b, EnvMatKernel::Optimized);
-  ASSERT_EQ(a.rmat.size(), b.rmat.size());
-  for (std::size_t k = 0; k < a.rmat.size(); ++k) EXPECT_DOUBLE_EQ(a.rmat[k], b.rmat[k]);
-  for (std::size_t k = 0; k < a.deriv.size(); ++k) EXPECT_DOUBLE_EQ(a.deriv[k], b.deriv[k]);
-  EXPECT_EQ(a.slot_atom, b.slot_atom);
-  EXPECT_EQ(a.count_by_type, b.count_by_type);
+  ASSERT_FALSE(a.compact());
+  ASSERT_TRUE(b.compact());
+  ASSERT_EQ(a.count_by_type, b.count_by_type);
   EXPECT_EQ(a.overflow, b.overflow);
+  EXPECT_EQ(b.stored_slots(), b.filled_slots());
+  EXPECT_EQ(a.filled_slots(), b.filled_slots());
+  for (std::size_t i = 0; i < a.n_atoms; ++i)
+    for (int t = 0; t < a.ntypes; ++t) {
+      const std::size_t sa = a.block_begin(i, t);
+      const std::size_t sb = b.block_begin(i, t);
+      for (int k = 0; k < a.count(i, t); ++k) {
+        const std::size_t ka = sa + static_cast<std::size_t>(k);
+        const std::size_t kb = sb + static_cast<std::size_t>(k);
+        EXPECT_EQ(a.atom_of(ka), b.atom_of(kb));
+        for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(a.rmat_at(ka)[c], b.rmat_at(kb)[c]);
+        for (int c = 0; c < 12; ++c) EXPECT_DOUBLE_EQ(a.deriv_at(ka)[c], b.deriv_at(kb)[c]);
+      }
+    }
 }
 
 TEST(EnvMat, SlotsSortedByDistanceWithinType) {
@@ -83,10 +98,11 @@ TEST(EnvMat, SlotsSortedByDistanceWithinType) {
   build_env_mat(cfg, sys.box, sys.atoms, nl, env);
   for (std::size_t i = 0; i < env.n_atoms; ++i) {
     const int cnt = env.count(i, 0);
+    const std::size_t base = env.block_begin(i, 0);
     double prev_s = 1e300;
     for (int k = 0; k < cnt; ++k) {
       // s(r) decreases with r, so sorted-by-distance means decreasing s.
-      const double s = env.rmat_row(i, k)[0];
+      const double s = env.rmat_at(base + static_cast<std::size_t>(k))[0];
       EXPECT_LE(s, prev_s + 1e-12);
       prev_s = s;
     }
@@ -94,12 +110,14 @@ TEST(EnvMat, SlotsSortedByDistanceWithinType) {
 }
 
 TEST(EnvMat, PaddedSlotsAreZero) {
+  // Padding exists only in the dense Baseline layout — the compact CSR
+  // stores none (EnvMat.BaselineAndOptimizedIdentical covers that side).
   auto cfg = ModelConfig::tiny();
   auto sys = small_copper();
   md::NeighborList nl(cfg.rcut, 1.0);
   nl.build(sys.box, sys.atoms.pos);
   EnvMat env;
-  build_env_mat(cfg, sys.box, sys.atoms, nl, env);
+  build_env_mat(cfg, sys.box, sys.atoms, nl, env, EnvMatKernel::Baseline);
   for (std::size_t i = 0; i < env.n_atoms; ++i) {
     const int cnt = env.count(i, 0);
     for (int k = cnt; k < env.nm; ++k) {
@@ -126,7 +144,7 @@ TEST(EnvMat, RowStructureMatchesDefinition) {
   const Vec3 d{2.0, 1.0, 0.5};
   const double r = norm(d);
   const auto sw = switch_fn(r, cfg.rcut_smth, cfg.rcut);
-  const double* row = env.rmat_row(0, 0);
+  const double* row = env.rmat_at(env.block_begin(0, 0));
   EXPECT_NEAR(row[0], sw.s, 1e-14);
   EXPECT_NEAR(row[1], sw.s * d.x / r, 1e-14);
   EXPECT_NEAR(row[2], sw.s * d.y / r, 1e-14);
@@ -158,8 +176,11 @@ TEST(EnvMat, DerivMatchesFiniteDifference) {
     };
     EnvMat ep = perturbed(1.0), em = perturbed(-1.0);
     for (int c = 0; c < 4; ++c) {
-      const double fd = (ep.rmat_row(0, 0)[c] - em.rmat_row(0, 0)[c]) / (2 * h);
-      EXPECT_NEAR(env.deriv_row(0, 0)[3 * c + l], fd, 1e-7) << "c=" << c << " l=" << l;
+      const double fd = (ep.rmat_at(ep.block_begin(0, 0))[c] -
+                         em.rmat_at(em.block_begin(0, 0))[c]) /
+                        (2 * h);
+      EXPECT_NEAR(env.deriv_at(env.block_begin(0, 0))[3 * c + l], fd, 1e-7)
+          << "c=" << c << " l=" << l;
     }
   }
 }
@@ -185,9 +206,9 @@ TEST(EnvMat, TypeBlocksRespectNeighborTypes) {
   build_env_mat(cfg, sys.box, sys.atoms, nl, env);
   for (std::size_t i = 0; i < env.n_atoms; ++i)
     for (int t = 0; t < 2; ++t) {
-      const int off = cfg.type_offset(t);
+      const std::size_t base = env.block_begin(i, t);
       for (int k = 0; k < env.count(i, t); ++k) {
-        const int j = env.atom_at(i, off + k);
+        const int j = env.atom_of(base + static_cast<std::size_t>(k));
         ASSERT_GE(j, 0);
         EXPECT_EQ(sys.atoms.type[static_cast<std::size_t>(j)], t);
       }

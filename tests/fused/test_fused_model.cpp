@@ -52,11 +52,13 @@ TEST(FusedDP, IdenticalToCompressedPath) {
 
 TEST(FusedDP, RedundancySkipIsExact) {
   // Processing padded slots or skipping them must give the same physics:
-  // padded environment rows are identically zero.
+  // padded environment rows are identically zero. Padding only exists in the
+  // dense Baseline layout — the compact CSR default never stores it.
   PathFixture su(1, 42);
   TabulatedDP tab(su.model, su.spec);
-  FusedDP with_skip(tab, {.skip_padding = true});
-  FusedDP without_skip(tab, {.skip_padding = false});
+  FusedDP with_skip(tab, {.skip_padding = true, .env_kernel = core::EnvMatKernel::Baseline});
+  FusedDP without_skip(tab,
+                       {.skip_padding = false, .env_kernel = core::EnvMatKernel::Baseline});
   md::NeighborList nl(with_skip.cutoff(), 1.0);
   nl.build(su.sys.box, su.sys.atoms.pos);
 
@@ -70,6 +72,16 @@ TEST(FusedDP, RedundancySkipIsExact) {
   // And the skip actually skipped something.
   EXPECT_LT(with_skip.slots_processed(), without_skip.slots_processed());
   EXPECT_EQ(without_skip.slots_processed(), without_skip.slots_total());
+
+  // The compact layout skips implicitly: it walks exactly the slots the dense
+  // skip path walks, and the physics matches the dense reference.
+  FusedDP compact(tab);
+  md::Atoms atoms_c = su.sys.atoms;
+  const double ec = compact.compute(su.sys.box, atoms_c, nl).energy;
+  EXPECT_EQ(compact.slots_processed(), with_skip.slots_processed());
+  EXPECT_NEAR(ec, ea, 1e-10 * atoms_c.size());
+  for (std::size_t i = 0; i < atoms_c.size(); ++i)
+    EXPECT_LT(norm(atoms_a.force[i] - atoms_c.force[i]), 1e-10);
 }
 
 TEST(FusedDP, BlockedTableIdentical) {

@@ -124,6 +124,49 @@ class RuleTest(unittest.TestCase):
                 "void elsewhere() { std::vector<int> v; }\n")
         self.assertNotIn("neighbor-workspace", rules("src/md/neighbor.cpp", decl))
 
+    def test_env_hot_alloc(self):
+        # Per-call sizing inside the compact env build.
+        bad_resize = ("void build_compact(const ModelConfig& cfg) {\n"
+                      "  ws.slot_atom.resize(total);\n"
+                      "}\n")
+        self.assertIn("env-hot-alloc", rules("src/dp/env_mat.cpp", bad_resize))
+        bad_assign = ("void build_env_mat(const ModelConfig& cfg) {\n"
+                      "  env.rmat.assign(rows * 4, 0.0);\n"
+                      "}\n")
+        self.assertIn("env-hot-alloc", rules("src/dp/env_mat.cpp", bad_assign))
+        # Container construction inside a model's per-step compute().
+        bad_vec = ("md::ForceResult FusedDP::compute(const md::Box& box) {\n"
+                   "  std::vector<double> g(n);\n"
+                   "}\n")
+        self.assertIn("env-hot-alloc", rules("src/fused/fused_model.cpp", bad_vec))
+        bad_aligned = ("md::ForceResult BaselineDP::compute(const md::Box& box) {\n"
+                       "  AlignedVector<double> row(m * 4);\n"
+                       "}\n")
+        self.assertIn("env-hot-alloc", rules("src/dp/baseline_model.cpp", bad_aligned))
+        # References into the persistent workspace are the sanctioned pattern.
+        ok_ref = ("md::ForceResult FusedDP::compute(const md::Box& box) {\n"
+                  "  AlignedVector<double>& g = ws_.g_rmat;\n"
+                  "  std::vector<dp::Vec3>& f = scratch_.forces;\n"
+                  "}\n")
+        self.assertNotIn("env-hot-alloc", rules("src/fused/fused_model.cpp", ok_ref))
+        # Sizing belongs in the workspace helpers, which stay unrestricted.
+        ok_prepare = ("void EnvMatWorkspace::prepare(std::size_t n) {\n"
+                      "  counts.resize(n);\n"
+                      "  std::vector<int> fresh(n);\n"
+                      "}\n")
+        self.assertNotIn("env-hot-alloc", rules("src/dp/env_mat.cpp", ok_prepare))
+        # A call to build_compact inside build_env_mat is a call site, not a
+        # body — the scanner must not leak into the enclosing function.
+        ok_call = ("void build_env_mat(const ModelConfig& cfg) {\n"
+                   "  build_compact(cfg, ws);\n"
+                   "}\n"
+                   "void helper() { std::vector<int> v(n); }\n")
+        self.assertNotIn("env-hot-alloc", rules("src/dp/env_mat.cpp", ok_call))
+        # Files outside the spec table keep their locals.
+        self.assertNotIn("env-hot-alloc",
+                         rules("src/md/lattice.cpp",
+                               "void compute() { std::vector<int> v(n); }\n"))
+
     def test_narrowing_cast(self):
         self.assertIn("narrowing-cast", rules("src/md/neighbor.cpp", "int j = (int)a;\n"))
         self.assertIn("narrowing-cast", rules("src/md/neighbor.hpp", "x = (unsigned)n;\n"))
