@@ -9,8 +9,13 @@
 //            [--thermostat none|langevin|berendsen] [--dump traj.xyz]
 //            [--thermo thermo.csv] [--interval H]
 //            [--trace out.trace.json] [--metrics out.metrics.jsonl]
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -18,6 +23,8 @@
 
 #include "common/cost.hpp"
 #include "common/timer.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "dp/baseline_model.hpp"
 #include "fused/fused_model.hpp"
 #include "fused/mixed_model.hpp"
@@ -114,6 +121,37 @@ struct ObsOutputs {
   std::string trace_path;
   std::string metrics_path;
 };
+
+// ---- fatal-path plumbing (--health / --flight-recorder) -------------------
+//
+// DP_CHECK failures route through one handler: dp::set_fatal_hook ->
+// obs::notify_fatal (stderr message + flight-recorder dump + metrics
+// fsync), and only then does the check throw as before. The flush hook may
+// run inside a signal handler, so the metrics path lives in a fixed buffer
+// and the hook sticks to open/fsync/close.
+
+char g_metrics_sync_path[512] = {0};
+
+DP_SIGNAL_SAFE void fsync_metrics_hook() noexcept {
+  if (g_metrics_sync_path[0] == '\0') return;
+  const int fd = ::open(g_metrics_sync_path, O_WRONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void fatal_bridge(const char* msg) noexcept { dp::obs::notify_fatal(msg); }
+
+void print_health_summary(const dp::obs::HealthReport& report) {
+  std::printf("\nrun health: %s\n", dp::obs::to_string(report.worst()));
+  std::printf("  %-28s %-6s %12s %12s %12s %6s\n", "watchdog", "state", "value",
+              "warn", "fatal", "trips");
+  for (const auto& e : report.entries) {
+    std::printf("  %-28s %-6s %12.4g %12.4g %12.4g %6llu\n", e.name.c_str(),
+                dp::obs::to_string(e.state), e.value, e.warn, e.fatal,
+                static_cast<unsigned long long>(e.transitions));
+  }
+}
 
 /// Reads the output flags and turns on trace collection if requested (must
 /// happen before the instrumented code runs — spans check the flag live).
@@ -339,6 +377,25 @@ int cmd_run(const Args& args) {
   sc.skin = args.get_double("skin", 1.0);
   sc.thermo_every = args.get_int("thermo-every", 10);
 
+  // Run-health watchdogs + crash black box. The fatal hook routes every
+  // DP_CHECK failure through obs::notify_fatal before it throws.
+  const bool health_on = args.has("health");
+  const bool flight_on = args.has("flight-recorder");
+  std::string flight_dir = args.get("flight-recorder", ".");
+  if (flight_dir == "1") flight_dir = ".";  // bare flag, no directory value
+  if (health_on || flight_on) dp::set_fatal_hook(&fatal_bridge);
+  if (flight_on) {
+    dp::obs::install_crash_handlers();
+    if (!obs_out.metrics_path.empty()) {
+      std::snprintf(g_metrics_sync_path, sizeof g_metrics_sync_path, "%s",
+                    obs_out.metrics_path.c_str());
+      dp::obs::set_fatal_flush_hook(&fsync_metrics_hook);
+    }
+  }
+  // Deterministic fault injection for the crash-path ctests (undocumented).
+  const int inject_segv = args.get_int("inject-segv", -1);
+  const int inject_fatal = args.get_int("inject-fatal", -1);
+
   // Domain-decomposed run on in-process ranks (fused path only; the serial
   // driver below additionally supports thermostats and trajectory dumps).
   if (args.get_int("ranks", 1) > 1) {
@@ -347,8 +404,38 @@ int cmd_run(const Args& args) {
     std::printf("%s | %zu atoms | distributed on %d ranks | %d steps\n", system.c_str(),
                 sys.atoms.size(), ranks, sc.steps);
     dp::TimerRegistry::instance().clear();
+    dp::par::DistributedOptions dopts;
+    dp::obs::HealthConfig hcfg;
+    if (health_on) {
+      hcfg.target_temperature = sc.temperature;
+      dopts.health = &hcfg;
+    }
+    if (flight_on) {
+      dopts.flight_recorder = true;
+      dopts.flight_dir = flight_dir;
+      dopts.metrics_rewrite_path = obs_out.metrics_path;
+    }
+    if (inject_segv >= 0 || inject_fatal >= 0) {
+      dopts.on_sample = [inject_segv, inject_fatal](int rank, int step) {
+        if (rank != 0) return;
+        if (inject_segv >= 0 && step >= inject_segv) ::raise(SIGSEGV);
+        if (inject_fatal >= 0 && step >= inject_fatal) {
+          // Exercise the DP_CHECK fatal route (hook fires: message + flight
+          // dump + metrics fsync), then abort: with sibling ranks parked in
+          // collectives the exception could never unwind past the rank
+          // thread anyway, and abort() hands control to the SIGABRT handler
+          // exactly as an uncaught failure would.
+          try {
+            DP_CHECK_MSG(false, "injected fatal at step " << step);
+          } catch (const dp::Error&) {
+            std::abort();
+          }
+        }
+      };
+    }
     const auto result = dp::par::run_distributed_md(
-        ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); }, sc);
+        ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); }, sc,
+        dopts);
     std::printf("%6s %14s %10s\n", "step", "E_tot [eV]", "T [K]");
     for (const auto& s : result.thermo)
       std::printf("%6d %14.6f %10.2f\n", s.step, s.total(), s.temperature);
@@ -357,6 +444,7 @@ int cmd_run(const Args& args) {
                 static_cast<unsigned long long>(result.comm.messages),
                 result.max_ghost_atoms, result.wall_seconds);
     print_step_breakdown(result.wall_seconds, ranks);
+    if (health_on) print_health_summary(result.health);
     write_observability(obs_out);
     return 0;
   }
@@ -382,6 +470,22 @@ int cmd_run(const Args& args) {
     barostat = std::make_unique<dp::md::BerendsenBarostat>(args.get_double("pressure", 0.0),
                                                            0.1, 1e-5);
     sc.barostat = barostat.get();
+  }
+
+  std::unique_ptr<dp::obs::HealthMonitor> health;
+  if (health_on) {
+    dp::obs::HealthConfig hcfg;
+    hcfg.target_temperature = sc.temperature;
+    health = std::make_unique<dp::obs::HealthMonitor>(
+        hcfg, &dp::obs::MetricsRegistry::instance());
+    sc.health = health.get();
+  }
+  std::unique_ptr<dp::obs::FlightRecorder> flight;
+  if (flight_on) {
+    flight = std::make_unique<dp::obs::FlightRecorder>(0);
+    flight->set_output_dir(flight_dir.c_str());
+    flight->register_for_crash_dump();
+    sc.flight = flight.get();
   }
 
   // Timers from model setup must not dilute the run breakdown: everything
@@ -413,6 +517,14 @@ int cmd_run(const Args& args) {
     if (thermo_csv) thermo_csv->write(s);
     if (dump) dump->write_frame(md.configuration().box, md.configuration().atoms,
                                 "step=" + std::to_string(step));
+    // With the black box armed, keep the on-disk metrics log in lockstep
+    // with it (synced rewrite each sample), so a post-mortem can match
+    // flightrec last_step against the logged md.steps.
+    if (flight && !obs_out.metrics_path.empty())
+      dp::obs::MetricsRegistry::instance().write_jsonl_file_sync(obs_out.metrics_path);
+    if (inject_segv >= 0 && step >= inject_segv) ::raise(SIGSEGV);
+    if (inject_fatal >= 0 && step >= inject_fatal)
+      DP_CHECK_MSG(false, "injected fatal at step " << step);
   };
 
   dp::WallTimer t;
@@ -425,6 +537,10 @@ int cmd_run(const Args& args) {
   print_cost_model_table(path, model, md.configuration().atoms.size(),
                          md.configuration().box.volume(),
                          static_cast<std::uint64_t>(md.force_evaluations()));
+  if (health) {
+    health->publish_gauges(dp::obs::MetricsRegistry::instance());
+    print_health_summary(health->report());
+  }
   write_observability(obs_out);
   if (args.has("save-checkpoint")) {
     dp::md::save_checkpoint(args.get("save-checkpoint"), md.configuration(),
@@ -490,6 +606,7 @@ int usage() {
       "            [--dump traj.xyz] [--thermo out.csv] [--ranks N]\n"
       "            [--restart ckpt] [--save-checkpoint ckpt] [--data lammps.data]\n"
       "            [--trace out.trace.json] [--metrics out.metrics.jsonl]\n"
+      "            [--health] [--flight-recorder [DIR]]\n"
       "  train     fit a model to LJ labels    (--frames N --epochs N [--pref-f W] --out F\n"
       "            [--trace F] [--metrics F])\n");
   return 2;

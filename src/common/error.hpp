@@ -1,6 +1,7 @@
 // Error handling macros: fail loudly with file/line context.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -13,13 +14,38 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Observer invoked with the formatted message before a DP_CHECK failure
+/// throws. Long-running drivers (apps/dpmd) route this to the flight
+/// recorder + metrics flush (obs::notify_fatal) so a failed invariant
+/// leaves a black box even if nothing catches the exception. The hook must
+/// return (DP_CHECK still throws) and must not itself throw.
+using FatalHook = void (*)(const char* msg) noexcept;
+
+namespace detail {
+inline std::atomic<FatalHook>& fatal_hook() {
+  static std::atomic<FatalHook> hook{nullptr};
+  return hook;
+}
+}  // namespace detail
+
+/// Installs the process-wide fatal observer; returns the previous one.
+/// Pass nullptr to uninstall (library code and tests leave it unset, so
+/// DP_CHECK remains a plain throw for them).
+inline FatalHook set_fatal_hook(FatalHook hook) noexcept {
+  return detail::fatal_hook().exchange(hook, std::memory_order_acq_rel);
+}
+
 namespace detail {
 [[noreturn]] inline void throw_error(const char* file, int line, const char* expr,
                                      const std::string& msg) {
   std::ostringstream os;
   os << file << ":" << line << ": check failed: " << expr;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  const std::string what = os.str();
+  if (const FatalHook hook = fatal_hook().load(std::memory_order_acquire)) {
+    hook(what.c_str());
+  }
+  throw Error(what);
 }
 }  // namespace detail
 

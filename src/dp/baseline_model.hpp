@@ -33,6 +33,9 @@ class BaselineDP final : public md::ForceField {
   md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
                           bool periodic = true) override;
   double cutoff() const override { return model_.config().rcut; }
+  std::size_t neighbor_reservation() const override {
+    return static_cast<std::size_t>(model_.config().nm());
+  }
 
   /// Per-atom energies of the last compute() (Fig 2 needs them).
   const std::vector<double>& atom_energies() const { return atom_energy_; }

@@ -33,6 +33,9 @@ class MixedFusedDP final : public md::ForceField {
   md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
                           bool periodic = true) override;
   double cutoff() const override { return tab_.model().config().rcut; }
+  std::size_t neighbor_reservation() const override {
+    return static_cast<std::size_t>(tab_.model().config().nm());
+  }
 
   const std::vector<double>& atom_energies() const { return atom_energy_; }
   /// Bytes of the reduced-precision tables (double/2 for Single, /4 for

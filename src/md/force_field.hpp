@@ -1,6 +1,7 @@
 // Interface every potential implements (LJ reference, the DP model paths).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
@@ -29,6 +30,16 @@ class ForceField {
 
   /// Cutoff radius the neighbor list must cover.
   virtual double cutoff() const = 0;
+
+  /// Cumulative out-of-domain model evaluations (tabulated paths count
+  /// table extrapolations; analytic potentials have none). Telemetry for
+  /// the health.extrapolation_rate watchdog.
+  virtual std::uint64_t extrapolations() const { return 0; }
+
+  /// Neighbor-slot reservation per atom (the model's N_m), or 0 when the
+  /// potential has no fixed reservation. Feeds the neighbor-occupancy
+  /// watchdog (longest list / reservation).
+  virtual std::size_t neighbor_reservation() const { return 0; }
 };
 
 }  // namespace dp::md

@@ -1,7 +1,11 @@
 #include "md/simulation.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -57,6 +61,7 @@ void Simulation::step() {
   StepMetrics& metrics = StepMetrics::get();
   obs::TraceSpan step_span("md.step", "md");
   WallTimer step_timer;
+  double neighbor_seconds = 0.0, force_seconds = 0.0;
   {
     ScopedTimer t("md.integrate", "md");
     verlet_first_half(cfg_.atoms, cfg_.box, sim_.dt);
@@ -66,16 +71,21 @@ void Simulation::step() {
     // The section covers the skin/2 displacement check too: at scale that
     // scan is part of the neighbor-maintenance cost.
     ScopedTimer t("md.neighbor", "md");
+    WallTimer phase;
     if (steps_since_rebuild_ >= sim_.rebuild_every ||
         nlist_.needs_rebuild(cfg_.box, cfg_.atoms.pos)) {
       nlist_.build(cfg_.box, cfg_.atoms.pos);
       steps_since_rebuild_ = 0;
       metrics.rebuilds.inc();
+      ++rebuilds_;
     }
+    neighbor_seconds = phase.seconds();
   }
   {
     ScopedTimer t("md.force", "md");
+    WallTimer phase;
     compute_forces();
+    force_seconds = phase.seconds();
   }
   {
     ScopedTimer t("md.integrate", "md");
@@ -103,6 +113,7 @@ void Simulation::step() {
         nlist_.build(cfg_.box, cfg_.atoms.pos);
         steps_since_rebuild_ = 0;
         metrics.rebuilds.inc();
+        ++rebuilds_;
       }
       ScopedTimer t("md.force", "md");
       compute_forces();
@@ -110,7 +121,44 @@ void Simulation::step() {
   }
   ++step_;
   metrics.steps.inc();
-  metrics.step_seconds.observe(step_timer.seconds());
+  const double step_seconds = step_timer.seconds();
+  metrics.step_seconds.observe(step_seconds);
+  if (sim_.health != nullptr) {
+    // Cheap per-step signals; energetics arrive via observe_sample().
+    obs::StepSignals sig;
+    sig.step = step_;
+    sig.n_atoms = static_cast<double>(cfg_.atoms.size());
+    const std::size_t reservation = ff_.neighbor_reservation();
+    if (reservation > 0)
+      sig.neighbor_occupancy = static_cast<double>(nlist_.max_neighbors()) /
+                               static_cast<double>(reservation);
+    sig.extrapolations = static_cast<double>(ff_.extrapolations());
+    sim_.health->observe_step(sig);
+  }
+  if (sim_.flight != nullptr) {
+    obs::FlightRecord r;
+    r.step = step_;
+    r.step_seconds = step_seconds;
+    r.force_seconds = force_seconds;
+    r.neighbor_seconds = neighbor_seconds;
+    r.comm_seconds = 0.0;
+    r.health_bits = sim_.health != nullptr ? sim_.health->state_bits() : 0;
+    r.rebuilds = rebuilds_;
+    r.extrapolations = ff_.extrapolations();
+    sim_.flight->record(r);
+  }
+}
+
+void Simulation::observe_sample(const ThermoSample& s) {
+  obs::StepSignals sig;
+  sig.step = step_;
+  sig.n_atoms = static_cast<double>(cfg_.atoms.size());
+  sig.total_energy = s.total();
+  sig.temperature = s.temperature;
+  double f2 = 0.0;
+  for (const auto& f : cfg_.atoms.force) f2 = std::max(f2, norm2(f));
+  sig.max_force = std::sqrt(f2);
+  sim_.health->observe_step(sig);
 }
 
 const std::vector<ThermoSample>& Simulation::run() {
@@ -119,6 +167,7 @@ const std::vector<ThermoSample>& Simulation::run() {
     ScopedTimer t("md.sample", "md");
     ThermoSample s = sample();
     trace_.push_back(s);
+    if (sim_.health != nullptr) observe_sample(s);
     if (on_thermo) on_thermo(step_, s);
   };
   record();

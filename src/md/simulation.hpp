@@ -12,6 +12,11 @@
 #include "md/thermostat.hpp"
 #include "md/units.hpp"
 
+namespace dp::obs {
+class HealthMonitor;
+class FlightRecorder;
+}  // namespace dp::obs
+
 namespace dp::md {
 
 struct SimulationConfig {
@@ -24,6 +29,12 @@ struct SimulationConfig {
   std::uint64_t seed = 2022;
   Thermostat* thermostat = nullptr;        ///< optional NVT coupling (not owned)
   BerendsenBarostat* barostat = nullptr;   ///< optional NPT coupling (not owned)
+  /// Optional run-health watchdogs (not owned). Cheap signals (neighbor
+  /// occupancy, extrapolation rate) are fed every step; energetics
+  /// (drift, temperature, max force) at each thermo sample.
+  obs::HealthMonitor* health = nullptr;
+  /// Optional black box (not owned): one FlightRecord per step.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct ThermoSample {
@@ -62,6 +73,9 @@ class Simulation {
  private:
   ThermoSample sample() const;
   void compute_forces();
+  /// Feeds the energetics watchdogs from a thermo sample (max-force scan
+  /// is O(N), so it runs at sample cadence, not every step).
+  void observe_sample(const ThermoSample& s);
 
   Configuration cfg_;
   ForceField& ff_;
@@ -72,6 +86,7 @@ class Simulation {
   int step_ = 0;
   int force_evals_ = 0;
   int steps_since_rebuild_ = 0;
+  std::uint32_t rebuilds_ = 0;
 };
 
 }  // namespace dp::md

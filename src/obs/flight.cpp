@@ -1,0 +1,321 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace dp::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe building blocks. Everything below the line that the
+// crash handler can reach uses only write/open/fsync/close plus pure
+// computation on stack buffers — no stdio, no allocation, no locks.
+// ---------------------------------------------------------------------------
+
+DP_SIGNAL_SAFE void safe_write(int fd, const char* data, std::size_t len) noexcept {
+  while (len > 0) {
+    const ssize_t w = ::write(fd, data, len);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;  // nothing useful to do on a failing fd in a crash path
+    }
+    data += w;
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+DP_SIGNAL_SAFE std::size_t fmt_u64(char* out, std::uint64_t v) noexcept {
+  char tmp[20];
+  std::size_t t = 0;
+  do {
+    tmp[t++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < t; ++i) out[i] = tmp[t - 1 - i];
+  return t;
+}
+
+DP_SIGNAL_SAFE std::size_t fmt_i64(char* out, std::int64_t v) noexcept {
+  std::size_t n = 0;
+  std::uint64_t u;
+  if (v < 0) {
+    out[n++] = '-';
+    u = ~static_cast<std::uint64_t>(v) + 1;  // safe for INT64_MIN
+  } else {
+    u = static_cast<std::uint64_t>(v);
+  }
+  return n + fmt_u64(out + n, u);
+}
+
+/// Scientific notation with 9 significant digits: "d.ddddddddE[+-]dd".
+/// Non-finite values (e.g. a torn read during a concurrent crash dump)
+/// become 0 so the document always parses.
+DP_SIGNAL_SAFE std::size_t fmt_double(char* out, double v) noexcept {
+  if (!std::isfinite(v)) {
+    out[0] = '0';
+    return 1;
+  }
+  std::size_t n = 0;
+  if (std::signbit(v)) {
+    out[n++] = '-';
+    v = -v;
+  }
+  if (v == 0.0) {
+    out[n++] = '0';
+    return n;
+  }
+  int exp10 = 0;
+  while (v >= 10.0) {
+    v *= 0.1;
+    ++exp10;
+  }
+  while (v < 1.0) {
+    v *= 10.0;
+    --exp10;
+  }
+  // 9 significant digits; rounding can carry 9.99.. past 10.
+  std::uint64_t digits = static_cast<std::uint64_t>(v * 1e8 + 0.5);
+  if (digits >= 1000000000ull) {
+    digits /= 10;
+    ++exp10;
+  }
+  char tmp[20];
+  const std::size_t t = fmt_u64(tmp, digits);  // always 9 chars here
+  out[n++] = tmp[0];
+  out[n++] = '.';
+  for (std::size_t i = 1; i < t; ++i) out[n++] = tmp[i];
+  out[n++] = 'e';
+  out[n++] = exp10 < 0 ? '-' : '+';
+  const int ae = exp10 < 0 ? -exp10 : exp10;
+  n += fmt_u64(out + n, static_cast<std::uint64_t>(ae));
+  return n;
+}
+
+/// Tiny buffered writer over a raw fd (cuts the dump to a handful of
+/// write() calls instead of one per token).
+class FdBuf {
+ public:
+  DP_SIGNAL_SAFE explicit FdBuf(int fd) noexcept : fd_(fd) {}
+  DP_SIGNAL_SAFE ~FdBuf() noexcept { flush(); }
+
+  DP_SIGNAL_SAFE void put(const char* s, std::size_t len) noexcept {
+    if (len > sizeof(buf_)) {
+      flush();
+      safe_write(fd_, s, len);
+      return;
+    }
+    if (n_ + len > sizeof(buf_)) flush();
+    std::memcpy(buf_ + n_, s, len);
+    n_ += len;
+  }
+  DP_SIGNAL_SAFE void lit(const char* s) noexcept { put(s, std::strlen(s)); }
+  DP_SIGNAL_SAFE void u64(std::uint64_t v) noexcept {
+    char t[24];
+    put(t, fmt_u64(t, v));
+  }
+  DP_SIGNAL_SAFE void i64(std::int64_t v) noexcept {
+    char t[24];
+    put(t, fmt_i64(t, v));
+  }
+  DP_SIGNAL_SAFE void dbl(double v) noexcept {
+    char t[32];
+    put(t, fmt_double(t, v));
+  }
+  DP_SIGNAL_SAFE void flush() noexcept {
+    if (n_ > 0) safe_write(fd_, buf_, n_);
+    n_ = 0;
+  }
+
+ private:
+  int fd_;
+  std::size_t n_ = 0;
+  char buf_[1024];
+};
+
+// Process-wide recorder table walked by the crash handler. Fixed capacity,
+// lock-free registration; slots hold owning-thread recorders that outlive
+// any crash (the MD driver keeps them alive for the whole run).
+std::atomic<FlightRecorder*> g_recorders[FlightRecorder::kMaxRecorders];
+
+std::atomic<FatalFlushHook> g_flush_hook{nullptr};
+std::atomic<bool> g_handlers_installed{false};
+// Re-entrancy latch: a crash inside the dump path must not recurse.
+std::atomic<bool> g_dumping{false};
+
+DP_SIGNAL_SAFE void crash_handler(int sig) noexcept {
+  if (!g_dumping.exchange(true)) {
+    static const char kBanner[] = "\n[dp] fatal signal, dumping flight recorders\n";
+    safe_write(2, kBanner, sizeof(kBanner) - 1);
+    dump_all_recorders();
+    const FatalFlushHook hook = g_flush_hook.load(std::memory_order_acquire);
+    if (hook != nullptr) hook();
+  }
+  // SA_RESETHAND restored the default disposition on entry; re-raising
+  // terminates with the original signal (correct exit status, core file).
+  ::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int rank, std::size_t capacity) : rank_(rank) {
+  std::size_t cap = 1;
+  while (cap < capacity) cap <<= 1;
+  cap_ = cap;
+  mask_ = cap - 1;
+  ring_.resize(cap_);
+  path_[0] = '\0';
+  set_output_dir(".");
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (registered_) {
+    for (auto& slot : g_recorders) {
+      FlightRecorder* self = this;
+      if (slot.compare_exchange_strong(self, nullptr)) break;
+    }
+  }
+}
+
+void FlightRecorder::record(const FlightRecord& r) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  ring_[h & mask_] = r;
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::size() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  return h < cap_ ? static_cast<std::size_t>(h) : cap_;
+}
+
+std::int64_t FlightRecorder::last_step() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  if (h == 0) return -1;
+  return ring_[(h - 1) & mask_].step;
+}
+
+DP_SIGNAL_SAFE void FlightRecorder::dump(int fd) const {
+  FdBuf out(fd);
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t count = h < cap_ ? h : cap_;
+  const std::uint64_t first = h - count;
+  out.lit("{\n  \"rank\": ");
+  out.i64(rank_);
+  out.lit(",\n  \"capacity\": ");
+  out.u64(cap_);
+  out.lit(",\n  \"count\": ");
+  out.u64(count);
+  out.lit(",\n  \"last_step\": ");
+  out.i64(h == 0 ? -1 : ring_[(h - 1) & mask_].step);
+  out.lit(",\n  \"records\": [");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const FlightRecord& r = ring_[(first + i) & mask_];
+    out.lit(i == 0 ? "\n    {" : ",\n    {");
+    out.lit("\"step\": ");
+    out.i64(r.step);
+    out.lit(", \"step_seconds\": ");
+    out.dbl(r.step_seconds);
+    out.lit(", \"force_seconds\": ");
+    out.dbl(r.force_seconds);
+    out.lit(", \"neighbor_seconds\": ");
+    out.dbl(r.neighbor_seconds);
+    out.lit(", \"comm_seconds\": ");
+    out.dbl(r.comm_seconds);
+    out.lit(", \"health_bits\": ");
+    out.u64(r.health_bits);
+    out.lit(", \"rebuilds\": ");
+    out.u64(r.rebuilds);
+    out.lit(", \"extrapolations\": ");
+    out.u64(r.extrapolations);
+    out.lit("}");
+  }
+  out.lit("\n  ]\n}\n");
+  out.flush();
+}
+
+DP_SIGNAL_SAFE bool FlightRecorder::dump_to_file(const char* path) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump(fd);
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+void FlightRecorder::set_output_dir(const char* dir) {
+  char tail[48];
+  std::size_t t = 0;
+  const char prefix[] = "/flightrec.rank";
+  std::memcpy(tail + t, prefix, sizeof(prefix) - 1);
+  t += sizeof(prefix) - 1;
+  t += fmt_i64(tail + t, rank_);
+  const char suffix[] = ".json";
+  std::memcpy(tail + t, suffix, sizeof(suffix) - 1);
+  t += sizeof(suffix) - 1;
+  std::size_t d = std::strlen(dir);
+  while (d > 1 && dir[d - 1] == '/') --d;  // drop trailing slashes
+  if (d + t + 1 > sizeof(path_)) d = sizeof(path_) - t - 1;
+  std::memcpy(path_, dir, d);
+  std::memcpy(path_ + d, tail, t);
+  path_[d + t] = '\0';
+}
+
+void FlightRecorder::register_for_crash_dump() {
+  if (registered_) return;
+  for (auto& slot : g_recorders) {
+    FlightRecorder* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, this)) {
+      registered_ = true;
+      return;
+    }
+  }
+  // Table full: the recorder still works locally, it just will not be
+  // dumped by the process-wide handler.
+}
+
+void install_crash_handlers() {
+  if (g_handlers_installed.exchange(true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &crash_handler;
+  // SA_RESETHAND: the default disposition is back in place before the
+  // handler runs, so the final raise() terminates the process normally.
+  sa.sa_flags = SA_RESETHAND;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT, SIGILL}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+DP_SIGNAL_SAFE int dump_all_recorders() noexcept {
+  int dumped = 0;
+  for (auto& slot : g_recorders) {
+    const FlightRecorder* rec = slot.load(std::memory_order_acquire);
+    if (rec == nullptr) continue;
+    if (rec->dump_to_file(rec->output_path())) ++dumped;
+  }
+  return dumped;
+}
+
+void notify_fatal(const char* msg) noexcept {
+  static const char kPrefix[] = "\n[dp] fatal: ";
+  safe_write(2, kPrefix, sizeof(kPrefix) - 1);
+  if (msg != nullptr) safe_write(2, msg, std::strlen(msg));
+  safe_write(2, "\n", 1);
+  if (!g_dumping.exchange(true)) {
+    dump_all_recorders();
+    const FatalFlushHook hook = g_flush_hook.load(std::memory_order_acquire);
+    if (hook != nullptr) hook();
+  }
+  g_dumping.store(false);  // fatal may be caught (DP_CHECK throws); re-arm
+}
+
+FatalFlushHook set_fatal_flush_hook(FatalFlushHook hook) noexcept {
+  return g_flush_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+}  // namespace dp::obs

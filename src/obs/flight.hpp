@@ -1,0 +1,130 @@
+// Crash-safe flight recorder: a fixed-size, allocation-free per-rank ring
+// buffer of recent step events, dumped by an async-signal-safe handler when
+// the process dies (SIGSEGV / SIGABRT / DP_CHECK failure).
+//
+// The metrics/trace layer answers "how did the run behave" after a clean
+// exit; the flight recorder answers "what were the last N steps doing" when
+// there is no clean exit — the black box of the paper's multi-hour runs,
+// where a single rank segfaulting at step 40 million otherwise leaves
+// nothing but a core file too large to copy off the machine.
+//
+// Constraints that shape the design:
+//   * record() runs every step on every rank: no locks, no allocation, one
+//     release store to publish a slot.
+//   * dump() runs inside a signal handler: only async-signal-safe syscalls
+//     (open/write/fsync/close), no stdio, no malloc, no std::string —
+//     formatting is hand-rolled into stack buffers. Functions on this path
+//     are annotated DP_SIGNAL_SAFE and policed by the dplint
+//     `signal-safety` rule.
+//   * Multiple recorders (one per rank thread) register into a fixed table
+//     of atomic slots so one process-wide handler can dump all of them.
+//
+// The dump is a valid JSON document (`flightrec.rank<k>.json`), newest
+// record last; `tools/dpblackbox` pretty-prints one or merges several.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned.hpp"
+
+/// Marks a function as running in async-signal-handler context: it must not
+/// allocate, lock, or use stdio/iostreams. Expands to nothing — the marker
+/// exists for readers and for tools/dplint's `signal-safety` rule, which
+/// scans the body of any function carrying it.
+#define DP_SIGNAL_SAFE
+
+namespace dp::obs {
+
+/// One step's worth of black-box state. Plain data, fixed size, copied
+/// whole into the ring; add fields sparingly (capacity 256 records costs
+/// ~18 KB per rank as is).
+struct FlightRecord {
+  std::int64_t step = 0;
+  double step_seconds = 0.0;     ///< wall time of the step
+  double force_seconds = 0.0;    ///< force/descriptor phase
+  double neighbor_seconds = 0.0; ///< neighbor build (0 when not rebuilt)
+  double comm_seconds = 0.0;     ///< halo exchange + reductions
+  std::uint32_t health_bits = 0; ///< HealthMonitor::state_bits()
+  std::uint32_t rebuilds = 0;    ///< cumulative neighbor rebuilds
+  std::uint64_t extrapolations = 0; ///< cumulative table extrapolations
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+  /// Max simultaneously registered recorders (ranks) per process.
+  static constexpr std::size_t kMaxRecorders = 64;
+
+  /// Capacity is rounded up to a power of two. All memory is allocated
+  /// here, never in record()/dump().
+  explicit FlightRecorder(int rank = 0,
+                          std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Single-writer append; wait-free. The slot is fully written before the
+  /// head advances (release), so a concurrent dump (acquire) only ever
+  /// reads committed records.
+  void record(const FlightRecord& r);
+
+  /// Number of committed records (saturates at capacity).
+  std::size_t size() const;
+  std::size_t capacity() const { return cap_; }
+  int rank() const { return rank_; }
+  /// Step of the most recent committed record, or -1 when empty.
+  std::int64_t last_step() const;
+
+  /// Writes the ring as a JSON document to an already-open fd, oldest
+  /// record first. Async-signal-safe: write() only, stack buffers.
+  DP_SIGNAL_SAFE void dump(int fd) const;
+
+  /// open() + dump() + fsync() + close() to `path`. Async-signal-safe.
+  /// Returns false if the file could not be created.
+  DP_SIGNAL_SAFE bool dump_to_file(const char* path) const;
+
+  /// Dump file path for this recorder: `<dir>/flightrec.rank<k>.json`.
+  /// `dir` is copied into a fixed internal buffer (truncated if needed);
+  /// call once at setup, before any crash can happen.
+  void set_output_dir(const char* dir);
+  DP_SIGNAL_SAFE const char* output_path() const { return path_; }
+
+  /// Registers this recorder in the process-wide table the crash handler
+  /// walks. Idempotent; the destructor unregisters.
+  void register_for_crash_dump();
+
+ private:
+  int rank_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  AlignedVector<FlightRecord> ring_;
+  std::atomic<std::uint64_t> head_{0};  ///< next slot index (monotonic)
+  char path_[256];
+  bool registered_ = false;
+};
+
+/// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that dump every
+/// registered recorder and then re-raise with the default disposition (so
+/// exit codes and core dumps behave as without the recorder). Idempotent.
+void install_crash_handlers();
+
+/// Fatal-path entry point for non-signal failures (DP_CHECK): writes
+/// `msg` to stderr with write(2), dumps every registered recorder, and
+/// invokes the registered flush hook (metrics sink fsync). Does NOT
+/// terminate — the caller decides (DP_CHECK continues to throw).
+void notify_fatal(const char* msg) noexcept;
+
+/// Hook invoked by notify_fatal and the crash handler after dumping, e.g.
+/// to fsync the metrics JSONL sink. Must be async-signal-safe. Returns the
+/// previous hook.
+using FatalFlushHook = void (*)() noexcept;
+FatalFlushHook set_fatal_flush_hook(FatalFlushHook hook) noexcept;
+
+/// Dumps every registered recorder now (async-signal-safe). Returns the
+/// number of recorders dumped. Exposed for tests and for notify_fatal.
+DP_SIGNAL_SAFE int dump_all_recorders() noexcept;
+
+}  // namespace dp::obs

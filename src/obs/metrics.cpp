@@ -1,5 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 #include <limits>
@@ -263,6 +266,23 @@ bool MetricsRegistry::write_jsonl_file(const std::string& path) const {
   if (!os) return false;
   write_jsonl(os);
   return static_cast<bool>(os);
+}
+
+bool MetricsRegistry::write_jsonl_file_sync(const std::string& path) const {
+  {
+    std::ofstream os(path);
+    if (!os) return false;
+    write_jsonl(os);
+    os.flush();
+    if (!os) return false;
+  }
+  // The ofstream moved the data into the kernel; fsync pushes it to the
+  // device so an immediately following abort/SIGKILL keeps the tail.
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
 
 bool MetricsRegistry::write_json_file(const std::string& path) const {

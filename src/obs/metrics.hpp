@@ -128,6 +128,10 @@ class MetricsRegistry {
   /// One JSON object per line: metrics first, then events in record order.
   void write_jsonl(std::ostream& os) const;
   bool write_jsonl_file(const std::string& path) const;
+  /// write_jsonl_file + fsync: used on fatal paths (and on every periodic
+  /// rewrite while a flight recorder is armed) so an abort immediately
+  /// after still leaves the full tail on disk.
+  bool write_jsonl_file_sync(const std::string& path) const;
   /// Single JSON document: {"metrics": [...], "events": [...]}.
   void write_json(std::ostream& os) const;
   bool write_json_file(const std::string& path) const;

@@ -1,13 +1,16 @@
 #include "parallel/distributed_md.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
+#include <optional>
 
 #include "common/timer.hpp"
 #include "dp/env_mat.hpp"
 #include "md/integrator.hpp"
 #include "parallel/minimpi.hpp"
 #include "md/units.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -41,6 +44,8 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     gathered.force.resize(n_global);
   }
 
+  if (opts.flight_recorder) obs::install_crash_handlers();
+
   WallTimer wall;
   result.comm = run_parallel(nranks, [&](Communicator& comm) {
     const int rank = comm.rank();
@@ -48,6 +53,28 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     obs::TraceCollector::set_thread_rank(rank);
     auto ff = factory();
     const double halo = ff->cutoff() + sim.skin;
+
+    // Per-rank black box + watchdogs. Only rank 0's monitor emits into the
+    // JSONL sink (all ranks observe identical globally reduced signals, so
+    // one stream carries each transition exactly once).
+    std::optional<obs::FlightRecorder> flight;
+    if (opts.flight_recorder) {
+      flight.emplace(rank);
+      flight->set_output_dir(opts.flight_dir.c_str());
+      flight->register_for_crash_dump();
+    }
+    std::optional<obs::HealthMonitor> health;
+    if (opts.health != nullptr) {
+      health.emplace(*opts.health,
+                     rank == 0 ? &obs::MetricsRegistry::instance() : nullptr);
+    }
+    int worst_seen = 0;
+    // Per-step phase accounting feeding the flight record (comm covers
+    // migration, ghost exchange and force reduction).
+    double phase_comm = 0.0, phase_neighbor = 0.0, phase_force = 0.0;
+    // Step seconds accumulated since the last sample — the imbalance probe
+    // compares this window's max across ranks against its mean.
+    double window_seconds = 0.0;
 
     // Take ownership of this rank's atoms (ids track the global index).
     md::Atoms atoms;
@@ -114,13 +141,16 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
         // keep them under md.halo so the per-phase breakdown separates
         // compute from exchange (halo.* subsections nest inside).
         ScopedTimer t("md.halo", "halo");
+        WallTimer phase;
         migrate(comm, init.box, decomp, rank, atoms, &ids, sim.rebuild_every);
         n_local = atoms.size();
         partition_interior();
         halo_ex.exchange_ghosts(comm, atoms);
+        phase_comm += phase.seconds();
       }
       {
         ScopedTimer t("md.neighbor", "md");
+        WallTimer phase;
         nlist.build(init.box, atoms.pos, n_local, /*periodic=*/false);
         interior_list = nlist.prefix(n_interior);
         boundary_list = nlist.compact(n_interior, n_local, boundary_map);
@@ -129,6 +159,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
         for (int a : boundary_map)
           batoms.add(atoms.pos[static_cast<std::size_t>(a)],
                      atoms.type[static_cast<std::size_t>(a)]);
+        phase_neighbor += phase.seconds();
       }
       max_local = std::max(max_local, n_local);
       max_ghost = std::max(max_ghost, halo_ex.n_ghost());
@@ -143,10 +174,13 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     md::ForceResult local_force;
     auto compute_interior = [&] {
       ScopedTimer t("md.force", "md");
+      WallTimer phase;
       local_force = ff->compute(init.box, atoms, interior_list, /*periodic=*/false);
+      phase_force += phase.seconds();
     };
     auto compute_boundary = [&] {
       ScopedTimer t("md.force", "md");
+      WallTimer phase;
       for (std::size_t k = 0; k < boundary_map.size(); ++k)
         batoms.pos[k] = atoms.pos[static_cast<std::size_t>(boundary_map[k])];
       const md::ForceResult bres =
@@ -155,6 +189,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
         atoms.force[static_cast<std::size_t>(boundary_map[k])] += batoms.force[k];
       local_force.energy += bres.energy;
       local_force.virial += bres.virial;
+      phase_force += phase.seconds();
     };
 
     std::vector<md::ThermoSample> thermo;
@@ -184,6 +219,41 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       thermo.push_back(s);
     };
 
+    // Fleet-level health probe, run right after each thermo sample. Every
+    // rank reduces the same global signals and feeds its own monitor, so
+    // the watchdog automata advance identically everywhere; the trailing
+    // max-allreduce of the encoded worst state is the cross-rank agreement
+    // on how sick the run is.
+    const double reservation = static_cast<double>(ff->neighbor_reservation());
+    auto health_probe = [&](int step) {
+      if (!health) return;
+      obs::StepSignals sig;
+      sig.step = step;
+      sig.n_atoms = static_cast<double>(n_global);
+      const md::ThermoSample& s = thermo.back();
+      sig.total_energy = s.total();
+      sig.temperature = s.temperature;
+      double f2 = 0.0;
+      for (std::size_t a = 0; a < n_local; ++a)
+        f2 = std::max(f2, norm2(atoms.force[a]));
+      sig.max_force = comm.allreduce_max(std::sqrt(f2));
+      if (reservation > 0.0) {
+        sig.neighbor_occupancy = comm.allreduce_max(
+            static_cast<double>(nlist.max_neighbors()) / reservation);
+      }
+      const auto sums = comm.allreduce_sum(std::vector<double>{
+          window_seconds, static_cast<double>(ff->extrapolations())});
+      const double window_max = comm.allreduce_max(window_seconds);
+      if (sums[0] > 0.0) sig.step_imbalance = window_max / (sums[0] / nranks);
+      sig.extrapolations = sums[1];
+      const obs::HealthState worst = health->observe_step(sig);
+      const double agreed = comm.allreduce_max(
+          static_cast<double>(obs::HealthMonitor::encode(worst)));
+      worst_seen = std::max(worst_seen, static_cast<int>(agreed));
+      window_seconds = 0.0;
+      if (rank == 0) health->publish_gauges(obs::MetricsRegistry::instance());
+    };
+
     auto half_kick = [&](std::size_t begin, std::size_t end) {
       ScopedTimer t("md.integrate", "md");
       for (std::size_t a = begin; a < end; ++a) {
@@ -200,6 +270,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       halo_ex.reduce_forces(comm, atoms);
     }
     sample(0);
+    health_probe(0);
 
     int since_rebuild = 0;
     std::uint64_t rebuilds = 0, early_rebuilds = 0;
@@ -213,6 +284,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
     for (int step = 1; step <= sim.steps; ++step) {
       obs::TraceSpan step_span("md.step", "md");
       WallTimer step_timer;
+      phase_comm = phase_neighbor = phase_force = 0.0;
       {
         // Half-kick + drift on local atoms only (ghosts are re-derived).
         ScopedTimer t("md.integrate", "md");
@@ -253,12 +325,16 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
         // refresh, then evaluate boundary centers against fresh ghosts.
         {
           ScopedTimer t("md.halo", "halo");
+          WallTimer phase;
           halo_ex.begin_update_ghosts(comm, atoms);
+          phase_comm += phase.seconds();
         }
         compute_interior();
         {
           ScopedTimer t("md.halo", "halo");
+          WallTimer phase;
           halo_ex.finish_update_ghosts(comm, atoms);
+          phase_comm += phase.seconds();
         }
         compute_boundary();
       }
@@ -268,17 +344,50 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       // their forces.
       {
         ScopedTimer t("md.halo", "halo");
+        WallTimer phase;
         halo_ex.begin_reduce_forces(comm, atoms);
+        phase_comm += phase.seconds();
       }
       half_kick(0, n_interior);
       {
         ScopedTimer t("md.halo", "halo");
+        WallTimer phase;
         halo_ex.finish_reduce_forces(comm, atoms);
+        phase_comm += phase.seconds();
       }
       half_kick(n_interior, n_local);
-      if (step % sim.thermo_every == 0 || step == sim.steps) sample(step);
+      const bool sampled = step % sim.thermo_every == 0 || step == sim.steps;
+      if (sampled) {
+        sample(step);
+        health_probe(step);
+      }
       if (rank == 0) steps_counter.inc();
-      step_seconds.observe(step_timer.seconds());
+      const double step_secs = step_timer.seconds();
+      step_seconds.observe(step_secs);
+      window_seconds += step_secs;
+      if (flight) {
+        obs::FlightRecord r;
+        r.step = step;
+        r.step_seconds = step_secs;
+        r.force_seconds = phase_force;
+        r.neighbor_seconds = phase_neighbor;
+        r.comm_seconds = phase_comm;
+        r.health_bits = health ? health->state_bits() : 0;
+        r.rebuilds = static_cast<std::uint32_t>(rebuilds);
+        r.extrapolations = ff->extrapolations();
+        flight->record(r);
+      }
+      if (sampled) {
+        // Bookkeeping a post-mortem can cross-check: the step counter and
+        // the synced metrics rewrite land *before* the test-only injection
+        // hook, so a crash raised there finds flightrec last_step equal to
+        // the logged md.steps.
+        if (rank == 0 && !opts.metrics_rewrite_path.empty()) {
+          obs::MetricsRegistry::instance().write_jsonl_file_sync(
+              opts.metrics_rewrite_path);
+        }
+        if (opts.on_sample) opts.on_sample(rank, step);
+      }
     }
 
     const double max_local_global = comm.allreduce_max(static_cast<double>(max_local));
@@ -349,6 +458,8 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
       result.halo_overlap_ratio = overlap_ratio;
       result.neighbor_rebuilds = rebuilds;
       result.early_rebuilds = early_rebuilds;
+      if (health) result.health = health->report();
+      result.worst_health = worst_seen;
     }
     if (opts.gather_state) {
       for (std::size_t a = 0; a < n_local; ++a) {

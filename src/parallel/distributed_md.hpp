@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "md/force_field.hpp"
 #include "md/simulation.hpp"
+#include "obs/health.hpp"
 #include "parallel/halo.hpp"
 #include "parallel/minimpi.hpp"
 
@@ -53,6 +55,13 @@ struct DistributedRunResult {
   /// Snapshot of the final state, sorted by global atom id (for parity
   /// tests against a serial run). Filled only when gather_state is set.
   std::vector<Vec3> final_pos, final_vel, final_force;
+  /// End-of-run health report (rank 0's monitor; empty unless
+  /// DistributedOptions::health was set). Signals are globally reduced
+  /// before observation, so this is the fleet view, not one rank's.
+  obs::HealthReport health;
+  /// Worst encoded health state any rank saw at any sample (0/1/2) —
+  /// the max-allreduce of per-rank worst states.
+  int worst_health = 0;
 };
 
 struct DistributedOptions {
@@ -64,6 +73,23 @@ struct DistributedOptions {
   /// behavior, which lets fast atoms silently leave the skin — only tests
   /// demonstrating that failure mode should disable this.
   bool displacement_rebuild = true;
+  /// Run-health watchdogs (not owned): every rank evaluates the standard
+  /// set on globally reduced signals at each thermo sample, and the
+  /// encoded states are max-allreduced so all ranks agree on the worst.
+  const obs::HealthConfig* health = nullptr;
+  /// Arm one flight recorder per rank (dumped as
+  /// `<flight_dir>/flightrec.rank<k>.json` by the crash handlers) and
+  /// install the SIGSEGV/SIGABRT handlers.
+  bool flight_recorder = false;
+  std::string flight_dir = ".";
+  /// When non-empty, rank 0 rewrites + fsyncs the metrics registry as
+  /// JSONL here at every sample step, so a crash later in the run leaves
+  /// a log whose `md.steps` matches the flight recorders' `last_step`.
+  std::string metrics_rewrite_path;
+  /// Test hook, invoked on every rank after a sample step's bookkeeping
+  /// (sample + flight record + metrics rewrite have all landed).
+  /// Crash-injection tests raise their signal from here.
+  std::function<void(int rank, int step)> on_sample;
 };
 
 /// Runs `sim.steps` MD steps of the global configuration on `nranks`

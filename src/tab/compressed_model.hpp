@@ -32,6 +32,10 @@ class CompressedDP final : public md::ForceField {
   md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
                           bool periodic = true) override;
   double cutoff() const override { return tab_.model().config().rcut; }
+  std::uint64_t extrapolations() const override { return tab_.extrapolations(); }
+  std::size_t neighbor_reservation() const override {
+    return static_cast<std::size_t>(tab_.model().config().nm());
+  }
 
   const std::vector<double>& atom_energies() const { return atom_energy_; }
   const core::EnvMat& env() const { return env_; }

@@ -31,6 +31,14 @@ class TabulatedDP {
   /// Total shipped table size — the paper's interval-vs-model-size tradeoff.
   std::size_t total_bytes() const;
 
+  /// Total out-of-domain evaluations across all tables — the raw signal
+  /// behind the health.extrapolation_rate watchdog.
+  std::size_t extrapolations() const {
+    std::size_t n = 0;
+    for (const auto& t : tables_) n += t.extrapolations();
+    return n;
+  }
+
   /// Upper bound of the physical s(r) domain: s is monotone decreasing in r,
   /// so the maximum is attained at the closest physically possible approach
   /// r_min.

@@ -1,0 +1,196 @@
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "json_check.hpp"
+
+namespace {
+
+using dp::obs::FlightRecord;
+using dp::obs::FlightRecorder;
+
+FlightRecord rec(std::int64_t step) {
+  FlightRecord r;
+  r.step = step;
+  r.step_seconds = 1e-3 * static_cast<double>(step + 1);
+  r.force_seconds = 0.5e-3;
+  r.neighbor_seconds = step % 5 == 0 ? 2e-4 : 0.0;
+  r.comm_seconds = 1e-5;
+  r.health_bits = step % 2 == 0 ? 0u : 0x21u;
+  r.rebuilds = static_cast<std::uint32_t>(step / 5);
+  r.extrapolations = static_cast<std::uint64_t>(step) * 3u;
+  return r;
+}
+
+std::string dump_path(const char* tag) {
+  return std::string(::testing::TempDir()) + "flightrec_test_" + tag + ".json";
+}
+
+dp::testjson::Value parse_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  bool ok = false;
+  auto v = dp::testjson::parse_json(ss.str(), ok);
+  EXPECT_TRUE(ok) << "unparseable dump: " << ss.str();
+  return v;
+}
+
+TEST(FlightRecorder, EmptyRecorder) {
+  FlightRecorder fr(3, 16);
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.capacity(), 16u);
+  EXPECT_EQ(fr.rank(), 3);
+  EXPECT_EQ(fr.last_step(), -1);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder fr(0, 100);
+  EXPECT_EQ(fr.capacity(), 128u);
+}
+
+TEST(FlightRecorder, RingKeepsNewestRecordsAfterWrap) {
+  FlightRecorder fr(0, 8);
+  for (std::int64_t s = 0; s < 20; ++s) fr.record(rec(s));
+  EXPECT_EQ(fr.size(), 8u);  // saturates at capacity
+  EXPECT_EQ(fr.last_step(), 19);
+
+  const std::string path = dump_path("wrap");
+  ASSERT_TRUE(fr.dump_to_file(path.c_str()));
+  const auto v = parse_file(path);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("rank").num(), 0.0);
+  EXPECT_DOUBLE_EQ(v.at("capacity").num(), 8.0);
+  EXPECT_DOUBLE_EQ(v.at("count").num(), 8.0);
+  EXPECT_DOUBLE_EQ(v.at("last_step").num(), 19.0);
+  const auto& records = v.at("records").array();
+  ASSERT_EQ(records.size(), 8u);
+  // Oldest first: steps 12..19 survive the wrap.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(records[i].at("step").num(), static_cast<double>(12 + i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpRoundTripsFieldValues) {
+  FlightRecorder fr(2, 4);
+  FlightRecord r;
+  r.step = 41;
+  r.step_seconds = 0.001953125;  // exactly representable
+  r.force_seconds = 0.0;
+  r.neighbor_seconds = 1.5e-9;
+  r.comm_seconds = 123456.0;
+  r.health_bits = 0x2au;  // warn/fatal mix across the low three dogs
+  r.rebuilds = 7;
+  r.extrapolations = 123456789012345ull;
+  fr.record(r);
+
+  const std::string path = dump_path("fields");
+  ASSERT_TRUE(fr.dump_to_file(path.c_str()));
+  const auto v = parse_file(path);
+  const auto& rj = v.at("records").array().at(0);
+  EXPECT_DOUBLE_EQ(rj.at("step").num(), 41.0);
+  // The hand-rolled formatter carries 9 significant digits.
+  EXPECT_NEAR(rj.at("step_seconds").num(), 0.001953125, 1e-11);
+  EXPECT_DOUBLE_EQ(rj.at("force_seconds").num(), 0.0);
+  EXPECT_NEAR(rj.at("neighbor_seconds").num(), 1.5e-9, 1e-17);
+  EXPECT_NEAR(rj.at("comm_seconds").num(), 123456.0, 1e-3);
+  EXPECT_DOUBLE_EQ(rj.at("health_bits").num(), 42.0);
+  EXPECT_DOUBLE_EQ(rj.at("rebuilds").num(), 7.0);
+  EXPECT_DOUBLE_EQ(rj.at("extrapolations").num(), 123456789012345.0);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, NonFiniteTimingsStillProduceValidJson) {
+  FlightRecorder fr(0, 4);
+  FlightRecord r;
+  r.step = 1;
+  r.step_seconds = std::numeric_limits<double>::quiet_NaN();
+  r.force_seconds = std::numeric_limits<double>::infinity();
+  r.neighbor_seconds = -std::numeric_limits<double>::infinity();
+  r.comm_seconds = -0.0;
+  fr.record(r);
+  const std::string path = dump_path("nonfinite");
+  ASSERT_TRUE(fr.dump_to_file(path.c_str()));
+  const auto v = parse_file(path);  // parse failure fails the EXPECT inside
+  // Non-finite values are clamped to 0 so the document always parses.
+  const auto& rj = v.at("records").array().at(0);
+  EXPECT_DOUBLE_EQ(rj.at("step_seconds").num(), 0.0);
+  EXPECT_DOUBLE_EQ(rj.at("force_seconds").num(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, NegativeStepAndExtremeTimings) {
+  FlightRecorder fr(0, 4);
+  FlightRecord r;
+  r.step = -12345;  // pre-run sentinel records are legal
+  r.step_seconds = 1e-300;
+  r.force_seconds = 9.999999999e99;  // rounding carries past 10 -> 1.0e+100
+  fr.record(r);
+  const std::string path = dump_path("extreme");
+  ASSERT_TRUE(fr.dump_to_file(path.c_str()));
+  const auto v = parse_file(path);
+  const auto& rj = v.at("records").array().at(0);
+  EXPECT_DOUBLE_EQ(rj.at("step").num(), -12345.0);
+  EXPECT_NEAR(rj.at("step_seconds").num() / 1e-300, 1.0, 1e-8);
+  EXPECT_NEAR(rj.at("force_seconds").num() / 1e100, 1.0, 1e-8);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, OutputPathEncodesRankAndDir) {
+  FlightRecorder fr(7, 4);
+  fr.set_output_dir("/tmp/some/dir/");  // trailing slash is dropped
+  EXPECT_STREQ(fr.output_path(), "/tmp/some/dir/flightrec.rank7.json");
+  fr.set_output_dir(".");
+  EXPECT_STREQ(fr.output_path(), "./flightrec.rank7.json");
+}
+
+TEST(FlightRecorder, DumpAllCoversRegisteredRecorders) {
+  FlightRecorder a(40, 4);
+  FlightRecorder b(41, 4);
+  a.record(rec(5));
+  b.record(rec(6));
+  const std::string dir = ::testing::TempDir();
+  a.set_output_dir(dir.c_str());
+  b.set_output_dir(dir.c_str());
+  a.register_for_crash_dump();
+  a.register_for_crash_dump();  // idempotent
+  b.register_for_crash_dump();
+  EXPECT_GE(dp::obs::dump_all_recorders(), 2);
+  const auto va = parse_file(a.output_path());
+  const auto vb = parse_file(b.output_path());
+  EXPECT_DOUBLE_EQ(va.at("rank").num(), 40.0);
+  EXPECT_DOUBLE_EQ(va.at("last_step").num(), 5.0);
+  EXPECT_DOUBLE_EQ(vb.at("rank").num(), 41.0);
+  EXPECT_DOUBLE_EQ(vb.at("last_step").num(), 6.0);
+  std::remove(a.output_path());
+  std::remove(b.output_path());
+  // Destructors unregister; a later dump_all must not touch these files.
+}
+
+TEST(FlightRecorder, NotifyFatalDumpsAndRunsFlushHook) {
+  static int hook_calls;  // the hook is a plain function pointer: no captures
+  hook_calls = 0;
+  FlightRecorder fr(42, 4);
+  fr.record(rec(9));
+  fr.set_output_dir(::testing::TempDir().c_str());
+  fr.register_for_crash_dump();
+  auto* prev = dp::obs::set_fatal_flush_hook(+[]() noexcept { ++hook_calls; });
+  dp::obs::notify_fatal("test fatal message");
+  dp::obs::set_fatal_flush_hook(prev);
+  EXPECT_EQ(hook_calls, 1);
+  const auto v = parse_file(fr.output_path());
+  EXPECT_DOUBLE_EQ(v.at("last_step").num(), 9.0);
+  // notify_fatal re-arms the dump latch (DP_CHECK failures can be caught
+  // and the run continued): a second call must dump and flush again.
+  dp::obs::notify_fatal(nullptr);
+  std::remove(fr.output_path());
+}
+
+}  // namespace

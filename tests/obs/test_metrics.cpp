@@ -126,6 +126,46 @@ TEST(Histogram, EmptyQuantileIsZero) {
   EXPECT_DOUBLE_EQ(s.max, 0.0);
 }
 
+TEST(Histogram, SingleSampleEveryQuantileIsThatSample) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(1.7);
+  EXPECT_EQ(h.count(), 1u);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 1.7) << "q = " << q;
+  }
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 1.7);
+  EXPECT_DOUBLE_EQ(s.max, 1.7);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.7);
+}
+
+TEST(Histogram, AllEqualSamplesCollapseToOneValue) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (int i = 0; i < 1000; ++i) h.observe(2.0);  // exactly on a boundary
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 2.0) << "q = " << q;
+  }
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST(Histogram, OverflowBucketQuantilesStayInObservedRange) {
+  Histogram h({1.0, 2.0});
+  // Everything beyond the last bound lands in the open overflow bucket,
+  // whose only honest upper edge is the observed max.
+  h.observe(10.0);
+  h.observe(20.0);
+  h.observe(30.0);
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(h.quantile(q), 10.0) << "q = " << q;
+    EXPECT_LE(h.quantile(q), 30.0) << "q = " << q;
+  }
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bucket_counts.size(), 3u);
+  EXPECT_EQ(s.bucket_counts[2], 3u);
+}
+
 TEST(Histogram, ConcurrentObservesAreNotLost) {
   Histogram h;
   constexpr int kThreads = 8;

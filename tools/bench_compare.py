@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""bench_compare — noise-aware diff of BENCH_*.json against a committed baseline.
+
+The bench binaries (bench/neighbor_build, bench/prod_force) emit a single
+JSON document per run: {"metrics": [...], "events": [...]}, one event per
+configuration sweep point. This gate compares a fresh run against the
+committed trajectory under bench/baselines/ with tolerances that separate
+what is deterministic from what is machine noise:
+
+  * structural fields (workspace bytes, steady-state allocation counts,
+    byte ratios, sweep coordinates) are machine-independent — compared
+    near-exactly; any drift is a real regression (e.g. a workspace that
+    started growing per step again).
+  * within-run timing *ratios* (compact/dense kernel time, thread speedup)
+    cancel the machine's absolute speed — compared with a multiplicative
+    tolerance, and only in the direction that means a regression.
+  * absolute seconds are only compared under --strict-time (CI runners do
+    not share a clock with the baseline host).
+
+Exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+STRICT_REL_TOL = 1e-6
+
+# Per-event-name comparison rules. `key` identifies a sweep point across
+# runs; `strict` fields must match; `higher_better` / `lower_better` are
+# ratio-style fields judged with the multiplicative tolerance, failing only
+# when the fresh value regresses (lower resp. higher than allowed).
+RULES = {
+    "build": {
+        "key": ["atoms", "threads"],
+        "strict": ["workspace_bytes", "steady_state_alloc_free"],
+        "higher_better": ["speedup_vs_1t"],
+        "derived": {},
+    },
+    "prod_force": {
+        "key": ["sel", "threads"],
+        "strict": [
+            "dense_bytes",
+            "compact_bytes",
+            "bytes_ratio",
+            "padding_fraction",
+            "steady_state_alloc_free",
+        ],
+        "higher_better": [],
+        # Within-run ratios: compact kernel time over dense kernel time.
+        # Lower is better; both sides of the ratio come from the same run,
+        # so the machine's absolute speed cancels.
+        "derived": {
+            "env_compact_over_dense": ("compact_env_seconds", "dense_env_seconds"),
+            "prod_compact_over_dense": ("compact_prod_seconds", "dense_prod_seconds"),
+        },
+    },
+}
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+    events = {}
+    for ev in doc.get("events", []):
+        name = ev.get("name", "")
+        if name not in RULES:
+            continue
+        fields = dict(ev.get("fields", [])) if isinstance(
+            ev.get("fields"), list) else dict(ev.get("fields", {}))
+        key = tuple(fields.get(k) for k in RULES[name]["key"])
+        events[(name, key)] = fields
+    return events
+
+
+def rel_close(a, b, tol):
+    scale = max(abs(a), abs(b), 1e-300)
+    return abs(a - b) / scale <= tol
+
+
+def derived_ratio(fields, num_key, den_key):
+    num = fields.get(num_key)
+    den = fields.get(den_key)
+    if num is None or den is None or den <= 0.0:
+        return None
+    return num / den
+
+
+def compare(base, fresh, factor, strict_time, time_tol):
+    """Returns a list of human-readable regression messages."""
+    problems = []
+    for (name, key), bf in sorted(base.items(), key=lambda kv: str(kv[0])):
+        point = f"{name}{dict(zip(RULES[name]['key'], key))}"
+        ff = fresh.get((name, key))
+        if ff is None:
+            problems.append(f"{point}: sweep point missing from fresh run")
+            continue
+        rule = RULES[name]
+        for f in rule["strict"]:
+            if f not in bf:
+                continue
+            if f not in ff:
+                problems.append(f"{point}: field '{f}' missing from fresh run")
+            elif not rel_close(bf[f], ff[f], STRICT_REL_TOL):
+                problems.append(
+                    f"{point}: {f} changed {bf[f]:g} -> {ff[f]:g} "
+                    f"(machine-independent field; must match baseline)"
+                )
+        for f in rule["higher_better"]:
+            if f in bf and f in ff and ff[f] < bf[f] / factor:
+                problems.append(
+                    f"{point}: {f} regressed {bf[f]:.3g} -> {ff[f]:.3g} "
+                    f"(allowed down to {bf[f] / factor:.3g})"
+                )
+        for dname, (num, den) in rule["derived"].items():
+            bratio = derived_ratio(bf, num, den)
+            fratio = derived_ratio(ff, num, den)
+            if bratio is None or fratio is None:
+                continue
+            if fratio > bratio * factor:
+                problems.append(
+                    f"{point}: {dname} regressed {bratio:.3g} -> {fratio:.3g} "
+                    f"(allowed up to {bratio * factor:.3g})"
+                )
+        if strict_time:
+            for f in bf:
+                if not f.endswith(("seconds", "seconds_per_build")):
+                    continue
+                if f in ff and not rel_close(bf[f], ff[f], time_tol):
+                    problems.append(
+                        f"{point}: {f} drifted {bf[f]:.3g} -> {ff[f]:.3g} "
+                        f"(--strict-time tolerance {time_tol:g})"
+                    )
+    for (name, key) in fresh:
+        if (name, key) not in base:
+            problems.append(
+                f"{name}{dict(zip(RULES[name]['key'], key))}: "
+                f"new sweep point not in baseline (re-bless the baseline)"
+            )
+    return problems
+
+
+def selftest():
+    base = {
+        ("build", (1000.0, 4.0)): {
+            "workspace_bytes": 4096.0,
+            "steady_state_alloc_free": 0.0,
+            "speedup_vs_1t": 3.0,
+        },
+        ("prod_force", (160.0, 2.0)): {
+            "dense_bytes": 8000.0,
+            "compact_bytes": 2000.0,
+            "bytes_ratio": 0.25,
+            "padding_fraction": 0.5,
+            "steady_state_alloc_free": 0.0,
+            "dense_env_seconds": 1.0,
+            "compact_env_seconds": 0.5,
+            "dense_prod_seconds": 1.0,
+            "compact_prod_seconds": 0.6,
+        },
+    }
+
+    def clone():
+        return {k: dict(v) for k, v in base.items()}
+
+    # Identical runs pass.
+    assert compare(base, clone(), 2.0, False, 0.5) == []
+    # Timing noise within the factor passes.
+    noisy = clone()
+    noisy[("build", (1000.0, 4.0))]["speedup_vs_1t"] = 1.8
+    noisy[("prod_force", (160.0, 2.0))]["compact_env_seconds"] = 0.8
+    assert compare(base, noisy, 2.0, False, 0.5) == []
+    # Structural drift fails even when tiny.
+    drift = clone()
+    drift[("build", (1000.0, 4.0))]["steady_state_alloc_free"] = 2.0
+    assert any("steady_state_alloc_free" in p for p in compare(base, drift, 2.0, False, 0.5))
+    # Ratio regression beyond the factor fails.
+    slow = clone()
+    slow[("prod_force", (160.0, 2.0))]["compact_env_seconds"] = 1.5
+    assert any("env_compact_over_dense" in p for p in compare(base, slow, 2.0, False, 0.5))
+    # Speedup collapse fails.
+    collapse = clone()
+    collapse[("build", (1000.0, 4.0))]["speedup_vs_1t"] = 1.0
+    assert any("speedup_vs_1t" in p for p in compare(base, collapse, 2.0, False, 0.5))
+    # Missing sweep point fails.
+    missing = clone()
+    del missing[("build", (1000.0, 4.0))]
+    assert any("missing" in p for p in compare(base, missing, 2.0, False, 0.5))
+    # Absolute seconds ignored by default, gated by --strict-time.
+    slower = clone()
+    slower[("prod_force", (160.0, 2.0))]["dense_env_seconds"] = 3.0
+    slower[("prod_force", (160.0, 2.0))]["compact_env_seconds"] = 1.5
+    assert compare(base, slower, 2.0, False, 0.5) == []
+    assert any("dense_env_seconds" in p for p in compare(base, slower, 2.0, True, 0.5))
+    print("bench_compare selftest: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", help="committed BENCH_*.json")
+    ap.add_argument("--fresh", help="freshly produced BENCH_*.json")
+    ap.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="multiplicative tolerance for within-run ratio fields (default 2.0)",
+    )
+    ap.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="also compare absolute seconds (only meaningful on the baseline host)",
+    )
+    ap.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.5,
+        help="relative tolerance for --strict-time (default 0.5)",
+    )
+    ap.add_argument("--selftest", action="store_true", help="run internal checks")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.fresh:
+        ap.error("--baseline and --fresh are required (or --selftest)")
+    if not (args.factor >= 1.0) or not math.isfinite(args.factor):
+        ap.error("--factor must be a finite value >= 1.0")
+
+    base = load_events(args.baseline)
+    fresh = load_events(args.fresh)
+    if not base:
+        print(f"bench_compare: no known events in {args.baseline}", file=sys.stderr)
+        return 2
+    problems = compare(base, fresh, args.factor, args.strict_time, args.time_tolerance)
+    if problems:
+        print(f"bench_compare: {len(problems)} regression(s) vs {args.baseline}:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(
+        f"bench_compare: {len(base)} sweep point(s) match {args.baseline} "
+        f"(ratio factor {args.factor:g}"
+        + (", strict time" if args.strict_time else "")
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

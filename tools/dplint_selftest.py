@@ -180,6 +180,42 @@ class RuleTest(unittest.TestCase):
         # Other files are outside the rule's scope.
         self.assertNotIn("narrowing-cast", rules("src/md/lattice.cpp", "int j = (int)a;\n"))
 
+    def test_signal_safety(self):
+        # Each class of hazard fires inside a marked body.
+        for body, label in (
+            ("char b[64]; snprintf(b, sizeof(b), \"%d\", sig);", "stdio"),
+            ("std::string s = path;", "std::string"),
+            ("std::lock_guard<std::mutex> g(mu_);", "lock"),
+            ("int* p = new int[4];", "new"),
+            ("free(p);", "free"),
+            ("throw Error(\"boom\");", "throw"),
+            ("std::cerr << sig;", "iostream"),
+        ):
+            src = f"DP_SIGNAL_SAFE void on_crash(int sig) noexcept {{ {body} }}\n"
+            self.assertIn("signal-safety", rules("src/obs/foo.cpp", src),
+                          msg=f"should fire on {label}")
+        # The sanctioned vocabulary stays silent: raw fds + stack buffers.
+        ok = ("DP_SIGNAL_SAFE void dump(int fd) noexcept {\n"
+              "  char buf[64];\n"
+              "  std::memcpy(buf, src, n);\n"
+              "  ::write(fd, buf, n);\n"
+              "  ::fsync(fd);\n"
+              "  ::close(::open(path, 0));\n"
+              "  ::raise(sig);\n"
+              "}\n")
+        self.assertEqual([], rules("src/obs/foo.cpp", ok))
+        # A declaration has no body to scan; the macro definition line is
+        # preprocessor, not a marker; unmarked functions are unrestricted.
+        decl = ("#define DP_SIGNAL_SAFE\n"
+                "DP_SIGNAL_SAFE void dump(int fd) const;\n"
+                "void logger() { printf(\"%d\", 1); std::string s; }\n")
+        self.assertNotIn("signal-safety", rules("src/obs/foo.hpp", decl))
+        # A marked body followed by an unmarked allocating function: the
+        # scanner must stop at the closing brace.
+        bounded = ("DP_SIGNAL_SAFE void dump(int fd) noexcept { ::write(fd, b, n); }\n"
+                   "void setup() { std::vector<int> v(8); }\n")
+        self.assertNotIn("signal-safety", rules("src/obs/foo.cpp", bounded))
+
     def test_sp_precision(self):
         self.assertIn("sp-precision", rules("src/tab/table_sp.hpp", "double h_;\n"))
         self.assertIn("sp-precision", rules("src/tab/table_sp.cpp", "long double x;\n"))
