@@ -69,7 +69,13 @@ class BuildTeam {
   /// every worker (participant or not) has checked in.
   void run(int T, BodyRef body) {
     if (T <= 1 && workers_.empty()) {
-      T_ = 1;
+      {
+        // No workers exist yet, so no other thread can touch team state —
+        // but the published width is mutex-guarded state everywhere else,
+        // and the discipline is uniform: never write it unlocked.
+        std::lock_guard<std::mutex> lk(mu_);
+        T_ = 1;
+      }
       body(0, 1);
       return;
     }
