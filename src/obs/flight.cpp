@@ -310,8 +310,12 @@ void notify_fatal(const char* msg) noexcept {
     dump_all_recorders();
     const FatalFlushHook hook = g_flush_hook.load(std::memory_order_acquire);
     if (hook != nullptr) hook();
+    // Only the winner re-arms (fatal may be caught — DP_CHECK throws). A
+    // loser must not: it would drop the latch while the winner is still
+    // dumping, letting a third fatal start a concurrent dump over the same
+    // files.
+    g_dumping.store(false);
   }
-  g_dumping.store(false);  // fatal may be caught (DP_CHECK throws); re-arm
 }
 
 FatalFlushHook set_fatal_flush_hook(FatalFlushHook hook) noexcept {
