@@ -8,30 +8,30 @@ CostRegistry& CostRegistry::instance() {
 }
 
 void CostRegistry::add(const std::string& name, const KernelCost& cost) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   costs_[name] += cost;
 }
 
 KernelCost CostRegistry::get(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = costs_.find(name);
   return it == costs_.end() ? KernelCost{} : it->second;
 }
 
 KernelCost CostRegistry::total() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   KernelCost t;
   for (const auto& [_, c] : costs_) t += c;
   return t;
 }
 
 std::vector<std::pair<std::string, KernelCost>> CostRegistry::entries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {costs_.begin(), costs_.end()};
 }
 
 void CostRegistry::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   costs_.clear();
 }
 

@@ -9,9 +9,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace dp {
 
@@ -56,8 +57,8 @@ class CostRegistry {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, KernelCost> costs_;
+  mutable Mutex mu_;
+  std::map<std::string, KernelCost> costs_ DP_GUARDED_BY(mu_);
 };
 
 }  // namespace dp

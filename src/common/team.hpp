@@ -3,8 +3,9 @@
 //
 // The team size follows OpenMP (`omp_get_max_threads()`, so OMP_NUM_THREADS
 // and omp_set_num_threads behave exactly as they would for a `parallel`
-// region), but dispatch and barriers are built on std::mutex /
-// std::condition_variable rather than libgomp: the repo's sanitizer floor
+// region), but dispatch and barriers are built on dp::Mutex / dp::CondVar
+// (std primitives under capability annotations) rather than libgomp: the
+// repo's sanitizer floor
 // requires TSan-green with ZERO suppressions, and libgomp's futex-based
 // pool handoff and barriers are invisible to TSan (the runtime is not
 // instrumented), so a pooled `#pragma omp parallel` region with mid-job
@@ -13,13 +14,13 @@
 // visible. See docs/STATIC_ANALYSIS.md.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace dp {
 
@@ -58,7 +59,7 @@ class BuildTeam {
  public:
   ~BuildTeam() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       stop_ = true;
     }
     job_cv_.notify_all();
@@ -73,7 +74,7 @@ class BuildTeam {
         // No workers exist yet, so no other thread can touch team state —
         // but the published width is mutex-guarded state everywhere else,
         // and the discipline is uniform: never write it unlocked.
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         T_ = 1;
       }
       body(0, 1);
@@ -82,7 +83,7 @@ class BuildTeam {
     while (static_cast<int>(workers_.size()) < T - 1)
       workers_.emplace_back(&BuildTeam::worker, this, static_cast<int>(workers_.size()) + 1);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       body_ = &body;
       T_ = T;
       done_ = 0;
@@ -91,21 +92,23 @@ class BuildTeam {
     }
     job_cv_.notify_all();
     body(0, T);
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return done_ == workers_.size(); });
+    MutexUniqueLock lk(mu_);
+    while (done_ != workers_.size()) done_cv_.wait(lk);
     body_ = nullptr;
   }
 
   /// Generation barrier across the T participants of the current job.
   void barrier() {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexUniqueLock lk(mu_);
     const std::uint64_t gen = bar_gen_;
     if (++bar_count_ == T_) {
       bar_count_ = 0;
       ++bar_gen_;
       bar_cv_.notify_all();
     } else {
-      bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
+      // Explicit loop, not wait(pred): keeps the guarded generation read in
+      // this annotated body where the capability analysis can see it.
+      while (bar_gen_ == gen) bar_cv_.wait(lk);
     }
   }
 
@@ -124,8 +127,8 @@ class BuildTeam {
       const BodyRef* body = nullptr;
       int T = 0;
       {
-        std::unique_lock<std::mutex> lk(mu_);
-        job_cv_.wait(lk, [&] { return stop_ || job_gen_ != seen; });
+        MutexUniqueLock lk(mu_);
+        while (!stop_ && job_gen_ == seen) job_cv_.wait(lk);
         if (stop_) return;
         seen = job_gen_;
         body = body_;
@@ -135,23 +138,23 @@ class BuildTeam {
       // skip the body but still check in, so run() can retire the job.
       if (idx < T) (*body)(idx, T);
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         ++done_;
       }
       done_cv_.notify_one();
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable job_cv_, done_cv_, bar_cv_;
-  std::vector<std::thread> workers_;
-  const BodyRef* body_ = nullptr;
-  int T_ = 1;
-  std::size_t done_ = 0;
-  std::uint64_t job_gen_ = 0;
-  std::uint64_t bar_gen_ = 0;
-  int bar_count_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar job_cv_, done_cv_, bar_cv_;
+  std::vector<std::thread> workers_;  // master-only: grown and joined by the owner
+  const BodyRef* body_ DP_GUARDED_BY(mu_) = nullptr;
+  int T_ DP_GUARDED_BY(mu_) = 1;
+  std::size_t done_ DP_GUARDED_BY(mu_) = 0;
+  std::uint64_t job_gen_ DP_GUARDED_BY(mu_) = 0;
+  std::uint64_t bar_gen_ DP_GUARDED_BY(mu_) = 0;
+  int bar_count_ DP_GUARDED_BY(mu_) = 0;
+  bool stop_ DP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dp

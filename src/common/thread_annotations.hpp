@@ -1,0 +1,140 @@
+// Clang Thread Safety annotations + capability-aware lock types.
+//
+// TSan (the PR 2 floor) only catches races the test suite happens to
+// schedule; the capability annotations below turn an unguarded access to a
+// mutex-protected field into a *compile error* under clang
+// (-Wthread-safety -Wthread-safety-beta -Werror — the CI clang leg), so a
+// lock-discipline violation cannot outrun the scheduler. Under GCC every
+// macro expands to nothing and every wrapper is a zero-cost veneer over the
+// std primitive, so the plain/ASan/UBSan/TSan builds are unchanged.
+//
+// Discipline (enforced by dplint's `lock-annotations` rule):
+//   * concurrency code in src/ declares dp::Mutex / dp::CondVar, never raw
+//     std::mutex / std::condition_variable — the raw types carry no
+//     capability attribute, so clang cannot track them;
+//   * every field a mutex guards carries DP_GUARDED_BY(mu), written next to
+//     the happens-before argument it encodes (docs/STATIC_ANALYSIS.md maps
+//     each argument to its annotations);
+//   * acquisitions go through dp::MutexLock / dp::MutexUniqueLock (scoped
+//     capabilities), or through functions annotated DP_ACQUIRE/DP_RELEASE;
+//   * helpers called with a lock already held are annotated
+//     DP_REQUIRES(mu) instead of re-locking.
+//
+// Note for condition-variable users: clang's analysis cannot see through a
+// predicate lambda passed to wait(pred) (the lambda body is analyzed as an
+// unannotated function), so waits on guarded state are written as explicit
+// `while (!pred) cv.wait(lk);` loops in the annotated caller's body —
+// semantically identical, and the guarded reads stay visible to the
+// analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define DP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DP_THREAD_ANNOTATION(x)  // expands to nothing: GCC ignores the analysis
+#endif
+
+/// Marks a type as a trackable capability ("mutex", "role", ...).
+#define DP_CAPABILITY(x) DP_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type that acquires in its constructor, releases in its
+/// destructor (std::lock_guard-shaped).
+#define DP_SCOPED_CAPABILITY DP_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be accessed while holding the named capability.
+#define DP_GUARDED_BY(x) DP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field: the *pointee* may only be accessed while holding it.
+#define DP_PT_GUARDED_BY(x) DP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability (and did not hold it on entry).
+#define DP_ACQUIRE(...) DP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry).
+#define DP_RELEASE(...) DP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define DP_TRY_ACQUIRE(...) DP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must already hold the capability (helper called under the lock).
+#define DP_REQUIRES(...) DP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (function locks it itself).
+#define DP_EXCLUDES(...) DP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Static lock-ordering declarations (deadlock detection).
+#define DP_ACQUIRED_BEFORE(...) DP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DP_ACQUIRED_AFTER(...) DP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define DP_RETURN_CAPABILITY(x) DP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch — use only with a written happens-before argument.
+#define DP_NO_THREAD_SAFETY_ANALYSIS DP_THREAD_ANNOTATION(no_thread_safety_analysis)
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define DP_ASSERT_CAPABILITY(x) DP_THREAD_ANNOTATION(assert_capability(x))
+
+namespace dp {
+
+/// std::mutex with the `capability` attribute, so DP_GUARDED_BY fields and
+/// DP_REQUIRES functions can name it. The underlying primitive stays
+/// std::mutex — TSan models it natively, which is what keeps the
+/// zero-suppressions floor (docs/STATIC_ANALYSIS.md) intact.
+class DP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DP_ACQUIRE() { mu_.lock(); }
+  void unlock() DP_RELEASE() { mu_.unlock(); }
+  bool try_lock() DP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexUniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a dp::Mutex, visible to the analysis as a scoped
+/// capability: guarded fields are accessible for exactly its lifetime.
+class DP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over a dp::Mutex — the condvar-wait flavor of
+/// MutexLock. CondVar::wait atomically releases and reacquires it, so from
+/// the analysis's point of view the capability is held for the whole scope,
+/// which matches what the caller may assume before and after each wait.
+class DP_SCOPED_CAPABILITY MutexUniqueLock {
+ public:
+  explicit MutexUniqueLock(Mutex& mu) DP_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~MutexUniqueLock() DP_RELEASE() {}  // lk_'s destructor performs the unlock
+
+  MutexUniqueLock(const MutexUniqueLock&) = delete;
+  MutexUniqueLock& operator=(const MutexUniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable paired with dp::Mutex via MutexUniqueLock.
+/// Waits on guarded predicates belong in explicit while-loops at the call
+/// site (see the header comment), so there is deliberately no wait(pred)
+/// overload here.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexUniqueLock& lk) { cv_.wait(lk.lk_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dp

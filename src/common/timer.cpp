@@ -20,7 +20,7 @@ TimerRegistry::Shard& TimerRegistry::local_shard() {
   if (cached_owner != this) {
     auto shard = std::make_shared<Shard>();
     {
-      std::lock_guard lock(shards_mu_);
+      MutexLock lock(shards_mu_);
       shards_.push_back(shard);
     }
     cached_owner = this;
@@ -31,7 +31,7 @@ TimerRegistry::Shard& TimerRegistry::local_shard() {
 
 void TimerRegistry::add(const std::string& name, double seconds) {
   Shard& shard = local_shard();
-  std::lock_guard lock(shard.mu);  // uncontended except during a merge
+  MutexLock lock(shard.mu);  // uncontended except during a merge
   auto& s = shard.sections[name];
   s.total_seconds += seconds;
   s.calls += 1;
@@ -39,9 +39,9 @@ void TimerRegistry::add(const std::string& name, double seconds) {
 
 std::map<std::string, TimerStats> TimerRegistry::snapshot() const {
   std::map<std::string, TimerStats> merged;
-  std::lock_guard lock(shards_mu_);
+  MutexLock lock(shards_mu_);
   for (const auto& shard : shards_) {
-    std::lock_guard shard_lock(shard->mu);
+    MutexLock shard_lock(shard->mu);
     for (const auto& [name, stats] : shard->sections) {
       auto& m = merged[name];
       m.total_seconds += stats.total_seconds;
@@ -53,9 +53,9 @@ std::map<std::string, TimerStats> TimerRegistry::snapshot() const {
 
 TimerStats TimerRegistry::get(const std::string& name) const {
   TimerStats out;
-  std::lock_guard lock(shards_mu_);
+  MutexLock lock(shards_mu_);
   for (const auto& shard : shards_) {
-    std::lock_guard shard_lock(shard->mu);
+    MutexLock shard_lock(shard->mu);
     auto it = shard->sections.find(name);
     if (it == shard->sections.end()) continue;
     out.total_seconds += it->second.total_seconds;
@@ -74,9 +74,9 @@ std::vector<std::pair<std::string, TimerStats>> TimerRegistry::sorted_by_total()
 }
 
 void TimerRegistry::clear() {
-  std::lock_guard lock(shards_mu_);
+  MutexLock lock(shards_mu_);
   for (const auto& shard : shards_) {
-    std::lock_guard shard_lock(shard->mu);
+    MutexLock shard_lock(shard->mu);
     shard->sections.clear();
   }
 }

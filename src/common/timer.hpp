@@ -13,9 +13,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace dp {
 
@@ -57,14 +58,14 @@ class TimerRegistry {
 
  private:
   struct Shard {
-    std::mutex mu;  ///< contended only by a concurrent merge/clear
-    std::map<std::string, TimerStats> sections;
+    Mutex mu;  ///< contended only by a concurrent merge/clear
+    std::map<std::string, TimerStats> sections DP_GUARDED_BY(mu);
   };
 
   Shard& local_shard();
 
-  mutable std::mutex shards_mu_;  ///< protects the shard list, not the data
-  std::vector<std::shared_ptr<Shard>> shards_;
+  mutable Mutex shards_mu_;  ///< protects the shard list, not the data
+  std::vector<std::shared_ptr<Shard>> shards_ DP_GUARDED_BY(shards_mu_);
 };
 
 /// RAII section timer that reports into the global registry, and — when a

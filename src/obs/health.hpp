@@ -15,6 +15,10 @@
 // agrees on the worst (see parallel/distributed_md.cpp). Emission into the
 // (thread-safe) MetricsRegistry sink happens only on state transitions, so
 // the steady healthy state costs a handful of branches per step.
+//
+// Capability note: single-owner by design means there is nothing here for
+// DP_GUARDED_BY to name — the absence of dp::Mutex in this header is the
+// annotation (docs/STATIC_ANALYSIS.md, capability section).
 #pragma once
 
 #include <cstdint>

@@ -101,21 +101,21 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
@@ -128,17 +128,17 @@ void MetricsRegistry::record_event(std::string name,
 
 void MetricsRegistry::record_event(std::string name, std::string label,
                                    std::vector<std::pair<std::string, double>> fields) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back({std::move(name), std::move(label), std::move(fields)});
 }
 
 std::size_t MetricsRegistry::event_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void MetricsRegistry::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -243,7 +243,7 @@ void MetricsRegistry::write_event_objects(std::ostream& os, const char* sep,
 }
 
 void MetricsRegistry::write_jsonl(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   bool first = true;
   write_metric_objects(os, "\n", first);
   write_event_objects(os, "\n", first);
@@ -251,7 +251,7 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   os << "{\"metrics\":[";
   bool first = true;
   write_metric_objects(os, ",", first);

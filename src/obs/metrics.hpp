@@ -19,10 +19,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace dp::obs {
 
@@ -143,14 +144,18 @@ class MetricsRegistry {
   void clear();
 
  private:
-  void write_metric_objects(std::ostream& os, const char* sep, bool& first) const;
-  void write_event_objects(std::ostream& os, const char* sep, bool& first) const;
+  // Serialization helpers called with mu_ already held by the public
+  // write_jsonl/write_json entry points.
+  void write_metric_objects(std::ostream& os, const char* sep, bool& first) const
+      DP_REQUIRES(mu_);
+  void write_event_objects(std::ostream& os, const char* sep, bool& first) const
+      DP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<MetricEvent> events_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ DP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ DP_GUARDED_BY(mu_);
+  std::vector<MetricEvent> events_ DP_GUARDED_BY(mu_);
 };
 
 }  // namespace dp::obs

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <set>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/json.hpp"
 
 namespace dp::obs {
@@ -27,15 +27,15 @@ clock_type::time_point trace_epoch() {
 /// survive until flush. The per-buffer mutex is only ever contended during
 /// a flush/clear; appends take it uncontended.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  int tid = 0;
+  Mutex mu;
+  std::vector<TraceEvent> events DP_GUARDED_BY(mu);
+  int tid = 0;  // immutable after registration
 };
 
 struct BufferRegistry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  int next_tid = 1;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers DP_GUARDED_BY(mu);
+  int next_tid DP_GUARDED_BY(mu) = 1;
 };
 
 BufferRegistry& registry() {
@@ -49,7 +49,7 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buf = [] {
     auto b = std::make_shared<ThreadBuffer>();
     auto& reg = registry();
-    std::lock_guard lock(reg.mu);
+    MutexLock lock(reg.mu);
     b->tid = reg.next_tid++;
     reg.buffers.push_back(b);
     return b;
@@ -77,22 +77,22 @@ int TraceCollector::thread_rank() { return t_rank; }
 void TraceCollector::record_complete(std::string name, const char* cat, double ts_us,
                                      double dur_us) {
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard lock(buf.mu);
+  MutexLock lock(buf.mu);
   buf.events.push_back({std::move(name), cat, 'X', ts_us, dur_us, t_rank, buf.tid});
 }
 
 void TraceCollector::record_instant(std::string name, const char* cat) {
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard lock(buf.mu);
+  MutexLock lock(buf.mu);
   buf.events.push_back({std::move(name), cat, 'i', trace_now_us(), 0.0, t_rank, buf.tid});
 }
 
 std::size_t TraceCollector::event_count() const {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::size_t n = 0;
   for (const auto& buf : reg.buffers) {
-    std::lock_guard buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     n += buf->events.size();
   }
   return n;
@@ -100,9 +100,9 @@ std::size_t TraceCollector::event_count() const {
 
 void TraceCollector::clear() {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& buf : reg.buffers) {
-    std::lock_guard buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     buf->events.clear();
   }
 }
@@ -113,9 +113,9 @@ void TraceCollector::write_chrome_trace(std::ostream& os) const {
   std::vector<TraceEvent> events;
   {
     auto& reg = registry();
-    std::lock_guard lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (const auto& buf : reg.buffers) {
-      std::lock_guard buf_lock(buf->mu);
+      MutexLock buf_lock(buf->mu);
       events.insert(events.end(), buf->events.begin(), buf->events.end());
     }
   }

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <optional>
 
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "dp/env_mat.hpp"
 #include "md/integrator.hpp"
@@ -33,7 +33,13 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
   const std::size_t n_global = init.atoms.size();
   const double global_volume = init.box.volume();
 
-  std::mutex result_mu;
+  // Serializes end-of-run reporting across rank threads (`result`, the
+  // shared metrics event stream). `gathered` is written outside the lock:
+  // each rank owns a disjoint set of global atom ids, and run_parallel's
+  // join orders every write before the master reads. (Locals cannot carry
+  // DP_GUARDED_BY — the attribute applies to members/globals — so this
+  // comment is the annotation.)
+  Mutex result_mu;
   struct Gathered {
     std::vector<std::int64_t> ids;
     std::vector<Vec3> pos, vel, force;
@@ -436,7 +442,7 @@ DistributedRunResult run_distributed_md(int nranks, const md::Configuration& glo
           .set(mean_local > 0 ? max_local_global / mean_local : 1.0);
     }
 
-    std::lock_guard lock(result_mu);
+    MutexLock lock(result_mu);
     obs::MetricsRegistry::instance().record_event(
         "rank", {{"rank", static_cast<double>(rank)},
                  {"halo_bytes", rank_bytes},

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
+
 namespace dp::par {
 
 namespace {
@@ -40,6 +42,11 @@ struct Message {
 //  * Stats counters are relaxed atomics: they are monotonic telemetry read
 //    after run_parallel() joins (the join supplies the happens-before), so
 //    no ordering stronger than relaxed is needed.
+//
+// Each of these arguments is encoded as a capability annotation
+// (DP_GUARDED_BY below; see common/thread_annotations.hpp), so under clang
+// an access that breaks the discipline is a compile error, not a TSan
+// finding that depends on the schedule.
 class World {
  public:
   explicit World(int nranks)
@@ -60,7 +67,7 @@ class World {
     if (bytes != 0) std::memcpy(msg.payload.data(), data, bytes);
     auto& box = mailboxes_[static_cast<std::size_t>(dest)];
     {
-      std::lock_guard lock(box.mu);
+      MutexLock lock(box.mu);
       box.queue.push_back(std::move(msg));
     }
     box.cv.notify_all();
@@ -70,7 +77,7 @@ class World {
 
   std::vector<std::byte> recv(int me, int src, int tag) {
     auto& box = mailboxes_[static_cast<std::size_t>(me)];
-    std::unique_lock lock(box.mu);
+    MutexUniqueLock lock(box.mu);
     for (;;) {
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
         if (it->src == src && it->tag == tag) {
@@ -89,7 +96,7 @@ class World {
   /// payload bytes completely.
   bool try_recv(int me, int src, int tag, std::vector<std::byte>& out) {
     auto& box = mailboxes_[static_cast<std::size_t>(me)];
-    std::lock_guard lock(box.mu);
+    MutexLock lock(box.mu);
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         out = std::move(it->payload);
@@ -101,7 +108,7 @@ class World {
   }
 
   void barrier() {
-    std::unique_lock lock(barrier_mu_);
+    MutexUniqueLock lock(barrier_mu_);
     const std::uint64_t gen = barrier_gen_;
     if (++barrier_count_ == nranks_) {
       barrier_count_ = 0;
@@ -109,7 +116,9 @@ class World {
       stats_barriers_.fetch_add(1, std::memory_order_relaxed);
       barrier_cv_.notify_all();
     } else {
-      barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+      // Explicit loop, not wait(pred): the generation read must stay in
+      // this annotated body for the capability analysis to see it.
+      while (barrier_gen_ == gen) barrier_cv_.wait(lock);
     }
   }
 
@@ -126,7 +135,7 @@ class World {
   /// and the third barrier make the buffer reusable before anyone returns.
   std::vector<double> allreduce(const std::vector<double>& x, bool take_max) {
     {
-      std::lock_guard lock(reduce_mu_);
+      MutexLock lock(reduce_mu_);
       if (reduce_pending_ == 0) {
         reduce_buf_ = x;
       } else {
@@ -143,12 +152,12 @@ class World {
     barrier();  // all contributions in
     std::vector<double> out;
     {
-      std::lock_guard lock(reduce_mu_);
+      MutexLock lock(reduce_mu_);
       out = reduce_buf_;
     }
     barrier();  // all copies out before the buffer is reused
     {
-      std::lock_guard lock(reduce_mu_);
+      MutexLock lock(reduce_mu_);
       if (reduce_pending_ != 0) {
         reduce_pending_ = 0;
         stats_reductions_.fetch_add(1, std::memory_order_relaxed);
@@ -165,22 +174,22 @@ class World {
 
  private:
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
+    Mutex mu;
+    CondVar cv;
+    std::deque<Message> queue DP_GUARDED_BY(mu);
   };
 
   int nranks_;
   std::vector<Mailbox> mailboxes_;
 
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_gen_ = 0;
+  Mutex barrier_mu_;
+  CondVar barrier_cv_;
+  int barrier_count_ DP_GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_gen_ DP_GUARDED_BY(barrier_mu_) = 0;
 
-  std::mutex reduce_mu_;
-  std::vector<double> reduce_buf_;
-  int reduce_pending_ = 0;
+  Mutex reduce_mu_;
+  std::vector<double> reduce_buf_ DP_GUARDED_BY(reduce_mu_);
+  int reduce_pending_ DP_GUARDED_BY(reduce_mu_) = 0;
 
   std::atomic<std::uint64_t> stats_messages_{0};
   std::atomic<std::uint64_t> stats_bytes_{0};

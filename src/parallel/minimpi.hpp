@@ -8,13 +8,11 @@
 // memory.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"

@@ -26,6 +26,12 @@ namespace dp::tab {
 /// telemetry keep their implicit copy/move operations. Copying snapshots the
 /// count; it is not an atomic transfer (copies happen single-threaded, at
 /// model build/load time).
+///
+/// Capability note (docs/STATIC_ANALYSIS.md): this is the one piece of
+/// cross-thread table state — the rest of a table is immutable after build,
+/// which is what lets one model copy be shared per rank with no lock and no
+/// DP_GUARDED_BY. Readers of value() accept a relaxed snapshot; the joins
+/// at the end of a run supply the final happens-before.
 class RelaxedCounter {
  public:
   RelaxedCounter() = default;

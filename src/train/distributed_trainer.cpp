@@ -1,8 +1,8 @@
 #include "train/distributed_trainer.hpp"
 
 #include <cmath>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "parallel/minimpi.hpp"
 
 namespace dp::train {
@@ -13,7 +13,10 @@ DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
   DistributedTrainResult result;
   result.epoch_rmse.resize(static_cast<std::size_t>(epochs));
 
-  std::mutex out_mu;
+  // Guards the write-back of the trained replica into the caller's model.
+  // Only rank 0 takes it today; the lock keeps the discipline explicit if
+  // that ever widens. (A local cannot carry DP_GUARDED_BY.)
+  Mutex out_mu;
   result.comm = par::run_parallel(nranks, [&](par::Communicator& comm) {
     // Every rank trains a replica; replicas march in lockstep.
     core::DPModel replica = model;
@@ -45,7 +48,7 @@ DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
     }
 
     if (comm.rank() == 0) {
-      std::lock_guard lock(out_mu);
+      MutexLock lock(out_mu);
       model = replica;
     }
   });
