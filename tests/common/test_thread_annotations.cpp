@@ -1,0 +1,72 @@
+// Runtime behavior of the capability-aware lock wrappers
+// (common/thread_annotations.hpp). The *static* half of the contract — an
+// unguarded access fails to compile under clang — lives in tests/static/;
+// these tests pin down that the veneers still behave exactly like the std
+// primitives they wrap: mutual exclusion, condvar hand-off, try_lock.
+#include "common/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(ThreadAnnotations, MutexLockProvidesMutualExclusion) {
+  dp::Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        dp::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(ThreadAnnotations, TryLockReflectsOwnership) {
+  dp::Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(ThreadAnnotations, CondVarHandsOffThroughUniqueLock) {
+  dp::Mutex mu;
+  dp::CondVar cv;
+  int stage = 0;  // guarded by mu (a local cannot carry DP_GUARDED_BY)
+
+  std::thread consumer([&] {
+    dp::MutexUniqueLock lock(mu);
+    while (stage == 0) cv.wait(lock);
+    EXPECT_EQ(stage, 1);
+    stage = 2;
+    cv.notify_all();
+  });
+
+  {
+    dp::MutexLock lock(mu);
+    stage = 1;
+  }
+  cv.notify_all();
+  {
+    dp::MutexUniqueLock lock(mu);
+    while (stage != 2) cv.wait(lock);
+  }
+  consumer.join();
+
+  dp::MutexLock lock(mu);
+  EXPECT_EQ(stage, 2);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compile-gate driver for common/thread_annotations.hpp (ctest).
+
+Two modes:
+
+  positive  The fixture must compile warning-free with -Werror under the
+            host compiler. Under GCC this is the proof that every DP_*
+            macro is a no-op; under clang the thread-safety flags are added
+            and the fixture must still be clean.
+
+  negative  The fixture contains an intentional lock-discipline violation
+            and must FAIL to compile under clang with -Wthread-safety
+            -Werror. GCC cannot run the analysis, so the test exits 77
+            (ctest SKIP_RETURN_CODE) there instead of passing vacuously.
+
+Exit codes: 0 pass, 1 fail, 77 skipped (non-clang host in negative mode).
+"""
+
+import argparse
+import subprocess
+import sys
+
+THREAD_SAFETY_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta"]
+
+
+def is_clang(cxx: str) -> bool:
+    try:
+        out = subprocess.run(
+            [cxx, "--version"], capture_output=True, text=True, timeout=60
+        )
+    except OSError:
+        return False
+    return "clang" in out.stdout.lower()
+
+
+def compile_fixture(cxx: str, src_dir: str, fixture: str, extra_flags):
+    cmd = [
+        cxx,
+        "-std=c++20",
+        "-fsyntax-only",
+        "-Wall",
+        "-Wextra",
+        "-Werror",
+        "-I",
+        src_dir,
+        *extra_flags,
+        fixture,
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    return proc.returncode, " ".join(cmd), proc.stderr
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cxx", required=True, help="host C++ compiler")
+    ap.add_argument("--src", required=True, help="repo src/ include root")
+    ap.add_argument("--fixture", required=True, help="fixture translation unit")
+    ap.add_argument("--mode", required=True, choices=["positive", "negative"])
+    args = ap.parse_args()
+
+    clang = is_clang(args.cxx)
+    extra = THREAD_SAFETY_FLAGS if clang else []
+
+    if args.mode == "positive":
+        rc, cmd, err = compile_fixture(args.cxx, args.src, args.fixture, extra)
+        if rc != 0:
+            print(f"FAIL: positive fixture did not compile\n  {cmd}\n{err}")
+            return 1
+        print(f"ok: fixture compiled cleanly ({'clang' if clang else 'non-clang'} host)")
+        return 0
+
+    # negative
+    if not clang:
+        print("skip: host compiler is not clang; -Wthread-safety unavailable")
+        return 77
+    rc, cmd, err = compile_fixture(args.cxx, args.src, args.fixture, extra)
+    if rc == 0:
+        print(f"FAIL: negative fixture compiled — the gate is not firing\n  {cmd}")
+        return 1
+    if "thread-safety" not in err and "guarded by" not in err:
+        print(f"FAIL: fixture was rejected, but not by the thread-safety analysis\n{err}")
+        return 1
+    print("ok: unguarded read rejected by -Wthread-safety as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

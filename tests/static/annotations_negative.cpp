@@ -1,0 +1,34 @@
+// Negative compile-gate fixture: proves the thread-safety gate actually
+// fires. `racy_read` touches a DP_GUARDED_BY field with no lock held, so
+// under clang with -Wthread-safety -Werror this translation unit MUST fail
+// to compile (-Werror=thread-safety-analysis). Under GCC the annotations
+// are no-ops and it compiles — the driver skips the test there (exit 77).
+//
+// Compiled (expected: rejected) by tests/static/annotation_compile_test.py
+// (ctest: thread_annotations_negcompile); never linked into a binary.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    dp::MutexLock lock(mu_);
+    ++n_;
+  }
+
+  // BUG (intentional): reads n_ without holding mu_.
+  long racy_read() const { return n_; }
+
+ private:
+  mutable dp::Mutex mu_;
+  long n_ DP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.racy_read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Positive compile-gate fixture for common/thread_annotations.hpp.
+//
+// Must compile warning-free under ANY host compiler with -Werror:
+//   * under GCC every DP_* macro expands to nothing and the wrappers are
+//     plain veneers over the std primitives (the "no-op under GCC" half of
+//     the gate);
+//   * under clang with -Wthread-safety -Wthread-safety-beta this is a
+//     well-annotated program: every guarded access is inside a scoped
+//     capability or a DP_REQUIRES function, waits are explicit loops.
+//
+// Compiled by tests/static/annotation_compile_test.py (ctest:
+// thread_annotations_noop); it is never linked into a binary.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) {
+    {
+      dp::MutexLock lock(mu_);
+      pending_ = v;
+      has_value_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  int pop() {
+    dp::MutexUniqueLock lock(mu_);
+    while (!has_value_) cv_.wait(lock);
+    has_value_ = false;
+    return pending_;
+  }
+
+  bool try_peek(int& out) {
+    if (!mu_.try_lock()) return false;
+    out = has_value_ ? pending_ : 0;
+    mu_.unlock();
+    return true;
+  }
+
+  int unsynchronized_size() const DP_REQUIRES(mu_) { return has_value_ ? 1 : 0; }
+
+  int locked_size() DP_EXCLUDES(mu_) {
+    dp::MutexLock lock(mu_);
+    return unsynchronized_size();
+  }
+
+ private:
+  mutable dp::Mutex mu_;
+  dp::CondVar cv_;
+  int pending_ DP_GUARDED_BY(mu_) = 0;
+  bool has_value_ DP_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(1);
+  int peeked = 0;
+  (void)q.try_peek(peeked);
+  const int v = q.pop();
+  return v == 1 && q.locked_size() == 0 ? 0 : 1;
+}
