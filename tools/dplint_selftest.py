@@ -216,6 +216,54 @@ class RuleTest(unittest.TestCase):
                    "void setup() { std::vector<int> v(8); }\n")
         self.assertNotIn("signal-safety", rules("src/obs/foo.cpp", bounded))
 
+    def test_lock_annotations(self):
+        # Raw primitives are banned anywhere in src/.
+        self.assertIn("lock-annotations", rules("src/md/foo.hpp", "std::mutex mu_;\n"))
+        self.assertIn("lock-annotations",
+                      rules("src/obs/foo.cpp", "std::condition_variable cv_;\n"))
+        self.assertIn("lock-annotations",
+                      rules("src/md/foo.cpp", "std::lock_guard lock(mu_);\n"))
+        self.assertIn("lock-annotations",
+                      rules("src/md/foo.cpp", "std::unique_lock<std::mutex> lk(mu_);\n"))
+        self.assertIn("lock-annotations", rules("src/md/foo.hpp", "std::shared_mutex rw_;\n"))
+        # The wrapper header is the one sanctioned home of the raw types;
+        # outside src/ (tests, bench) the rule does not apply.
+        self.assertNotIn("lock-annotations",
+                         rules("src/common/thread_annotations.hpp", "std::mutex mu_;\n"))
+        self.assertNotIn("lock-annotations", rules("tests/md/foo.cpp", "std::mutex mu_;\n"))
+        # A class with a dp::Mutex member must annotate what it guards.
+        bad = ("class Registry {\n"
+               "  Mutex mu_;\n"
+               "  int count_ = 0;\n"
+               "};\n")
+        self.assertIn("lock-annotations", rules("src/obs/foo.hpp", bad))
+        ok = ("class Registry {\n"
+              "  Mutex mu_;\n"
+              "  int count_ DP_GUARDED_BY(mu_) = 0;\n"
+              "};\n")
+        self.assertEqual([], rules("src/obs/foo.hpp", ok))
+        # MutexLock locals are not Mutex members (no whitespace after the
+        # type name); forward declarations have no body to scan.
+        uses = ("class Walker {\n"
+                " public:\n"
+                "  void walk() { MutexLock lock(mu_); ++n_; }\n"
+                " private:\n"
+                "  Mutex mu_;\n"
+                "  long n_ DP_GUARDED_BY(mu_) = 0;\n"
+                "};\n"
+                "class Later;\n")
+        self.assertEqual([], rules("src/common/foo.hpp", uses))
+
+    def test_signal_safety_covers_dp_wrappers(self):
+        # The capability-aware wrappers are still locks: banned in
+        # DP_SIGNAL_SAFE bodies exactly like the std:: primitives they wrap.
+        src = ("DP_SIGNAL_SAFE void on_crash(int sig) noexcept "
+               "{ MutexLock lock(g_mu); }\n")
+        self.assertIn("signal-safety", rules("src/obs/foo.cpp", src))
+        cv = ("DP_SIGNAL_SAFE void on_crash(int sig) noexcept "
+              "{ g_cv.notify_all(); CondVar* c = &g_cv; }\n")
+        self.assertIn("signal-safety", rules("src/obs/foo.cpp", cv))
+
     def test_sp_precision(self):
         self.assertIn("sp-precision", rules("src/tab/table_sp.hpp", "double h_;\n"))
         self.assertIn("sp-precision", rules("src/tab/table_sp.cpp", "long double x;\n"))
