@@ -33,6 +33,15 @@ class MixedFusedDP final : public md::ForceField {
   md::ForceResult compute(const md::Box& box, md::Atoms& atoms, const md::NeighborList& nlist,
                           bool periodic = true) override;
   double cutoff() const override { return tab_.model().config().rcut; }
+  /// The mixed path evaluates its own reduced-precision tables, so the
+  /// --health extrapolation-rate watchdog must read their counters (the
+  /// shared double tables in tab_ never see these lookups).
+  std::uint64_t extrapolations() const override {
+    std::uint64_t n = 0;
+    for (const auto& t : tables_sp_) n += t.extrapolations();
+    for (const auto& t : tables_hp_) n += t.extrapolations();
+    return n;
+  }
   std::size_t neighbor_reservation() const override {
     return static_cast<std::size_t>(tab_.model().config().nm());
   }

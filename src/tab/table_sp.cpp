@@ -6,6 +6,7 @@ TabulatedEmbeddingSP::TabulatedEmbeddingSP(const TabulatedEmbedding& ref)
     : m_(ref.output_dim()),
       n_(ref.n_intervals()),
       lo_(static_cast<float>(ref.lo())),
+      hi_(static_cast<float>(ref.hi())),
       h_(static_cast<float>(ref.interval())),
       inv_h_(1.0f / static_cast<float>(ref.interval())) {
   const auto& src = ref.coefficients();
@@ -39,6 +40,7 @@ TabulatedEmbeddingHP::TabulatedEmbeddingHP(const TabulatedEmbedding& ref)
     : m_(ref.output_dim()),
       n_(ref.n_intervals()),
       lo_(static_cast<float>(ref.lo())),
+      hi_(static_cast<float>(ref.hi())),
       h_(static_cast<float>(ref.interval())),
       inv_h_(1.0f / static_cast<float>(ref.interval())) {
   const auto& src = ref.coefficients();

@@ -25,14 +25,20 @@ class TabulatedEmbeddingSP {
   void eval(float s, float* g) const;
   void eval_with_deriv(float s, float* g, float* dg) const;
 
+  /// Out-of-range evaluations, mirroring TabulatedEmbedding::extrapolations()
+  /// so the --health extrapolation-rate watchdog sees the mixed path too.
+  std::size_t extrapolations() const { return extrapolations_.value(); }
+
  private:
   std::size_t locate(float s, float& t) const {
     float u = (s - lo_) * inv_h_;
     std::size_t i;
     if (u < 0.0f) {
       i = 0;
+      extrapolations_.bump();
     } else if (u >= static_cast<float>(n_)) {
       i = n_ - 1;
+      if (s > hi_) extrapolations_.bump();
     } else {
       i = static_cast<std::size_t>(u);
     }
@@ -41,8 +47,9 @@ class TabulatedEmbeddingSP {
   }
 
   std::size_t m_ = 0, n_ = 0;
-  float lo_ = 0, h_ = 1, inv_h_ = 1;
+  float lo_ = 0, hi_ = 1, h_ = 1, inv_h_ = 1;
   AlignedVector<float> coef_;  // [(i * m + ch) * 6 + k]
+  mutable RelaxedCounter extrapolations_;  // relaxed; see table.hpp
 };
 
 /// Half-precision (IEEE fp16) coefficient storage — the analog of the
@@ -63,14 +70,19 @@ class TabulatedEmbeddingHP {
   void eval(float s, float* g) const;
   void eval_with_deriv(float s, float* g, float* dg) const;
 
+  /// Mirrors TabulatedEmbedding::extrapolations() for the --health watchdog.
+  std::size_t extrapolations() const { return extrapolations_.value(); }
+
  private:
   std::size_t locate(float s, float& t) const {
     float u = (s - lo_) * inv_h_;
     std::size_t i;
     if (u < 0.0f) {
       i = 0;
+      extrapolations_.bump();
     } else if (u >= static_cast<float>(n_)) {
       i = n_ - 1;
+      if (s > hi_) extrapolations_.bump();
     } else {
       i = static_cast<std::size_t>(u);
     }
@@ -79,8 +91,9 @@ class TabulatedEmbeddingHP {
   }
 
   std::size_t m_ = 0, n_ = 0;
-  float lo_ = 0, h_ = 1, inv_h_ = 1;
+  float lo_ = 0, hi_ = 1, h_ = 1, inv_h_ = 1;
   AlignedVector<half_t> coef_;
+  mutable RelaxedCounter extrapolations_;  // relaxed; see table.hpp
 };
 
 }  // namespace dp::tab
