@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/tanh_table.hpp"
 
 namespace {
@@ -30,6 +31,9 @@ void BM_TanhLibm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * x.size()));
 }
 
+// Runs eval_batch at the dispatched SIMD level (BM_TanhTabulated) and with
+// dispatch forced to the seed scalar loop (BM_TanhTabulatedScalar); the gap
+// between the two is the vector-over-scalar factor on this host.
 void BM_TanhTabulated(benchmark::State& state) {
   const auto x = inputs(static_cast<std::size_t>(state.range(0)));
   std::vector<double> y(x.size());
@@ -41,14 +45,31 @@ void BM_TanhTabulated(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * x.size()));
 }
 
+void BM_TanhTabulatedScalar(benchmark::State& state) {
+  const auto x = inputs(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> y(x.size());
+  const auto& table = dp::default_tanh_table();
+  const dp::simd::Level native = dp::simd::active();
+  dp::simd::force(dp::simd::Level::Scalar);
+  for (auto _ : state) {
+    table.eval_batch(x.data(), y.data(), x.size());
+    benchmark::DoNotOptimize(y.data());
+  }
+  dp::simd::force(native);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * x.size()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_TanhLibm)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_TanhTabulated)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_TanhTabulatedScalar)->Arg(4096)->Arg(65536);
 
 int main(int argc, char** argv) {
   std::printf("tanh tabulation (paper Sec 3.5.3): max error = %.3e (paper: ~1e-7)\n",
               dp::default_tanh_table().measured_max_error());
+  std::printf("SIMD dispatch: %s (%zu lanes)\n", dp::simd::name(dp::simd::active()),
+              dp::simd::lanes());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

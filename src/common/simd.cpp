@@ -1,0 +1,106 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dp::simd {
+
+namespace {
+
+// Configure-time cap: 0 scalar, 1 avx2, 2 avx512 (CMake -DDP_SIMD_LEVEL).
+#ifndef DP_SIMD_LEVEL_CAP
+#define DP_SIMD_LEVEL_CAP 2
+#endif
+
+int hardware_level() {
+#if DP_SIMD_X86
+  // FMA is part of the numerical contract (std::fma tails must be cheap),
+  // so AVX2 without FMA dispatches scalar. The AVX-512 kernels use DQ for
+  // the double-precision bitwise ops.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq"))
+      return static_cast<int>(Level::AVX512);
+    return static_cast<int>(Level::AVX2);
+  }
+#endif
+  return static_cast<int>(Level::Scalar);
+}
+
+int clamp_to_supported(int lvl) {
+  const int cap = static_cast<int>(max_supported());
+  if (lvl > cap) return cap;
+  if (lvl < 0) return 0;
+  return lvl;
+}
+
+int resolve_default() {
+  int lvl = static_cast<int>(max_supported());
+  if (const char* env = std::getenv("DP_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      lvl = static_cast<int>(Level::Scalar);
+    } else if (std::strcmp(env, "avx2") == 0) {
+      lvl = clamp_to_supported(static_cast<int>(Level::AVX2));
+    } else if (std::strcmp(env, "avx512") == 0) {
+      lvl = clamp_to_supported(static_cast<int>(Level::AVX512));
+    } else if (env[0] != '\0') {
+      std::fprintf(stderr, "dp: ignoring unknown DP_SIMD=%s (want scalar|avx2|avx512)\n",
+                   env);
+    }
+  }
+  return lvl;
+}
+
+// -1 = unresolved. Relaxed atomic: the first-use race resolves to the same
+// value on every thread; force() is a single-threaded test/bench hook.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+Level max_supported() {
+  static const int lvl = [] {
+    const int hw = hardware_level();
+    return hw < DP_SIMD_LEVEL_CAP ? hw : DP_SIMD_LEVEL_CAP;
+  }();
+  return static_cast<Level>(lvl);
+}
+
+Level active() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_default();
+    g_active.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(v);
+}
+
+void force(Level lvl) {
+  g_active.store(clamp_to_supported(static_cast<int>(lvl)), std::memory_order_relaxed);
+}
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::AVX512:
+      return "avx512";
+    case Level::AVX2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+std::size_t lanes(Level lvl) {
+  switch (lvl) {
+    case Level::AVX512:
+      return 8;
+    case Level::AVX2:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+std::size_t lanes() { return lanes(active()); }
+
+}  // namespace dp::simd

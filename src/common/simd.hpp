@@ -1,0 +1,186 @@
+// Runtime-dispatched SIMD layer for the tabulated hot loops (paper Sec
+// 3.5.3 / Fig 5: the A64FX port hand-vectorizes the quintic table walk and
+// the tanh table with 512-bit SVE; on x86 the same kernels map onto AVX2 and
+// AVX-512).
+//
+// Design:
+//   * The instruction-set level is picked ONCE at startup: CPUID caps the
+//     hardware level, the CMake option -DDP_SIMD_LEVEL=scalar|avx2|avx512
+//     caps it at configure time, and the env var DP_SIMD=scalar|avx2|avx512
+//     lowers it per run (testing / benchmarking). `active()` returns the
+//     resolved level, `lanes()` its vector width in doubles.
+//   * Kernels live next to their tables (tanh_table.cpp, table.cpp, ...) as
+//     ordinary functions annotated DP_TARGET_AVX2 / DP_TARGET_AVX512, so the
+//     whole tree still compiles with the generic (-DDP_ENABLE_NATIVE=OFF)
+//     flags and the AVX paths are only ever *executed* after the CPUID
+//     check. Vector values never cross a non-annotated ABI boundary (that
+//     would be a -Wpsabi hazard): dispatchers pass scalars and pointers.
+//   * All raw intrinsics are confined to this header (dplint rule
+//     raw-intrinsics); kernels use the dp::simd wrapper ops below, which are
+//     always_inline and carry the same target attribute as their callers.
+//
+// Numerical contract (what the parity suite pins down): at a given level the
+// AoS and blocked table walks use the *same* elementwise operation sequence
+// — vector lanes use hardware FMA and scalar tails use std::fma (which the
+// annotated functions compile to the scalar FMA instruction) — so the two
+// layouts stay bitwise identical at every level. Level::Scalar keeps the
+// exact pre-SIMD expressions; AVX levels may differ from it by an ulp.
+#pragma once
+
+#include <cstddef>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#include <immintrin.h>
+#define DP_SIMD_X86 1
+#define DP_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#define DP_TARGET_AVX512 __attribute__((target("avx2,fma,avx512f,avx512dq")))
+#else
+#define DP_SIMD_X86 0
+#define DP_TARGET_AVX2
+#define DP_TARGET_AVX512
+#endif
+
+namespace dp::simd {
+
+/// Instruction-set levels, ordered so numeric comparison means capability.
+enum class Level : int { Scalar = 0, AVX2 = 1, AVX512 = 2 };
+
+/// Best level this binary may use: min(CPUID, -DDP_SIMD_LEVEL cap).
+Level max_supported();
+
+/// The level the kernels dispatch on: max_supported() lowered by DP_SIMD,
+/// resolved once on first use.
+Level active();
+
+/// Test/bench hook: override the active level (clamped to max_supported()).
+void force(Level lvl);
+
+/// "scalar" / "avx2" / "avx512".
+const char* name(Level lvl);
+
+/// Vector width in doubles at `lvl` (1 / 4 / 8).
+std::size_t lanes(Level lvl);
+
+/// Vector width in doubles at active().
+std::size_t lanes();
+
+#if DP_SIMD_X86
+
+#define DP_SIMD_OP inline __attribute__((always_inline))
+
+// ---------------------------------------------------------------------------
+// AVX2: 4 doubles per vector, 4 x i32 indices. Callers must be annotated
+// DP_TARGET_AVX2 (or a superset) — always_inline enforces this at compile
+// time.
+// ---------------------------------------------------------------------------
+using v4d = __m256d;
+using v4i = __m128i;
+
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_set1(double a) { return _mm256_set1_pd(a); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_load(const double* p) { return _mm256_load_pd(p); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_loadu(const double* p) { return _mm256_loadu_pd(p); }
+DP_TARGET_AVX2 DP_SIMD_OP void v4_storeu(double* p, v4d a) { _mm256_storeu_pd(p, a); }
+/// Non-temporal store: bypasses the cache hierarchy, for output runs far
+/// larger than the LLC where a regular store's read-for-ownership doubles
+/// the memory traffic. Requires a 32-byte-aligned p; stored bits are
+/// identical to v4_storeu. Callers must end the run with store_fence().
+DP_TARGET_AVX2 DP_SIMD_OP void v4_stream(double* p, v4d a) { _mm256_stream_pd(p, a); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_add(v4d a, v4d b) { return _mm256_add_pd(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_sub(v4d a, v4d b) { return _mm256_sub_pd(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_mul(v4d a, v4d b) { return _mm256_mul_pd(a, b); }
+/// a * b + c, single rounding.
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_fmadd(v4d a, v4d b, v4d c) { return _mm256_fmadd_pd(a, b, c); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_abs(v4d a) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+}
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_neg(v4d a) { return _mm256_xor_pd(a, _mm256_set1_pd(-0.0)); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_cmp_ge(v4d a, v4d b) {
+  return _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+}
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_cmp_lt(v4d a, v4d b) {
+  return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+}
+/// b where mask, else a (mask from v4_cmp_*).
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_blend(v4d a, v4d b, v4d mask) {
+  return _mm256_blendv_pd(a, b, mask);
+}
+/// Truncating double -> i32 conversion (the vector form of (size_t)(u)).
+DP_TARGET_AVX2 DP_SIMD_OP v4i v4_cvtt_i32(v4d a) { return _mm256_cvttpd_epi32(a); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_cvt_f64(v4i a) { return _mm256_cvtepi32_pd(a); }
+/// p[idx[l]] per lane, 8-byte scale. The masked form with an explicit zero
+/// source: the plain intrinsic's undefined destination register trips GCC's
+/// -Wmaybe-uninitialized; the full mask makes it the same single gather.
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_gather(const double* p, v4i idx) {
+  const v4d zero = _mm256_setzero_pd();
+  return _mm256_mask_i32gather_pd(zero, p, idx, _mm256_cmp_pd(zero, zero, _CMP_EQ_OQ), 8);
+}
+DP_TARGET_AVX2 DP_SIMD_OP v4i i4_set1(int a) { return _mm_set1_epi32(a); }
+DP_TARGET_AVX2 DP_SIMD_OP v4i i4_add(v4i a, v4i b) { return _mm_add_epi32(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v4i i4_min(v4i a, v4i b) { return _mm_min_epi32(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v4i i4_max(v4i a, v4i b) { return _mm_max_epi32(a, b); }
+
+// ---------------------------------------------------------------------------
+// AVX-512: 8 doubles per vector, 8 x i32 indices, predicate masks. Callers
+// must be annotated DP_TARGET_AVX512.
+// ---------------------------------------------------------------------------
+using v8d = __m512d;
+using v8i = __m256i;
+using m8 = __mmask8;
+
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_set1(double a) { return _mm512_set1_pd(a); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_load(const double* p) { return _mm512_load_pd(p); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_loadu(const double* p) { return _mm512_loadu_pd(p); }
+DP_TARGET_AVX512 DP_SIMD_OP void v8_storeu(double* p, v8d a) { _mm512_storeu_pd(p, a); }
+/// Non-temporal store (see v4_stream); requires a 64-byte-aligned p.
+DP_TARGET_AVX512 DP_SIMD_OP void v8_stream(double* p, v8d a) { _mm512_stream_pd(p, a); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_add(v8d a, v8d b) { return _mm512_add_pd(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_sub(v8d a, v8d b) { return _mm512_sub_pd(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_mul(v8d a, v8d b) { return _mm512_mul_pd(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_fmadd(v8d a, v8d b, v8d c) {
+  return _mm512_fmadd_pd(a, b, c);
+}
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_abs(v8d a) {
+  return _mm512_andnot_pd(_mm512_set1_pd(-0.0), a);
+}
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_neg(v8d a) {
+  return _mm512_xor_pd(a, _mm512_set1_pd(-0.0));
+}
+DP_TARGET_AVX512 DP_SIMD_OP m8 v8_cmp_ge(v8d a, v8d b) {
+  return _mm512_cmp_pd_mask(a, b, _CMP_GE_OQ);
+}
+DP_TARGET_AVX512 DP_SIMD_OP m8 v8_cmp_lt(v8d a, v8d b) {
+  return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+}
+/// b where mask bit set, else a.
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_blend(v8d a, v8d b, m8 mask) {
+  return _mm512_mask_blend_pd(mask, a, b);
+}
+// Masked conversion forms with zero sources, for the same GCC
+// -Wmaybe-uninitialized reason as the gathers (the plain intrinsics read an
+// undefined destination); the full mask converts every lane.
+DP_TARGET_AVX512 DP_SIMD_OP v8i v8_cvtt_i32(v8d a) {
+  return _mm512_mask_cvttpd_epi32(_mm256_setzero_si256(), static_cast<m8>(0xff), a);
+}
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_cvt_f64(v8i a) {
+  return _mm512_mask_cvtepi32_pd(_mm512_setzero_pd(), static_cast<m8>(0xff), a);
+}
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_gather(const double* p, v8i idx) {
+  // Masked form with a zero source for the same -Wmaybe-uninitialized
+  // reason as v4_gather; mask 0xff gathers every lane.
+  return _mm512_mask_i32gather_pd(_mm512_setzero_pd(), static_cast<m8>(0xff), idx, p, 8);
+}
+DP_TARGET_AVX512 DP_SIMD_OP v8i i8_set1(int a) { return _mm256_set1_epi32(a); }
+DP_TARGET_AVX512 DP_SIMD_OP v8i i8_add(v8i a, v8i b) { return _mm256_add_epi32(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v8i i8_min(v8i a, v8i b) { return _mm256_min_epi32(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v8i i8_max(v8i a, v8i b) { return _mm256_max_epi32(a, b); }
+
+/// Drains the write-combining buffers after a run of v4_stream/v8_stream
+/// stores, so later reads (possibly from another thread, after a barrier)
+/// observe them. sfence is baseline x86-64 — no target attribute needed.
+inline __attribute__((always_inline)) void store_fence() { _mm_sfence(); }
+
+#undef DP_SIMD_OP
+
+#endif  // DP_SIMD_X86
+
+}  // namespace dp::simd

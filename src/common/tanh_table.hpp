@@ -24,7 +24,11 @@ class TanhTable {
     const double ax = x < 0.0 ? -x : x;
     if (ax >= x_max_) return x < 0.0 ? -1.0 : 1.0;
     const double u = ax * inv_h_;
-    const std::size_t k = static_cast<std::size_t>(u);
+    // inv_h_ = intervals / x_max is rounded, so for non-power-of-two grids
+    // an ax just below x_max can land at u == intervals_ exactly — clamp to
+    // the last segment instead of reading past coef_.
+    std::size_t k = static_cast<std::size_t>(u);
+    if (k >= intervals_) k = intervals_ - 1;
     const double t = ax - static_cast<double>(k) * h_;
     const double* c = &coef_[3 * k];
     const double y = c[0] + t * (c[1] + t * c[2]);

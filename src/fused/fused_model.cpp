@@ -123,6 +123,16 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
           const int limit = (env_.compact() || opts_.skip_padding)
                                 ? env_.count(i, ty)
                                 : cfg.sel[static_cast<std::size_t>(ty)];
+          if (opts_.cache_rows && opts_.blocked_table && limit > 0) {
+            // Batched staging: the s values sit in the first column of the
+            // contiguous env-matrix rows (stride 4), the cache rows are
+            // value/derivative pairs (stride 2M) — one SIMD dispatch for
+            // the whole slot run instead of one per slot.
+            double* cache0 = sc.row_cache.data() + static_cast<std::size_t>(off) * 2 * m;
+            table.eval_with_deriv_blocked_batch(env_.rmat_at(base), 4,
+                                                static_cast<std::size_t>(limit), cache0,
+                                                cache0 + m, 2 * m);
+          }
           for (int k = 0; k < limit; ++k) {
             const double* rrow = env_.rmat_at(base + static_cast<std::size_t>(k));
             const double* row = sc.g_row.data();
@@ -130,9 +140,7 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
               // Single table walk: value + derivative staged for pass 2.
               // (Cache indexed by the dense in-atom offset in both layouts.)
               double* cache = sc.row_cache.data() + static_cast<std::size_t>(off + k) * 2 * m;
-              if (opts_.blocked_table)
-                table.eval_with_deriv_blocked(rrow[0], cache, cache + m);
-              else
+              if (!opts_.blocked_table)  // blocked rows staged by the batch above
                 table.eval_with_deriv(rrow[0], cache, cache + m);
               row = cache;
             } else if (opts_.blocked_table) {

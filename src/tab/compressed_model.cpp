@@ -71,17 +71,29 @@ md::ForceResult CompressedDP::compute(const md::Box& box, md::Atoms& atoms,
       const std::size_t rows = row_of(ty, n);
       nn::Matrix& g = g_by_type_[static_cast<std::size_t>(ty)];
       nn::Matrix& dg = dg_by_type_[static_cast<std::size_t>(ty)];
+      // The G/dG matrices for one type are written front to back across the
+      // whole frame before anything reads them; once that run is bigger
+      // than any cache the vector kernels should stream past it with
+      // non-temporal stores instead of paying read-for-ownership per line.
+      const bool streaming = 2 * rows * m * sizeof(double) > std::size_t{8} << 20;
       for (std::size_t i = 0; i < n; ++i) {
         const std::size_t base = env_.block_begin(i, ty);
         const std::size_t r0 = row_of(ty, i);
         const int cnt = rows_of(i, ty);
-        for (int k = 0; k < cnt; ++k) {
-          const double s = env_.rmat_at(base + static_cast<std::size_t>(k))[0];
-          const std::size_t row = r0 + static_cast<std::size_t>(k);
-          if (blocked_)
-            table.eval_with_deriv_blocked(s, g.row(row), dg.row(row));
-          else
+        if (cnt <= 0) continue;
+        if (blocked_) {
+          // Batched walk over the atom's whole slot run: s values stride 4
+          // through the env-matrix rows, output rows stride M through the
+          // G / dG matrices — one SIMD dispatch per (atom, type) block.
+          table.eval_with_deriv_blocked_batch(env_.rmat_at(base), 4,
+                                              static_cast<std::size_t>(cnt), g.row(r0),
+                                              dg.row(r0), m, streaming);
+        } else {
+          for (int k = 0; k < cnt; ++k) {
+            const double s = env_.rmat_at(base + static_cast<std::size_t>(k))[0];
+            const std::size_t row = r0 + static_cast<std::size_t>(k);
             table.eval_with_deriv(s, g.row(row), dg.row(row));
+          }
         }
       }
       rows_tabulated += rows;

@@ -78,6 +78,22 @@ class TabulatedEmbedding {
   void eval_blocked(double s, double* g) const;
   void eval_with_deriv_blocked(double s, double* g, double* dg) const;
 
+  /// Batched blocked walk over `count` inputs: s values at s[k * s_stride]
+  /// (stride 4 walks the first column of contiguous env-matrix rows), g/dg
+  /// rows at g + k * out_stride resp. dg + k * out_stride. Identical results
+  /// to `count` eval_with_deriv_blocked calls — the batch resolves the SIMD
+  /// dispatch once and keeps the coefficient streams hot.
+  ///
+  /// `streaming` hints that the aggregate output run (across this and the
+  /// surrounding calls) streams far past the last-level cache: the vector
+  /// levels then use non-temporal stores, halving the write traffic. Bits
+  /// stored are identical; the hint is ignored at Level::Scalar or when an
+  /// output row is not 64-byte aligned. Leave it off when the rows are
+  /// consumed while still cache-hot (e.g. a per-atom staging buffer).
+  void eval_with_deriv_blocked_batch(const double* s, std::size_t s_stride,
+                                     std::size_t count, double* g, double* dg,
+                                     std::size_t out_stride, bool streaming = false) const;
+
   std::size_t extrapolations() const { return extrapolations_.value(); }
 
   /// Raw AoS coefficients [(interval * M + channel) * 6 + k] — consumed by

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/simd.hpp"
+
 namespace dp {
 namespace {
 
@@ -68,12 +70,46 @@ TEST(TanhTable, DerivativeMatchesSech2) {
 }
 
 TEST(TanhTable, BatchMatchesScalar) {
+  // At the dispatched (native) level the batch may use FMA, so agreement is
+  // EXPECT_DOUBLE_EQ (4 ulp); with DP_SIMD forced scalar the batch is the
+  // plain eval loop and must match exactly. tests/tab/test_simd_parity.cpp
+  // sweeps every level explicitly.
   const auto& t = default_tanh_table();
   std::vector<double> x, y;
   for (int i = -50; i <= 50; ++i) x.push_back(0.21 * i);
   y.resize(x.size());
   t.eval_batch(x.data(), y.data(), x.size());
   for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], t.eval(x[i]));
+
+  const simd::Level prev = simd::active();
+  simd::force(simd::Level::Scalar);
+  t.eval_batch(x.data(), y.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], t.eval(x[i]));
+  simd::force(prev);
+}
+
+TEST(TanhTable, UpperBoundaryNeverReadsPastTable) {
+  // Regression: inv_h_ = intervals / x_max is rounded, so for non-power-of-
+  // two (x_max, intervals) pairs an input just below x_max could round the
+  // segment index up to k == intervals and read past coef_ (caught by ASan
+  // before the clamp; e.g. x_max = 6.7 with 1000 intervals hits it). The
+  // sweep deliberately mixes triggering and non-triggering grids.
+  for (double x_max : {7.3, 5.1, 6.7, 3.9, 8.0, 2.5, 9.13, 4.77, 1.3, 6.1}) {
+    for (std::size_t intervals : {1000u, 773u, 1500u, 977u, 1024u, 600u, 333u}) {
+      const TanhTable t(x_max, intervals);
+      for (double x : {std::nextafter(x_max, 0.0), -std::nextafter(x_max, 0.0),
+                       x_max * (1.0 - 1e-15), x_max, std::nextafter(x_max, 2.0 * x_max)}) {
+        const double y = t.eval(x);
+        EXPECT_TRUE(std::isfinite(y)) << "x_max " << x_max << " n " << intervals;
+        if (std::fabs(x) >= x_max) {
+          EXPECT_DOUBLE_EQ(y, x < 0.0 ? -1.0 : 1.0);
+        } else {
+          // The clamped edge segment still interpolates tanh at the boundary.
+          EXPECT_NEAR(y, std::tanh(x), 1e-3) << "x_max " << x_max << " n " << intervals;
+        }
+      }
+    }
+  }
 }
 
 TEST(TanhTable, ContinuousAcrossNodes) {

