@@ -16,6 +16,10 @@ what is deterministic from what is machine noise:
     tolerance, and only in the direction that means a regression.
   * absolute seconds are only compared under --strict-time (CI runners do
     not share a clock with the baseline host).
+  * fields outside the rules are carried but never compared: `lanes` (the
+    SIMD width the run dispatched) is machine-dependent, and a baseline
+    recorded before a field existed simply skips the derived ratios that
+    need it — old baselines stay valid when a bench grows new columns.
 
 Exit codes: 0 ok, 1 regression, 2 bad input.
 """
@@ -54,6 +58,11 @@ RULES = {
         "derived": {
             "env_compact_over_dense": ("compact_env_seconds", "dense_env_seconds"),
             "prod_compact_over_dense": ("compact_prod_seconds", "dense_prod_seconds"),
+            # Tabulation walk at the dispatched SIMD level over forced
+            # scalar: same run, same slot walk, only the dispatch differs.
+            # Baselines recorded before the SIMD path existed lack the
+            # fields, so the ratio is skipped against them.
+            "tab_vector_over_scalar": ("tab_vector_seconds", "tab_scalar_seconds"),
         },
     },
 }
@@ -196,6 +205,29 @@ def selftest():
     slower[("prod_force", (160.0, 2.0))]["compact_env_seconds"] = 1.5
     assert compare(base, slower, 2.0, False, 0.5) == []
     assert any("dense_env_seconds" in p for p in compare(base, slower, 2.0, True, 0.5))
+    # An old baseline (recorded before the SIMD columns existed) accepts a
+    # fresh run carrying lanes + tab_* — extra fields are never compared and
+    # the derived ratio is skipped when the baseline side is missing.
+    widened = clone()
+    widened[("prod_force", (160.0, 2.0))].update(
+        {"lanes": 8.0, "tab_scalar_seconds": 1.0, "tab_vector_seconds": 0.2}
+    )
+    assert compare(base, widened, 2.0, False, 0.5) == []
+    # And symmetrically: a new baseline against a fresh run that lacks them
+    # (e.g. a bench built from an older branch) skips rather than fails.
+    assert compare(widened, clone(), 2.0, False, 0.5) == []
+    # When both sides carry the fields, a collapsed vector speedup fails.
+    vec_base = widened
+    vec_slow = {k: dict(v) for k, v in widened.items()}
+    vec_slow[("prod_force", (160.0, 2.0))]["tab_vector_seconds"] = 0.9
+    assert any("tab_vector_over_scalar" in p
+               for p in compare(vec_base, vec_slow, 2.0, False, 0.5))
+    # lanes is machine-dependent, never strict: a baseline from an AVX-512
+    # host must pass on a scalar runner.
+    narrow = {k: dict(v) for k, v in widened.items()}
+    narrow[("prod_force", (160.0, 2.0))]["lanes"] = 1.0
+    narrow[("prod_force", (160.0, 2.0))]["tab_vector_seconds"] = 1.0
+    assert compare(widened, narrow, 10.0, False, 0.5) == []
     print("bench_compare selftest: ok")
     return 0
 

@@ -167,6 +167,25 @@ class RuleTest(unittest.TestCase):
                          rules("src/md/lattice.cpp",
                                "void compute() { std::vector<int> v(n); }\n"))
 
+    def test_raw_intrinsics(self):
+        # Calls, types and the intrinsic headers all fire outside the wrapper.
+        self.assertIn("raw-intrinsics",
+                      rules("src/tab/table.cpp", "__m256d y = _mm256_loadu_pd(p);\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/common/tanh_table.cpp", "#include <immintrin.h>\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/dp/prod_force.cpp", "__mmask8 k = 0xff;\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("bench/tanh_tabulation.cpp", "x = _mm_sfence();\n"))
+        # The wrapper header is the sanctioned home for all of the above.
+        ok = ("#include <immintrin.h>\n"
+              "__m512d v8_loadu(const double* p) { return _mm512_loadu_pd(p); }\n")
+        self.assertNotIn("raw-intrinsics", rules("src/common/simd.hpp", ok))
+        # Wrapper-level code elsewhere stays clean.
+        self.assertNotIn("raw-intrinsics",
+                         rules("src/tab/table.cpp",
+                               "simd::v4d y = simd::v4_fmadd(a, b, c);\n"))
+
     def test_narrowing_cast(self):
         self.assertIn("narrowing-cast", rules("src/md/neighbor.cpp", "int j = (int)a;\n"))
         self.assertIn("narrowing-cast", rules("src/md/neighbor.hpp", "x = (unsigned)n;\n"))
