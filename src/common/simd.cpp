@@ -103,4 +103,26 @@ std::size_t lanes(Level lvl) {
 
 std::size_t lanes() { return lanes(active()); }
 
+std::size_t lanes_sp(Level lvl) {
+  switch (lvl) {
+    case Level::AVX512:
+      return 16;
+    case Level::AVX2:
+      return 8;
+    default:
+      return 1;
+  }
+}
+
+std::size_t lanes_sp() { return lanes_sp(active()); }
+
+bool has_f16c() {
+#if DP_SIMD_X86
+  static const bool v = __builtin_cpu_supports("f16c");
+  return v;
+#else
+  return false;
+#endif
+}
+
 }  // namespace dp::simd

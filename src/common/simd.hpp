@@ -33,10 +33,16 @@
 #include <immintrin.h>
 #define DP_SIMD_X86 1
 #define DP_TARGET_AVX2 __attribute__((target("avx2,fma")))
+// f16c (the vcvtph2ps half->float widener) is NOT implied by the avx2 target
+// attribute, so the half-precision table kernels carry their own superset
+// attribute and dispatchers additionally gate on has_f16c(). AVX-512 needs no
+// extra feature: _mm512_cvtph_ps is plain AVX512F.
+#define DP_TARGET_AVX2_F16C __attribute__((target("avx2,fma,f16c")))
 #define DP_TARGET_AVX512 __attribute__((target("avx2,fma,avx512f,avx512dq")))
 #else
 #define DP_SIMD_X86 0
 #define DP_TARGET_AVX2
+#define DP_TARGET_AVX2_F16C
 #define DP_TARGET_AVX512
 #endif
 
@@ -63,6 +69,17 @@ std::size_t lanes(Level lvl);
 
 /// Vector width in doubles at active().
 std::size_t lanes();
+
+/// Vector width in floats at `lvl` (1 / 8 / 16) — the float-lane kernels
+/// move twice as many channels per instruction as the double ones.
+std::size_t lanes_sp(Level lvl);
+
+/// Vector width in floats at active().
+std::size_t lanes_sp();
+
+/// CPUID: vcvtph2ps available? Gates the AVX2 half-precision table kernels
+/// (see DP_TARGET_AVX2_F16C above). Always true on AVX-512 hardware.
+bool has_f16c();
 
 #if DP_SIMD_X86
 
@@ -118,6 +135,51 @@ DP_TARGET_AVX2 DP_SIMD_OP v4i i4_set1(int a) { return _mm_set1_epi32(a); }
 DP_TARGET_AVX2 DP_SIMD_OP v4i i4_add(v4i a, v4i b) { return _mm_add_epi32(a, b); }
 DP_TARGET_AVX2 DP_SIMD_OP v4i i4_min(v4i a, v4i b) { return _mm_min_epi32(a, b); }
 DP_TARGET_AVX2 DP_SIMD_OP v4i i4_max(v4i a, v4i b) { return _mm_max_epi32(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v4d v4_zero() { return _mm256_setzero_pd(); }
+/// Horizontal sum, fixed lane order: (l0+l2) + (l1+l3). One compiled
+/// sequence per level so dot-product reductions are bitwise reproducible.
+DP_TARGET_AVX2 DP_SIMD_OP double v4_reduce_add(v4d a) {
+  __m128d lo = _mm256_castpd256_pd128(a);
+  __m128d hi = _mm256_extractf128_pd(a, 1);
+  __m128d s = _mm_add_pd(lo, hi);                    // {l0+l2, l1+l3}
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 float lane: 8 floats per vector — the mixed-precision table walk and
+// the float contraction kernels move twice the channels per instruction.
+// Same discipline as the double ops: callers are DP_TARGET_AVX2 (or the
+// F16C/AVX-512 supersets), values never cross a non-annotated ABI boundary.
+// ---------------------------------------------------------------------------
+using v8f = __m256;
+
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_set1(float a) { return _mm256_set1_ps(a); }
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_zero() { return _mm256_setzero_ps(); }
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_load(const float* p) { return _mm256_load_ps(p); }
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_loadu(const float* p) { return _mm256_loadu_ps(p); }
+DP_TARGET_AVX2 DP_SIMD_OP void f8_storeu(float* p, v8f a) { _mm256_storeu_ps(p, a); }
+/// Non-temporal store (see v4_stream); requires a 32-byte-aligned p.
+DP_TARGET_AVX2 DP_SIMD_OP void f8_stream(float* p, v8f a) { _mm256_stream_ps(p, a); }
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_add(v8f a, v8f b) { return _mm256_add_ps(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_sub(v8f a, v8f b) { return _mm256_sub_ps(a, b); }
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_mul(v8f a, v8f b) { return _mm256_mul_ps(a, b); }
+/// a * b + c, single rounding.
+DP_TARGET_AVX2 DP_SIMD_OP v8f f8_fmadd(v8f a, v8f b, v8f c) { return _mm256_fmadd_ps(a, b, c); }
+/// Horizontal sum, fixed lane order: pairwise 128-bit fold then the same
+/// shuffle tree every time — reproducible, like v4_reduce_add.
+DP_TARGET_AVX2 DP_SIMD_OP float f8_reduce_add(v8f a) {
+  __m128 lo = _mm256_castps256_ps128(a);
+  __m128 hi = _mm256_extractf128_ps(a, 1);
+  __m128 s = _mm_add_ps(lo, hi);                     // {l0+l4, l1+l5, l2+l6, l3+l7}
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));            // {+l2+l6, +l3+l7, ...}
+  return _mm_cvtss_f32(_mm_add_ss(s, _mm_movehdup_ps(s)));
+}
+/// Widen 8 IEEE binary16 values (stored contiguously) to 8 floats. The
+/// conversion is exact — every half is representable as a float — so the
+/// half table walk matches the scalar static_cast widening bit for bit.
+DP_TARGET_AVX2_F16C DP_SIMD_OP v8f f8_load_h(const void* p) {
+  return _mm256_cvtph_ps(_mm_loadu_si128(static_cast<const __m128i*>(p)));
+}
 
 // ---------------------------------------------------------------------------
 // AVX-512: 8 doubles per vector, 8 x i32 indices, predicate masks. Callers
@@ -126,6 +188,7 @@ DP_TARGET_AVX2 DP_SIMD_OP v4i i4_max(v4i a, v4i b) { return _mm_max_epi32(a, b);
 using v8d = __m512d;
 using v8i = __m256i;
 using m8 = __mmask8;
+using m16 = __mmask16;
 
 DP_TARGET_AVX512 DP_SIMD_OP v8d v8_set1(double a) { return _mm512_set1_pd(a); }
 DP_TARGET_AVX512 DP_SIMD_OP v8d v8_load(const double* p) { return _mm512_load_pd(p); }
@@ -173,6 +236,65 @@ DP_TARGET_AVX512 DP_SIMD_OP v8i i8_set1(int a) { return _mm256_set1_epi32(a); }
 DP_TARGET_AVX512 DP_SIMD_OP v8i i8_add(v8i a, v8i b) { return _mm256_add_epi32(a, b); }
 DP_TARGET_AVX512 DP_SIMD_OP v8i i8_min(v8i a, v8i b) { return _mm256_min_epi32(a, b); }
 DP_TARGET_AVX512 DP_SIMD_OP v8i i8_max(v8i a, v8i b) { return _mm256_max_epi32(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v8d v8_zero() { return _mm512_setzero_pd(); }
+/// Horizontal sum, fixed lane order: 256-bit halves fold first, then the
+/// v4_reduce_add tree. Hand-written (not _mm512_reduce_add_pd) because the
+/// compiler expansion routes through _mm512_extractf64x4_pd's undefined merge
+/// operand, which trips -Werror=maybe-uninitialized on GCC 12; the maskz
+/// extract has a defined (zero) source and compiles to the same vextractf64x4.
+DP_TARGET_AVX512 DP_SIMD_OP double v8_reduce_add(v8d a) {
+  // Both halves via maskz extract: GCC 12 lowers _mm512_castpd512_pd256
+  // through the undefined-merge extract too, so the cast is no escape hatch.
+  __m256d lo = _mm512_maskz_extractf64x4_pd(static_cast<m8>(0xf), a, 0);
+  __m256d hi = _mm512_maskz_extractf64x4_pd(static_cast<m8>(0xf), a, 1);
+  __m256d s4 = _mm256_add_pd(lo, hi);                // {l0+l4, l1+l5, l2+l6, l3+l7}
+  __m128d lo2 = _mm256_castpd256_pd128(s4);
+  __m128d hi2 = _mm256_extractf128_pd(s4, 1);
+  __m128d s = _mm_add_pd(lo2, hi2);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 float lane: 16 floats per vector — one vector covers a whole
+// 16-channel table block.
+// ---------------------------------------------------------------------------
+using v16f = __m512;
+
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_set1(float a) { return _mm512_set1_ps(a); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_zero() { return _mm512_setzero_ps(); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_load(const float* p) { return _mm512_load_ps(p); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_loadu(const float* p) { return _mm512_loadu_ps(p); }
+DP_TARGET_AVX512 DP_SIMD_OP void f16_storeu(float* p, v16f a) { _mm512_storeu_ps(p, a); }
+/// Non-temporal store (see v4_stream); requires a 64-byte-aligned p.
+DP_TARGET_AVX512 DP_SIMD_OP void f16_stream(float* p, v16f a) { _mm512_stream_ps(p, a); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_add(v16f a, v16f b) { return _mm512_add_ps(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_sub(v16f a, v16f b) { return _mm512_sub_ps(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_mul(v16f a, v16f b) { return _mm512_mul_ps(a, b); }
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_fmadd(v16f a, v16f b, v16f c) {
+  return _mm512_fmadd_ps(a, b, c);
+}
+/// Horizontal sum, fixed lane order: 256-bit halves fold first, then the
+/// f8_reduce_add tree. Hand-written for the same -Werror=maybe-uninitialized
+/// reason as v8_reduce_add (maskz extract instead of the undefined-merge
+/// compiler expansion; extractf32x8 is AVX512DQ, which the target includes).
+DP_TARGET_AVX512 DP_SIMD_OP float f16_reduce_add(v16f a) {
+  __m256 lo = _mm512_maskz_extractf32x8_ps(static_cast<m8>(0xff), a, 0);
+  __m256 hi = _mm512_maskz_extractf32x8_ps(static_cast<m8>(0xff), a, 1);
+  __m256 s8 = _mm256_add_ps(lo, hi);                 // {l0+l8, l1+l9, ..., l7+l15}
+  __m128 lo2 = _mm256_castps256_ps128(s8);
+  __m128 hi2 = _mm256_extractf128_ps(s8, 1);
+  __m128 s = _mm_add_ps(lo2, hi2);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  return _mm_cvtss_f32(_mm_add_ss(s, _mm_movehdup_ps(s)));
+}
+/// Widen 16 contiguous IEEE binary16 values to 16 floats (exact; AVX512F).
+/// Maskz form with an all-ones mask: the plain _mm512_cvtph_ps expansion
+/// carries an undefined merge operand that trips -Werror=maybe-uninitialized
+/// on GCC 12 (same story as v8_reduce_add); vcvtph2ps emitted either way.
+DP_TARGET_AVX512 DP_SIMD_OP v16f f16_load_h(const void* p) {
+  return _mm512_maskz_cvtph_ps(static_cast<m16>(0xffff),
+                               _mm256_loadu_si256(static_cast<const __m256i*>(p)));
+}
 
 /// Drains the write-combining buffers after a run of v4_stream/v8_stream
 /// stores, so later reads (possibly from another thread, after a barrier)

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/cost.hpp"
+#include "common/simd.hpp"
 #include "common/team.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
@@ -17,15 +18,29 @@ using tab::TabulatedEmbedding;
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Per-level kernels for the two fused hot loops (ROADMAP item 1 remainder):
+// the pass-1 rank-1 outer product A_c += rrow[c] * row (Fig 4 (c)) and the
+// pass-2 per-slot gradient contraction. Level::Scalar keeps the exact
+// pre-SIMD expressions (the `_scalar` kernels below are the seed bodies,
+// pragma included — removing the pragma could change the autovectorized
+// reduction bits under the generic build). The vector kernels use wrapper
+// FMAs with std::fma tails; dot-product reductions reassociate (vector
+// partials folded by v*_reduce_add, then the tail), which is covered by the
+// reduction clause of the numerical contract — relative bounds, not ulps.
+// Dispatch is hoisted out of the slot loop: compute() resolves the function
+// pointers once per call.
+// ---------------------------------------------------------------------------
+
 /// Pass-2 per-slot contraction: g_rmat[c] = <g_a[c], row>, plus the dE/ds
 /// table term <R~ g_a, drow> folded into column 0. Kept noinline so exactly
 /// ONE compiled instance serves both the cached and the re-evaluated path —
 /// if the compiler clones the reduction per branch (different pointer
 /// provenance), the clones may contract/unroll differently and the
 /// "staging is an exact rewrite" invariant breaks in the last bit.
-__attribute__((noinline)) void slot_gradient(const double* rrow, const double* row,
-                                             const double* drow, const double* g_a,
-                                             std::size_t m, double* grow) {
+__attribute__((noinline)) void slot_gradient_scalar(const double* rrow, const double* row,
+                                                    const double* drow, const double* g_a,
+                                                    std::size_t m, double* grow) {
   double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc_s = 0;
   const double r0 = rrow[0], r1 = rrow[1], r2 = rrow[2], r3 = rrow[3];
   const double* ga0 = g_a;
@@ -45,6 +60,165 @@ __attribute__((noinline)) void slot_gradient(const double* rrow, const double* r
   grow[1] = acc1;
   grow[2] = acc2;
   grow[3] = acc3;
+}
+
+/// Pass-1 rank-1 update: A_c += rrow[c] * row for the four env columns.
+void rank1_update_scalar(const double* rrow, const double* row, std::size_t m,
+                         double* a_mat) {
+  for (int c = 0; c < 4; ++c) {
+    const double rv = rrow[c];
+    double* arow = a_mat + static_cast<std::size_t>(c) * m;
+#pragma omp simd
+    for (std::size_t b = 0; b < m; ++b) arow[b] += rv * row[b];
+  }
+}
+
+#if DP_SIMD_X86
+
+DP_TARGET_AVX2 void slot_gradient_avx2(const double* rrow, const double* row,
+                                       const double* drow, const double* g_a, std::size_t m,
+                                       double* grow) {
+  using namespace simd;
+  const double r0 = rrow[0], r1 = rrow[1], r2 = rrow[2], r3 = rrow[3];
+  const double* ga0 = g_a;
+  const double* ga1 = g_a + m;
+  const double* ga2 = g_a + 2 * m;
+  const double* ga3 = g_a + 3 * m;
+  const v4d vr0 = v4_set1(r0), vr1 = v4_set1(r1), vr2 = v4_set1(r2), vr3 = v4_set1(r3);
+  v4d v0 = v4_zero(), v1 = v4_zero(), v2 = v4_zero(), v3 = v4_zero(), vs = v4_zero();
+  std::size_t b = 0;
+  for (; b + 4 <= m; b += 4) {
+    const v4d a0 = v4_loadu(ga0 + b), a1 = v4_loadu(ga1 + b), a2 = v4_loadu(ga2 + b),
+              a3 = v4_loadu(ga3 + b);
+    const v4d gb = v4_loadu(row + b);
+    v0 = v4_fmadd(a0, gb, v0);
+    v1 = v4_fmadd(a1, gb, v1);
+    v2 = v4_fmadd(a2, gb, v2);
+    v3 = v4_fmadd(a3, gb, v3);
+    v4d w = v4_mul(vr0, a0);
+    w = v4_fmadd(vr1, a1, w);
+    w = v4_fmadd(vr2, a2, w);
+    w = v4_fmadd(vr3, a3, w);
+    vs = v4_fmadd(w, v4_loadu(drow + b), vs);
+  }
+  double acc0 = v4_reduce_add(v0), acc1 = v4_reduce_add(v1), acc2 = v4_reduce_add(v2),
+         acc3 = v4_reduce_add(v3), acc_s = v4_reduce_add(vs);
+  for (; b < m; ++b) {
+    const double gb = row[b];
+    acc0 = std::fma(ga0[b], gb, acc0);
+    acc1 = std::fma(ga1[b], gb, acc1);
+    acc2 = std::fma(ga2[b], gb, acc2);
+    acc3 = std::fma(ga3[b], gb, acc3);
+    double w = r0 * ga0[b];
+    w = std::fma(r1, ga1[b], w);
+    w = std::fma(r2, ga2[b], w);
+    w = std::fma(r3, ga3[b], w);
+    acc_s = std::fma(w, drow[b], acc_s);
+  }
+  grow[0] = acc0 + acc_s;
+  grow[1] = acc1;
+  grow[2] = acc2;
+  grow[3] = acc3;
+}
+
+DP_TARGET_AVX512 void slot_gradient_avx512(const double* rrow, const double* row,
+                                           const double* drow, const double* g_a,
+                                           std::size_t m, double* grow) {
+  using namespace simd;
+  const double r0 = rrow[0], r1 = rrow[1], r2 = rrow[2], r3 = rrow[3];
+  const double* ga0 = g_a;
+  const double* ga1 = g_a + m;
+  const double* ga2 = g_a + 2 * m;
+  const double* ga3 = g_a + 3 * m;
+  const v8d vr0 = v8_set1(r0), vr1 = v8_set1(r1), vr2 = v8_set1(r2), vr3 = v8_set1(r3);
+  v8d v0 = v8_zero(), v1 = v8_zero(), v2 = v8_zero(), v3 = v8_zero(), vs = v8_zero();
+  std::size_t b = 0;
+  for (; b + 8 <= m; b += 8) {
+    const v8d a0 = v8_loadu(ga0 + b), a1 = v8_loadu(ga1 + b), a2 = v8_loadu(ga2 + b),
+              a3 = v8_loadu(ga3 + b);
+    const v8d gb = v8_loadu(row + b);
+    v0 = v8_fmadd(a0, gb, v0);
+    v1 = v8_fmadd(a1, gb, v1);
+    v2 = v8_fmadd(a2, gb, v2);
+    v3 = v8_fmadd(a3, gb, v3);
+    v8d w = v8_mul(vr0, a0);
+    w = v8_fmadd(vr1, a1, w);
+    w = v8_fmadd(vr2, a2, w);
+    w = v8_fmadd(vr3, a3, w);
+    vs = v8_fmadd(w, v8_loadu(drow + b), vs);
+  }
+  double acc0 = v8_reduce_add(v0), acc1 = v8_reduce_add(v1), acc2 = v8_reduce_add(v2),
+         acc3 = v8_reduce_add(v3), acc_s = v8_reduce_add(vs);
+  for (; b < m; ++b) {
+    const double gb = row[b];
+    acc0 = std::fma(ga0[b], gb, acc0);
+    acc1 = std::fma(ga1[b], gb, acc1);
+    acc2 = std::fma(ga2[b], gb, acc2);
+    acc3 = std::fma(ga3[b], gb, acc3);
+    double w = r0 * ga0[b];
+    w = std::fma(r1, ga1[b], w);
+    w = std::fma(r2, ga2[b], w);
+    w = std::fma(r3, ga3[b], w);
+    acc_s = std::fma(w, drow[b], acc_s);
+  }
+  grow[0] = acc0 + acc_s;
+  grow[1] = acc1;
+  grow[2] = acc2;
+  grow[3] = acc3;
+}
+
+DP_TARGET_AVX2 void rank1_update_avx2(const double* rrow, const double* row, std::size_t m,
+                                      double* a_mat) {
+  using namespace simd;
+  for (int c = 0; c < 4; ++c) {
+    const double rv = rrow[c];
+    const v4d vrv = v4_set1(rv);
+    double* arow = a_mat + static_cast<std::size_t>(c) * m;
+    std::size_t b = 0;
+    for (; b + 4 <= m; b += 4)
+      v4_storeu(arow + b, v4_fmadd(vrv, v4_loadu(row + b), v4_loadu(arow + b)));
+    for (; b < m; ++b) arow[b] = std::fma(rv, row[b], arow[b]);
+  }
+}
+
+DP_TARGET_AVX512 void rank1_update_avx512(const double* rrow, const double* row,
+                                          std::size_t m, double* a_mat) {
+  using namespace simd;
+  for (int c = 0; c < 4; ++c) {
+    const double rv = rrow[c];
+    const v8d vrv = v8_set1(rv);
+    double* arow = a_mat + static_cast<std::size_t>(c) * m;
+    std::size_t b = 0;
+    for (; b + 8 <= m; b += 8)
+      v8_storeu(arow + b, v8_fmadd(vrv, v8_loadu(row + b), v8_loadu(arow + b)));
+    for (; b < m; ++b) arow[b] = std::fma(rv, row[b], arow[b]);
+  }
+}
+
+#endif  // DP_SIMD_X86
+
+using SlotGradientFn = void (*)(const double*, const double*, const double*, const double*,
+                                std::size_t, double*);
+using Rank1Fn = void (*)(const double*, const double*, std::size_t, double*);
+
+SlotGradientFn pick_slot_gradient(simd::Level lvl) {
+#if DP_SIMD_X86
+  if (lvl == simd::Level::AVX512) return slot_gradient_avx512;
+  if (lvl == simd::Level::AVX2) return slot_gradient_avx2;
+#else
+  (void)lvl;
+#endif
+  return slot_gradient_scalar;
+}
+
+Rank1Fn pick_rank1(simd::Level lvl) {
+#if DP_SIMD_X86
+  if (lvl == simd::Level::AVX512) return rank1_update_avx512;
+  if (lvl == simd::Level::AVX2) return rank1_update_avx2;
+#else
+  (void)lvl;
+#endif
+  return rank1_update_scalar;
 }
 
 }  // namespace
@@ -102,6 +276,10 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
     // capture frame is invisible to TSan. Partials live in ThreadScratch
     // and fold on the master in ascending thread order.
     const int team_size = static_cast<int>(scratch_.size());
+    // SIMD level resolved once per compute(), outside the team (same pattern
+    // as prod_force): every thread runs the same kernel instance.
+    const SlotGradientFn slot_gradient = pick_slot_gradient(simd::active());
+    const Rank1Fn rank1_update = pick_rank1(simd::active());
     BuildTeam& team = BuildTeam::team();
     auto body = [&](int tid, int T) {
       // Per-thread scratch: one embedding row + its derivative (the
@@ -149,12 +327,7 @@ md::ForceResult FusedDP::compute(const md::Box& box, md::Atoms& atoms,
               table.eval(rrow[0], sc.g_row.data());
             }
             // outer-product update: A_c += rrow[c] * row (Fig 4 (c))
-            for (int c = 0; c < 4; ++c) {
-              const double rv = rrow[c];
-              double* arow = sc.a_mat.data() + static_cast<std::size_t>(c) * m;
-#pragma omp simd
-              for (std::size_t b = 0; b < m; ++b) arow[b] += rv * row[b];
-            }
+            rank1_update(rrow, row, m, sc.a_mat.data());
             ++sc.slots_partial;
           }
         }

@@ -9,6 +9,13 @@
 //   double precision: the descriptor, the fitting network, energies, and
 //     all force/virial accumulations (the reductions where float error
 //     compounds).
+//
+// The float stage rides the runtime SIMD dispatcher at twice the lane width
+// of the double path (8 floats AVX2 / 16 floats AVX-512): one batched
+// blocked table walk per slot run stages value+derivative row pairs, pass 1
+// contracts them rank-1 into A_sp, pass 2 reuses the cached rows for the
+// gradient dots. DP_SIMD=scalar keeps the seed float expressions bit for
+// bit.
 #pragma once
 
 #include <vector>
@@ -52,12 +59,16 @@ class MixedFusedDP final : public md::ForceField {
   std::size_t table_bytes() const;
 
  private:
-  void eval_table(std::size_t idx, float s, float* g) const;
-  void eval_table_deriv(std::size_t idx, float s, float* g, float* dg) const;
+  /// Batched blocked float table walk (value + derivative rows), dispatching
+  /// on precision_ — the single table walk per slot that feeds both passes.
+  void eval_table_batch(std::size_t idx, const float* s, std::size_t count, float* g,
+                        float* dg, std::size_t out_stride) const;
   void prepare(std::size_t n);
 
   struct ThreadScratch {
-    AlignedVector<float> g_row, dg_row, a_sp, ga_sp;
+    AlignedVector<float> s_col;       ///< staged float s values, one per slot
+    AlignedVector<float> row_cache;   ///< value/deriv row pairs, stride 2M
+    AlignedVector<float> a_sp, ga_sp;
     AlignedVector<double> a_mat, g_a;
     core::AtomKernelScratch scratch;
     double energy_partial = 0.0;  ///< folded by the master, ascending thread order

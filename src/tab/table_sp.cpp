@@ -1,9 +1,372 @@
 #include "tab/table_sp.hpp"
 
+#include <cmath>
+#include <cstdint>
+
+#include "common/simd.hpp"
+
 namespace dp::tab {
+
+namespace {
+
+constexpr std::size_t kL = TabulatedEmbedding::kLane;
+
+// ---------------------------------------------------------------------------
+// Per-level float kernels for one blocked table walk — the float analog of
+// table.cpp, at twice the lane count (8 floats AVX2 / 16 floats AVX-512, so
+// one AVX-512 vector covers a whole 16-channel block). Level::Scalar keeps
+// the exact seed Horner expressions of eval_with_deriv(); the vector levels
+// share one FMA sequence with the AoS fma variants and the scalar tails, so
+// AoS == blocked bitwise at any fixed level (test_simd_parity_sp pins this).
+// The half-precision kernels widen coefficients in registers (vcvtph2ps /
+// __extendhfsf2 — both exact, every binary16 is representable as a float)
+// and then run the identical float sequence.
+// ---------------------------------------------------------------------------
+
+void blocked_deriv_scalar_sp(const float* base, float t, std::size_t m, std::size_t nblk,
+                             float* g, float* dg) {
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const float* c = base + b * 6 * kL;
+    const std::size_t ch0 = b * kL;
+    const std::size_t lanes = (ch0 + kL <= m) ? kL : (m - ch0);
+#pragma omp simd
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const float c1 = c[1 * kL + l], c2 = c[2 * kL + l], c3 = c[3 * kL + l],
+                  c4 = c[4 * kL + l], c5 = c[5 * kL + l];
+      g[ch0 + l] = c[0 * kL + l] + t * (c1 + t * (c2 + t * (c3 + t * (c4 + t * c5))));
+      dg[ch0 + l] = c1 + t * (2 * c2 + t * (3 * c3 + t * (4 * c4 + t * 5 * c5)));
+    }
+  }
+}
+
+void blocked_deriv_scalar_hp(const TabulatedEmbeddingHP::half_t* base, float t,
+                             std::size_t m, std::size_t nblk, float* g, float* dg) {
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const TabulatedEmbeddingHP::half_t* c = base + b * 6 * kL;
+    const std::size_t ch0 = b * kL;
+    const std::size_t lanes = (ch0 + kL <= m) ? kL : (m - ch0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const float c1 = static_cast<float>(c[1 * kL + l]),
+                  c2 = static_cast<float>(c[2 * kL + l]),
+                  c3 = static_cast<float>(c[3 * kL + l]),
+                  c4 = static_cast<float>(c[4 * kL + l]),
+                  c5 = static_cast<float>(c[5 * kL + l]);
+      g[ch0 + l] = static_cast<float>(c[0 * kL + l]) +
+                   t * (c1 + t * (c2 + t * (c3 + t * (c4 + t * c5))));
+      dg[ch0 + l] = c1 + t * (2 * c2 + t * (3 * c3 + t * (4 * c4 + t * 5 * c5)));
+    }
+  }
+}
+
+#if DP_SIMD_X86
+
+// AoS walk at the vector levels: scalar std::fma per channel (compiled to
+// the FMA instruction under the target attribute) — the exact rounding
+// sequence of the vector lanes below, so AoS == blocked bitwise. One
+// AVX2-annotated body serves both AVX levels (the math is elementwise).
+DP_TARGET_AVX2 void aos_value_fma_sp(const float* base, float t, std::size_t m, float* g) {
+  for (std::size_t ch = 0; ch < m; ++ch) {
+    const float* c = base + ch * 6;
+    g[ch] = std::fma(
+        t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c[5], c[4]), c[3]), c[2]), c[1]),
+        c[0]);
+  }
+}
+
+DP_TARGET_AVX2 void aos_deriv_fma_sp(const float* base, float t, std::size_t m, float* g,
+                                     float* dg) {
+  for (std::size_t ch = 0; ch < m; ++ch) {
+    const float* c = base + ch * 6;
+    g[ch] = std::fma(
+        t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c[5], c[4]), c[3]), c[2]), c[1]),
+        c[0]);
+    dg[ch] = std::fma(
+        t,
+        std::fma(t, std::fma(t, std::fma(t, 5.0f * c[5], 4.0f * c[4]), 3.0f * c[3]),
+                 2.0f * c[2]),
+        c[1]);
+  }
+}
+
+DP_TARGET_AVX2 void aos_value_fma_hp(const TabulatedEmbeddingHP::half_t* base, float t,
+                                     std::size_t m, float* g) {
+  for (std::size_t ch = 0; ch < m; ++ch) {
+    const TabulatedEmbeddingHP::half_t* c = base + ch * 6;
+    const float c0 = static_cast<float>(c[0]), c1 = static_cast<float>(c[1]),
+                c2 = static_cast<float>(c[2]), c3 = static_cast<float>(c[3]),
+                c4 = static_cast<float>(c[4]), c5 = static_cast<float>(c[5]);
+    g[ch] = std::fma(t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c5, c4), c3), c2), c1),
+                     c0);
+  }
+}
+
+DP_TARGET_AVX2 void aos_deriv_fma_hp(const TabulatedEmbeddingHP::half_t* base, float t,
+                                     std::size_t m, float* g, float* dg) {
+  for (std::size_t ch = 0; ch < m; ++ch) {
+    const TabulatedEmbeddingHP::half_t* c = base + ch * 6;
+    const float c0 = static_cast<float>(c[0]), c1 = static_cast<float>(c[1]),
+                c2 = static_cast<float>(c[2]), c3 = static_cast<float>(c[3]),
+                c4 = static_cast<float>(c[4]), c5 = static_cast<float>(c[5]);
+    g[ch] = std::fma(t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c5, c4), c3), c2), c1),
+                     c0);
+    dg[ch] = std::fma(
+        t, std::fma(t, std::fma(t, std::fma(t, 5.0f * c5, 4.0f * c4), 3.0f * c3), 2.0f * c2),
+        c1);
+  }
+}
+
+// Blocked walk, AVX2: two 8-float vectors per 16-channel block; the six
+// coefficient streams are contiguous (and 32-byte aligned) in the blocked
+// layout, so every load is a plain vector load.
+template <bool NT>
+DP_TARGET_AVX2 void blocked_deriv_avx2_sp(const float* base, float t, std::size_t m,
+                                          std::size_t nblk, float* g, float* dg) {
+  using namespace simd;
+  const v8f vt = f8_set1(t);
+  const v8f two = f8_set1(2.0f), three = f8_set1(3.0f), four = f8_set1(4.0f),
+            five = f8_set1(5.0f);
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const float* c = base + b * 6 * kL;
+    const std::size_t ch0 = b * kL;
+    if (ch0 + kL <= m) {
+      for (std::size_t q = 0; q < kL; q += 8) {
+        const float* cq = c + q;
+        const v8f c1 = f8_load(cq + 1 * kL), c2 = f8_load(cq + 2 * kL),
+                  c3 = f8_load(cq + 3 * kL), c4 = f8_load(cq + 4 * kL),
+                  c5 = f8_load(cq + 5 * kL);
+        v8f y = f8_fmadd(vt, c5, c4);
+        y = f8_fmadd(vt, y, c3);
+        y = f8_fmadd(vt, y, c2);
+        y = f8_fmadd(vt, y, c1);
+        y = f8_fmadd(vt, y, f8_load(cq + 0 * kL));
+        v8f d = f8_fmadd(vt, f8_mul(five, c5), f8_mul(four, c4));
+        d = f8_fmadd(vt, d, f8_mul(three, c3));
+        d = f8_fmadd(vt, d, f8_mul(two, c2));
+        d = f8_fmadd(vt, d, c1);
+        if constexpr (NT) {
+          f8_stream(g + ch0 + q, y);
+          f8_stream(dg + ch0 + q, d);
+        } else {
+          f8_storeu(g + ch0 + q, y);
+          f8_storeu(dg + ch0 + q, d);
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < m - ch0; ++l) {
+        const float* cl = c + l;
+        const float c1 = cl[1 * kL], c2 = cl[2 * kL], c3 = cl[3 * kL], c4 = cl[4 * kL],
+                    c5 = cl[5 * kL];
+        g[ch0 + l] = std::fma(
+            t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c5, c4), c3), c2), c1),
+            cl[0 * kL]);
+        dg[ch0 + l] = std::fma(
+            t,
+            std::fma(t, std::fma(t, std::fma(t, 5.0f * c5, 4.0f * c4), 3.0f * c3), 2.0f * c2),
+            c1);
+      }
+    }
+  }
+}
+
+// Blocked walk, AVX-512: one 16-float vector covers the whole block.
+template <bool NT>
+DP_TARGET_AVX512 void blocked_deriv_avx512_sp(const float* base, float t, std::size_t m,
+                                              std::size_t nblk, float* g, float* dg) {
+  using namespace simd;
+  const v16f vt = f16_set1(t);
+  const v16f two = f16_set1(2.0f), three = f16_set1(3.0f), four = f16_set1(4.0f),
+             five = f16_set1(5.0f);
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const float* c = base + b * 6 * kL;
+    const std::size_t ch0 = b * kL;
+    if (ch0 + kL <= m) {
+      const v16f c1 = f16_load(c + 1 * kL), c2 = f16_load(c + 2 * kL),
+                 c3 = f16_load(c + 3 * kL), c4 = f16_load(c + 4 * kL),
+                 c5 = f16_load(c + 5 * kL);
+      v16f y = f16_fmadd(vt, c5, c4);
+      y = f16_fmadd(vt, y, c3);
+      y = f16_fmadd(vt, y, c2);
+      y = f16_fmadd(vt, y, c1);
+      y = f16_fmadd(vt, y, f16_load(c + 0 * kL));
+      v16f d = f16_fmadd(vt, f16_mul(five, c5), f16_mul(four, c4));
+      d = f16_fmadd(vt, d, f16_mul(three, c3));
+      d = f16_fmadd(vt, d, f16_mul(two, c2));
+      d = f16_fmadd(vt, d, c1);
+      if constexpr (NT) {
+        f16_stream(g + ch0, y);
+        f16_stream(dg + ch0, d);
+      } else {
+        f16_storeu(g + ch0, y);
+        f16_storeu(dg + ch0, d);
+      }
+    } else {
+      for (std::size_t l = 0; l < m - ch0; ++l) {
+        const float* cl = c + l;
+        const float c1 = cl[1 * kL], c2 = cl[2 * kL], c3 = cl[3 * kL], c4 = cl[4 * kL],
+                    c5 = cl[5 * kL];
+        g[ch0 + l] = std::fma(
+            t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c5, c4), c3), c2), c1),
+            cl[0 * kL]);
+        dg[ch0 + l] = std::fma(
+            t,
+            std::fma(t, std::fma(t, std::fma(t, 5.0f * c5, 4.0f * c4), 3.0f * c3), 2.0f * c2),
+            c1);
+      }
+    }
+  }
+}
+
+// Half blocked walk, AVX2: needs F16C for the in-register widen (vcvtph2ps
+// is not implied by the avx2 target attribute) — the dispatcher downgrades
+// the half table to scalar on AVX2 hardware without F16C.
+template <bool NT>
+DP_TARGET_AVX2_F16C void blocked_deriv_avx2_hp(const TabulatedEmbeddingHP::half_t* base,
+                                               float t, std::size_t m, std::size_t nblk,
+                                               float* g, float* dg) {
+  using namespace simd;
+  const v8f vt = f8_set1(t);
+  const v8f two = f8_set1(2.0f), three = f8_set1(3.0f), four = f8_set1(4.0f),
+            five = f8_set1(5.0f);
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const TabulatedEmbeddingHP::half_t* c = base + b * 6 * kL;
+    const std::size_t ch0 = b * kL;
+    if (ch0 + kL <= m) {
+      for (std::size_t q = 0; q < kL; q += 8) {
+        const TabulatedEmbeddingHP::half_t* cq = c + q;
+        const v8f c1 = f8_load_h(cq + 1 * kL), c2 = f8_load_h(cq + 2 * kL),
+                  c3 = f8_load_h(cq + 3 * kL), c4 = f8_load_h(cq + 4 * kL),
+                  c5 = f8_load_h(cq + 5 * kL);
+        v8f y = f8_fmadd(vt, c5, c4);
+        y = f8_fmadd(vt, y, c3);
+        y = f8_fmadd(vt, y, c2);
+        y = f8_fmadd(vt, y, c1);
+        y = f8_fmadd(vt, y, f8_load_h(cq + 0 * kL));
+        v8f d = f8_fmadd(vt, f8_mul(five, c5), f8_mul(four, c4));
+        d = f8_fmadd(vt, d, f8_mul(three, c3));
+        d = f8_fmadd(vt, d, f8_mul(two, c2));
+        d = f8_fmadd(vt, d, c1);
+        if constexpr (NT) {
+          f8_stream(g + ch0 + q, y);
+          f8_stream(dg + ch0 + q, d);
+        } else {
+          f8_storeu(g + ch0 + q, y);
+          f8_storeu(dg + ch0 + q, d);
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < m - ch0; ++l) {
+        const TabulatedEmbeddingHP::half_t* cl = c + l;
+        const float c1 = static_cast<float>(cl[1 * kL]), c2 = static_cast<float>(cl[2 * kL]),
+                    c3 = static_cast<float>(cl[3 * kL]), c4 = static_cast<float>(cl[4 * kL]),
+                    c5 = static_cast<float>(cl[5 * kL]);
+        g[ch0 + l] = std::fma(
+            t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c5, c4), c3), c2), c1),
+            static_cast<float>(cl[0 * kL]));
+        dg[ch0 + l] = std::fma(
+            t,
+            std::fma(t, std::fma(t, std::fma(t, 5.0f * c5, 4.0f * c4), 3.0f * c3), 2.0f * c2),
+            c1);
+      }
+    }
+  }
+}
+
+// Half blocked walk, AVX-512: vcvtph2ps is plain AVX512F, no extra gate.
+template <bool NT>
+DP_TARGET_AVX512 void blocked_deriv_avx512_hp(const TabulatedEmbeddingHP::half_t* base,
+                                              float t, std::size_t m, std::size_t nblk,
+                                              float* g, float* dg) {
+  using namespace simd;
+  const v16f vt = f16_set1(t);
+  const v16f two = f16_set1(2.0f), three = f16_set1(3.0f), four = f16_set1(4.0f),
+             five = f16_set1(5.0f);
+  for (std::size_t b = 0; b < nblk; ++b) {
+    const TabulatedEmbeddingHP::half_t* c = base + b * 6 * kL;
+    const std::size_t ch0 = b * kL;
+    if (ch0 + kL <= m) {
+      const v16f c1 = f16_load_h(c + 1 * kL), c2 = f16_load_h(c + 2 * kL),
+                 c3 = f16_load_h(c + 3 * kL), c4 = f16_load_h(c + 4 * kL),
+                 c5 = f16_load_h(c + 5 * kL);
+      v16f y = f16_fmadd(vt, c5, c4);
+      y = f16_fmadd(vt, y, c3);
+      y = f16_fmadd(vt, y, c2);
+      y = f16_fmadd(vt, y, c1);
+      y = f16_fmadd(vt, y, f16_load_h(c + 0 * kL));
+      v16f d = f16_fmadd(vt, f16_mul(five, c5), f16_mul(four, c4));
+      d = f16_fmadd(vt, d, f16_mul(three, c3));
+      d = f16_fmadd(vt, d, f16_mul(two, c2));
+      d = f16_fmadd(vt, d, c1);
+      if constexpr (NT) {
+        f16_stream(g + ch0, y);
+        f16_stream(dg + ch0, d);
+      } else {
+        f16_storeu(g + ch0, y);
+        f16_storeu(dg + ch0, d);
+      }
+    } else {
+      for (std::size_t l = 0; l < m - ch0; ++l) {
+        const TabulatedEmbeddingHP::half_t* cl = c + l;
+        const float c1 = static_cast<float>(cl[1 * kL]), c2 = static_cast<float>(cl[2 * kL]),
+                    c3 = static_cast<float>(cl[3 * kL]), c4 = static_cast<float>(cl[4 * kL]),
+                    c5 = static_cast<float>(cl[5 * kL]);
+        g[ch0 + l] = std::fma(
+            t, std::fma(t, std::fma(t, std::fma(t, std::fma(t, c5, c4), c3), c2), c1),
+            static_cast<float>(cl[0 * kL]));
+        dg[ch0 + l] = std::fma(
+            t,
+            std::fma(t, std::fma(t, std::fma(t, 5.0f * c5, 4.0f * c4), 3.0f * c3), 2.0f * c2),
+            c1);
+      }
+    }
+  }
+}
+
+#endif  // DP_SIMD_X86
+
+using BlockedDerivSPFn = void (*)(const float*, float, std::size_t, std::size_t, float*,
+                                  float*);
+using BlockedDerivHPFn = void (*)(const TabulatedEmbeddingHP::half_t*, float, std::size_t,
+                                  std::size_t, float*, float*);
+
+BlockedDerivSPFn pick_blocked_deriv_sp(simd::Level lvl, bool nt) {
+#if DP_SIMD_X86
+  if (lvl == simd::Level::AVX512)
+    return nt ? blocked_deriv_avx512_sp<true> : blocked_deriv_avx512_sp<false>;
+  if (lvl == simd::Level::AVX2)
+    return nt ? blocked_deriv_avx2_sp<true> : blocked_deriv_avx2_sp<false>;
+#else
+  (void)lvl;
+  (void)nt;
+#endif
+  return blocked_deriv_scalar_sp;
+}
+
+// The half table's effective level: AVX2 without F16C has no in-register
+// widen, so the half walk dispatches scalar there (AoS and blocked then both
+// run the seed expressions — the layouts stay bitwise identical).
+simd::Level hp_effective(simd::Level lvl) {
+  if (lvl == simd::Level::AVX2 && !simd::has_f16c()) return simd::Level::Scalar;
+  return lvl;
+}
+
+BlockedDerivHPFn pick_blocked_deriv_hp(simd::Level lvl, bool nt) {
+#if DP_SIMD_X86
+  if (lvl == simd::Level::AVX512)
+    return nt ? blocked_deriv_avx512_hp<true> : blocked_deriv_avx512_hp<false>;
+  if (lvl == simd::Level::AVX2)
+    return nt ? blocked_deriv_avx2_hp<true> : blocked_deriv_avx2_hp<false>;
+#else
+  (void)lvl;
+  (void)nt;
+#endif
+  return blocked_deriv_scalar_hp;
+}
+
+}  // namespace
 
 TabulatedEmbeddingSP::TabulatedEmbeddingSP(const TabulatedEmbedding& ref)
     : m_(ref.output_dim()),
+      m_pad_((ref.output_dim() + kL - 1) / kL * kL),
       n_(ref.n_intervals()),
       lo_(static_cast<float>(ref.lo())),
       hi_(static_cast<float>(ref.hi())),
@@ -12,12 +375,33 @@ TabulatedEmbeddingSP::TabulatedEmbeddingSP(const TabulatedEmbedding& ref)
   const auto& src = ref.coefficients();
   coef_.resize(src.size());
   for (std::size_t i = 0; i < src.size(); ++i) coef_[i] = static_cast<float>(src[i]);
+  rebuild_blocked();
+}
+
+void TabulatedEmbeddingSP::rebuild_blocked() {
+  // Same per-16 transpose as TabulatedEmbedding::rebuild_blocked(), on the
+  // already-truncated float coefficients (no re-rounding).
+  coef_blocked_.assign(n_ * m_pad_ * 6, 0.0f);
+  const std::size_t nblk = m_pad_ / kL;
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t ch = 0; ch < m_; ++ch) {
+      const std::size_t b = ch / kL, l = ch % kL;
+      const float* src = coef_.data() + (i * m_ + ch) * 6;
+      float* blk = coef_blocked_.data() + ((i * nblk + b) * 6) * kL;
+      for (std::size_t k = 0; k < 6; ++k) blk[k * kL + l] = src[k];
+    }
 }
 
 void TabulatedEmbeddingSP::eval(float s, float* g) const {
   float t;
   const std::size_t i = locate(s, t);
   const float* base = coef_.data() + i * m_ * 6;
+#if DP_SIMD_X86
+  if (simd::active() != simd::Level::Scalar) {
+    aos_value_fma_sp(base, t, m_, g);
+    return;
+  }
+#endif
 #pragma omp simd
   for (std::size_t ch = 0; ch < m_; ++ch) {
     const float* c = base + ch * 6;
@@ -29,6 +413,12 @@ void TabulatedEmbeddingSP::eval_with_deriv(float s, float* g, float* dg) const {
   float t;
   const std::size_t i = locate(s, t);
   const float* base = coef_.data() + i * m_ * 6;
+#if DP_SIMD_X86
+  if (simd::active() != simd::Level::Scalar) {
+    aos_deriv_fma_sp(base, t, m_, g, dg);
+    return;
+  }
+#endif
   for (std::size_t ch = 0; ch < m_; ++ch) {
     const float* c = base + ch * 6;
     g[ch] = c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
@@ -36,8 +426,38 @@ void TabulatedEmbeddingSP::eval_with_deriv(float s, float* g, float* dg) const {
   }
 }
 
+void TabulatedEmbeddingSP::eval_with_deriv_blocked_batch(const float* s, std::size_t s_stride,
+                                                         std::size_t count, float* g,
+                                                         float* dg, std::size_t out_stride,
+                                                         bool streaming) const {
+  // One dispatch for the whole run; locate() per element keeps the
+  // extrapolation telemetry identical to per-slot eval_with_deriv calls.
+  bool nt = false;
+#if DP_SIMD_X86
+  nt = streaming && simd::active() != simd::Level::Scalar &&
+       ((reinterpret_cast<std::uintptr_t>(g) | reinterpret_cast<std::uintptr_t>(dg) |
+         (out_stride * sizeof(float))) %
+            64 ==
+        0);
+#else
+  (void)streaming;
+#endif
+  const BlockedDerivSPFn fn = pick_blocked_deriv_sp(simd::active(), nt);
+  const std::size_t nblk = m_pad_ / kL;
+  for (std::size_t k = 0; k < count; ++k) {
+    float t;
+    const std::size_t i = locate(s[k * s_stride], t);
+    fn(coef_blocked_.data() + i * nblk * 6 * kL, t, m_, nblk, g + k * out_stride,
+       dg + k * out_stride);
+  }
+#if DP_SIMD_X86
+  if (nt) simd::store_fence();
+#endif
+}
+
 TabulatedEmbeddingHP::TabulatedEmbeddingHP(const TabulatedEmbedding& ref)
     : m_(ref.output_dim()),
+      m_pad_((ref.output_dim() + kL - 1) / kL * kL),
       n_(ref.n_intervals()),
       lo_(static_cast<float>(ref.lo())),
       hi_(static_cast<float>(ref.hi())),
@@ -47,12 +467,31 @@ TabulatedEmbeddingHP::TabulatedEmbeddingHP(const TabulatedEmbedding& ref)
   coef_.resize(src.size());
   for (std::size_t i = 0; i < src.size(); ++i)
     coef_[i] = static_cast<half_t>(static_cast<float>(src[i]));
+  rebuild_blocked();
+}
+
+void TabulatedEmbeddingHP::rebuild_blocked() {
+  coef_blocked_.assign(n_ * m_pad_ * 6, static_cast<half_t>(0.0f));
+  const std::size_t nblk = m_pad_ / kL;
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t ch = 0; ch < m_; ++ch) {
+      const std::size_t b = ch / kL, l = ch % kL;
+      const half_t* src = coef_.data() + (i * m_ + ch) * 6;
+      half_t* blk = coef_blocked_.data() + ((i * nblk + b) * 6) * kL;
+      for (std::size_t k = 0; k < 6; ++k) blk[k * kL + l] = src[k];
+    }
 }
 
 void TabulatedEmbeddingHP::eval(float s, float* g) const {
   float t;
   const std::size_t i = locate(s, t);
   const half_t* base = coef_.data() + i * m_ * 6;
+#if DP_SIMD_X86
+  if (hp_effective(simd::active()) != simd::Level::Scalar) {
+    aos_value_fma_hp(base, t, m_, g);
+    return;
+  }
+#endif
   for (std::size_t ch = 0; ch < m_; ++ch) {
     const half_t* c = base + ch * 6;
     const float c0 = static_cast<float>(c[0]), c1 = static_cast<float>(c[1]),
@@ -66,6 +505,12 @@ void TabulatedEmbeddingHP::eval_with_deriv(float s, float* g, float* dg) const {
   float t;
   const std::size_t i = locate(s, t);
   const half_t* base = coef_.data() + i * m_ * 6;
+#if DP_SIMD_X86
+  if (hp_effective(simd::active()) != simd::Level::Scalar) {
+    aos_deriv_fma_hp(base, t, m_, g, dg);
+    return;
+  }
+#endif
   for (std::size_t ch = 0; ch < m_; ++ch) {
     const half_t* c = base + ch * 6;
     const float c1 = static_cast<float>(c[1]), c2 = static_cast<float>(c[2]),
@@ -75,6 +520,34 @@ void TabulatedEmbeddingHP::eval_with_deriv(float s, float* g, float* dg) const {
             t * (c1 + t * (c2 + t * (c3 + t * (c4 + t * c5))));
     dg[ch] = c1 + t * (2 * c2 + t * (3 * c3 + t * (4 * c4 + t * 5 * c5)));
   }
+}
+
+void TabulatedEmbeddingHP::eval_with_deriv_blocked_batch(const float* s, std::size_t s_stride,
+                                                         std::size_t count, float* g,
+                                                         float* dg, std::size_t out_stride,
+                                                         bool streaming) const {
+  const simd::Level lvl = hp_effective(simd::active());
+  bool nt = false;
+#if DP_SIMD_X86
+  nt = streaming && lvl != simd::Level::Scalar &&
+       ((reinterpret_cast<std::uintptr_t>(g) | reinterpret_cast<std::uintptr_t>(dg) |
+         (out_stride * sizeof(float))) %
+            64 ==
+        0);
+#else
+  (void)streaming;
+#endif
+  const BlockedDerivHPFn fn = pick_blocked_deriv_hp(lvl, nt);
+  const std::size_t nblk = m_pad_ / kL;
+  for (std::size_t k = 0; k < count; ++k) {
+    float t;
+    const std::size_t i = locate(s[k * s_stride], t);
+    fn(coef_blocked_.data() + i * nblk * 6 * kL, t, m_, nblk, g + k * out_stride,
+       dg + k * out_stride);
+  }
+#if DP_SIMD_X86
+  if (nt) simd::store_fence();
+#endif
 }
 
 }  // namespace dp::tab

@@ -25,11 +25,25 @@ class TabulatedEmbeddingSP {
   void eval(float s, float* g) const;
   void eval_with_deriv(float s, float* g, float* dg) const;
 
+  /// Batched blocked walk over `count` float inputs at s[k * s_stride];
+  /// g/dg rows at g + k * out_stride. The float analog of
+  /// TabulatedEmbedding::eval_with_deriv_blocked_batch: one SIMD dispatch
+  /// for the run, 16-float vectors at AVX-512 (a whole kLane block per
+  /// instruction), identical results to `count` eval_with_deriv calls at
+  /// Level::Scalar and within the per-level ulp contract otherwise.
+  /// `streaming` as in the double table (non-temporal stores, same bits,
+  /// honored only when every output row is 64-byte aligned).
+  void eval_with_deriv_blocked_batch(const float* s, std::size_t s_stride,
+                                     std::size_t count, float* g, float* dg,
+                                     std::size_t out_stride, bool streaming = false) const;
+
   /// Out-of-range evaluations, mirroring TabulatedEmbedding::extrapolations()
   /// so the --health extrapolation-rate watchdog sees the mixed path too.
   std::size_t extrapolations() const { return extrapolations_.value(); }
 
  private:
+  /// Rebuilds the blocked (SVE-style) float layout from the AoS copy.
+  void rebuild_blocked();
   std::size_t locate(float s, float& t) const {
     float u = (s - lo_) * inv_h_;
     std::size_t i;
@@ -46,9 +60,10 @@ class TabulatedEmbeddingSP {
     return i;
   }
 
-  std::size_t m_ = 0, n_ = 0;
+  std::size_t m_ = 0, m_pad_ = 0, n_ = 0;
   float lo_ = 0, hi_ = 1, h_ = 1, inv_h_ = 1;
-  AlignedVector<float> coef_;  // [(i * m + ch) * 6 + k]
+  AlignedVector<float> coef_;          // AoS: [(i * m + ch) * 6 + k]
+  AlignedVector<float> coef_blocked_;  // [(i * nblk + b) * 6 + k][lane]
   mutable RelaxedCounter extrapolations_;  // relaxed; see table.hpp
 };
 
@@ -70,10 +85,20 @@ class TabulatedEmbeddingHP {
   void eval(float s, float* g) const;
   void eval_with_deriv(float s, float* g, float* dg) const;
 
+  /// Batched blocked walk (see TabulatedEmbeddingSP): coefficients are
+  /// widened half -> float in registers (vcvtph2ps at the vector levels,
+  /// exact either way), so the AVX2 variant additionally needs F16C — when
+  /// the CPU lacks it the half table dispatches scalar at AVX2.
+  void eval_with_deriv_blocked_batch(const float* s, std::size_t s_stride,
+                                     std::size_t count, float* g, float* dg,
+                                     std::size_t out_stride, bool streaming = false) const;
+
   /// Mirrors TabulatedEmbedding::extrapolations() for the --health watchdog.
   std::size_t extrapolations() const { return extrapolations_.value(); }
 
  private:
+  /// Rebuilds the blocked (SVE-style) half layout from the AoS copy.
+  void rebuild_blocked();
   std::size_t locate(float s, float& t) const {
     float u = (s - lo_) * inv_h_;
     std::size_t i;
@@ -90,9 +115,10 @@ class TabulatedEmbeddingHP {
     return i;
   }
 
-  std::size_t m_ = 0, n_ = 0;
+  std::size_t m_ = 0, m_pad_ = 0, n_ = 0;
   float lo_ = 0, hi_ = 1, h_ = 1, inv_h_ = 1;
-  AlignedVector<half_t> coef_;
+  AlignedVector<half_t> coef_;          // AoS: [(i * m + ch) * 6 + k]
+  AlignedVector<half_t> coef_blocked_;  // [(i * nblk + b) * 6 + k][lane]
   mutable RelaxedCounter extrapolations_;  // relaxed; see table.hpp
 };
 

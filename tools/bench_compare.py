@@ -65,6 +65,36 @@ RULES = {
             "tab_vector_over_scalar": ("tab_vector_seconds", "tab_scalar_seconds"),
         },
     },
+    "mixed": {
+        "key": ["atoms"],
+        # Table footprint and the byte ratios of the reduced-precision
+        # tables are pure model structure: Single must hold at exactly half
+        # the double bytes, Half at a quarter. Per-step coefficient traffic
+        # is likewise deterministic (neighbor list x embedding width x
+        # element size).
+        "strict": [
+            "table_bytes_double",
+            "table_bytes_single",
+            "table_bytes_half",
+            "single_bytes_ratio",
+            "half_bytes_ratio",
+            "step_bytes_double",
+            "step_bytes_single",
+            "step_bytes_half",
+        ],
+        "higher_better": [],
+        # Mixed-over-double time per step, both sides from the same run so
+        # absolute machine speed cancels. A ratio climbing past the factor
+        # means the float-lane path lost its advantage (e.g. the batched
+        # kernels stopped dispatching). `lanes_sp` and the force-RMSE
+        # columns are carried but never compared: the former is
+        # machine-dependent, the latter varies in the last bits with the
+        # dispatched level.
+        "derived": {
+            "mixed_single_over_double": ("single_seconds", "double_seconds"),
+            "mixed_half_over_double": ("half_seconds", "double_seconds"),
+        },
+    },
 }
 
 
@@ -228,6 +258,48 @@ def selftest():
     narrow[("prod_force", (160.0, 2.0))]["lanes"] = 1.0
     narrow[("prod_force", (160.0, 2.0))]["tab_vector_seconds"] = 1.0
     assert compare(widened, narrow, 10.0, False, 0.5) == []
+    # Mixed-precision ablation events: structural byte ratios are strict,
+    # the mixed/double time ratio is factor-gated, lanes_sp and force RMSE
+    # are carried but never compared.
+    mixed_base = {
+        ("mixed", (192.0,)): {
+            "table_bytes_double": 1000.0,
+            "table_bytes_single": 500.0,
+            "table_bytes_half": 250.0,
+            "single_bytes_ratio": 0.5,
+            "half_bytes_ratio": 0.25,
+            "step_bytes_double": 8000.0,
+            "step_bytes_single": 4000.0,
+            "step_bytes_half": 2000.0,
+            "double_seconds": 1.0,
+            "single_seconds": 0.8,
+            "half_seconds": 0.9,
+            "single_force_rmse": 1e-10,
+            "lanes_sp": 16.0,
+        },
+    }
+
+    def mixed_clone():
+        return {k: dict(v) for k, v in mixed_base.items()}
+
+    assert compare(mixed_base, mixed_clone(), 2.0, False, 0.5) == []
+    # A Single table that stopped shrinking is structural drift.
+    fat = mixed_clone()
+    fat[("mixed", (192.0,))]["single_bytes_ratio"] = 1.0
+    assert any("single_bytes_ratio" in p for p in compare(mixed_base, fat, 2.0, False, 0.5))
+    # Mixed path losing its speed advantage beyond the factor fails.
+    lost = mixed_clone()
+    lost[("mixed", (192.0,))]["single_seconds"] = 2.0
+    assert any("mixed_single_over_double" in p
+               for p in compare(mixed_base, lost, 2.0, False, 0.5))
+    # A scalar runner (lanes_sp 1, slightly different RMSE, slower in
+    # absolute terms but same within-run ratios) passes.
+    scalar_host = mixed_clone()
+    scalar_host[("mixed", (192.0,))].update(
+        {"lanes_sp": 1.0, "single_force_rmse": 2e-10, "double_seconds": 5.0,
+         "single_seconds": 4.5, "half_seconds": 4.8}
+    )
+    assert compare(mixed_base, scalar_host, 2.0, False, 0.5) == []
     print("bench_compare selftest: ok")
     return 0
 

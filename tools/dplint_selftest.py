@@ -186,6 +186,64 @@ class RuleTest(unittest.TestCase):
                          rules("src/tab/table.cpp",
                                "simd::v4d y = simd::v4_fmadd(a, b, c);\n"))
 
+    def test_raw_intrinsics_float_lane(self):
+        # The float-lane surface fires exactly like the double one: bare
+        # float vector types, _ps intrinsics, fp16 vectors and _ph/cvtph
+        # intrinsics, and the wide mask type.
+        self.assertIn("raw-intrinsics",
+                      rules("src/tab/table_sp.cpp", "__m256 y = _mm256_loadu_ps(p);\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/fused/mixed_model.cpp", "__m512 v;\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/tab/table_sp.cpp", "x = _mm512_fmadd_ps(a, b, c);\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/tab/table_sp.cpp", "__m256h hvec;\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/tab/table_sp.cpp",
+                            "auto w = _mm256_cvtph_ps(_mm_loadu_si128(p));\n"))
+        self.assertIn("raw-intrinsics",
+                      rules("src/fused/mixed_model.cpp", "__mmask16 k = 0xffff;\n"))
+        # The float wrappers are the sanctioned spelling outside simd.hpp.
+        self.assertNotIn("raw-intrinsics",
+                         rules("src/tab/table_sp.cpp",
+                               "simd::f16 y = simd::f16_fmadd(a, b, c);\n"))
+        ok = ("#include <immintrin.h>\n"
+              "__m512 f16_loadu(const float* p) { return _mm512_loadu_ps(p); }\n")
+        self.assertNotIn("raw-intrinsics", rules("src/common/simd.hpp", ok))
+
+    def test_hot_pragma_simd(self):
+        # A pragma in a converted hot-loop body (outside any *_scalar
+        # function) means the loop slipped off the dispatcher.
+        bad = ("void rank1_update(const double* r, double* a, std::size_t m) {\n"
+               "#pragma omp simd\n"
+               "  for (std::size_t b = 0; b < m; ++b) a[b] += r[0];\n"
+               "}\n")
+        for rel in ("src/fused/fused_model.cpp", "src/fused/mixed_model.cpp",
+                    "src/dp/descriptor.cpp", "src/dp/prod_force.cpp"):
+            self.assertIn("hot-pragma-simd", rules(rel, bad), msg=rel)
+        # Inside a *_scalar seed body the pragma is the preserved contract.
+        ok = ("void rank1_update_scalar(const double* r, double* a, std::size_t m) {\n"
+              "#pragma omp simd reduction(+ : acc)\n"
+              "  for (std::size_t b = 0; b < m; ++b) acc += r[b];\n"
+              "}\n")
+        self.assertNotIn("hot-pragma-simd", rules("src/fused/fused_model.cpp", ok))
+        # A *_scalar body must bound the exemption: a pragma after its
+        # closing brace still fires.
+        mixed_src = (ok +
+                     "void other(double* a, std::size_t m) {\n"
+                     "#pragma omp simd\n"
+                     "  for (std::size_t b = 0; b < m; ++b) a[b] = 0;\n"
+                     "}\n")
+        self.assertIn("hot-pragma-simd", rules("src/dp/descriptor.cpp", mixed_src))
+        # Call sites of *_scalar functions are not bodies; other pragmas and
+        # other files stay out of scope.
+        call_site = ("void dispatch() { rank1_update_scalar(r, a, m); }\n")
+        self.assertNotIn("hot-pragma-simd", rules("src/fused/fused_model.cpp", call_site))
+        other_pragma = "#pragma omp parallel for\nvoid f();\n"
+        self.assertNotIn("hot-pragma-simd",
+                         rules("src/fused/fused_model.cpp", other_pragma))
+        self.assertNotIn("hot-pragma-simd", rules("src/tab/table.cpp", bad))
+
     def test_narrowing_cast(self):
         self.assertIn("narrowing-cast", rules("src/md/neighbor.cpp", "int j = (int)a;\n"))
         self.assertIn("narrowing-cast", rules("src/md/neighbor.hpp", "x = (unsigned)n;\n"))
