@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/distributed_md.hpp"
+#include "parallel/transport.hpp"
 #include "perf/cost_model.hpp"
 #include "tab/compressed_model.hpp"
 #include "tab/model_io.hpp"
@@ -73,6 +74,11 @@ Args parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw dp::Error("expected --option, got " + key);
     key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      // --key=value spelling
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       // Assign through a std::string temporary: string::operator=(const
       // char*) trips GCC 12's -Wrestrict false positive (PR105329) once
@@ -151,6 +157,18 @@ void print_health_summary(const dp::obs::HealthReport& report) {
                 dp::obs::to_string(e.state), e.value, e.warn, e.fatal,
                 static_cast<unsigned long long>(e.transitions));
   }
+}
+
+/// Writes the gathered final forces, indexed by global atom id, as %a hex
+/// floats — the exact bit pattern, so the cross-transport parity tests can
+/// diff the files for bitwise agreement.
+void write_force_dump(const std::string& path, const std::vector<dp::Vec3>& force) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw dp::Error("cannot write force dump to " + path);
+  for (std::size_t i = 0; i < force.size(); ++i)
+    std::fprintf(f, "%zu %a %a %a\n", i, force[i].x, force[i].y, force[i].z);
+  std::fclose(f);
+  std::printf("force dump (%zu atoms) written to %s\n", force.size(), path.c_str());
 }
 
 /// Reads the output flags and turns on trace collection if requested (must
@@ -345,6 +363,16 @@ int cmd_run(const Args& args) {
     std::printf("restarted from %s (step %d, %zu atoms)\n", args.get("restart").c_str(),
                 ck.step, sys.atoms.size());
   }
+  // Inhomogeneous-load scenario: grow the box along x by FRAC without moving
+  // atoms, leaving a vacuum slab at high x — the workload where fixed slabs
+  // are maximally unbalanced and --rebalance has the most to recover.
+  const double vacuum = args.get_double("vacuum", 0.0);
+  if (vacuum > 0.0) {
+    const dp::Vec3 L = sys.box.lengths();
+    sys.box = dp::md::Box(L.x * (1.0 + vacuum), L.y, L.z);
+    std::printf("vacuum gap: box stretched to %.2f A along x\n",
+                sys.box.lengths().x);
+  }
 
   if (!bundle) {
     const double rmin = args.get_double("rmin", system == "water" ? 0.8 : 1.8);
@@ -396,13 +424,23 @@ int cmd_run(const Args& args) {
   const int inject_segv = args.get_int("inject-segv", -1);
   const int inject_fatal = args.get_int("inject-fatal", -1);
 
-  // Domain-decomposed run on in-process ranks (fused path only; the serial
-  // driver below additionally supports thermostats and trajectory dumps).
-  if (args.get_int("ranks", 1) > 1) {
-    const int ranks = args.get_int("ranks", 1);
+  // Transport selection: --transport/--rank/--world/--rendezvous/--timeout
+  // override the DP_* environment (transport_config_from_env). Anything but
+  // "threads" makes this process exactly one rank of a multi-process world.
+  dp::par::TransportConfig tcfg = dp::par::transport_config_from_env();
+  if (args.has("transport"))
+    tcfg.kind = dp::par::parse_transport_kind(args.get("transport"));
+  if (args.has("rank")) tcfg.rank = args.get_int("rank", 0);
+  if (args.has("world")) tcfg.world = args.get_int("world", 1);
+  if (args.has("rendezvous")) tcfg.rendezvous = args.get("rendezvous");
+  if (args.has("timeout")) tcfg.timeout_seconds = args.get_double("timeout", 60.0);
+  const bool multiprocess = tcfg.kind != dp::par::TransportKind::Threads;
+
+  // Domain-decomposed run — in-process rank threads (--ranks N) or one rank
+  // of a multi-process world (--transport shm|tcp). Fused path only; the
+  // serial driver below additionally supports thermostats and dumps.
+  if (multiprocess || args.get_int("ranks", 1) > 1) {
     sc.rebuild_every = args.get_int("rebuild-every", 10);
-    std::printf("%s | %zu atoms | distributed on %d ranks | %d steps\n", system.c_str(),
-                sys.atoms.size(), ranks, sc.steps);
     dp::TimerRegistry::instance().clear();
     dp::par::DistributedOptions dopts;
     dp::obs::HealthConfig hcfg;
@@ -415,6 +453,10 @@ int cmd_run(const Args& args) {
       dopts.flight_dir = flight_dir;
       dopts.metrics_rewrite_path = obs_out.metrics_path;
     }
+    dopts.rebalance = args.has("rebalance");
+    dopts.rebalance_every = args.get_int("rebalance-every", dopts.rebalance_every);
+    const std::string force_dump = args.get("force-dump");
+    dopts.gather_state = !force_dump.empty();
     if (inject_segv >= 0 || inject_fatal >= 0) {
       dopts.on_sample = [inject_segv, inject_fatal](int rank, int step) {
         if (rank != 0) return;
@@ -433,18 +475,45 @@ int cmd_run(const Args& args) {
         }
       };
     }
-    const auto result = dp::par::run_distributed_md(
-        ranks, sys, [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); }, sc,
-        dopts);
-    std::printf("%6s %14s %10s\n", "step", "E_tot [eV]", "T [K]");
-    for (const auto& s : result.thermo)
-      std::printf("%6d %14.6f %10.2f\n", s.step, s.total(), s.temperature);
-    std::printf("comm: %.1f KB in %llu messages; max ghosts/rank %zu; wall %.2f s\n",
-                result.comm.bytes / 1024.0,
-                static_cast<unsigned long long>(result.comm.messages),
-                result.max_ghost_atoms, result.wall_seconds);
-    print_step_breakdown(result.wall_seconds, ranks);
-    if (health_on) print_health_summary(result.health);
+    const auto factory = [&] { return std::make_unique<dp::fused::FusedDP>(tabulated); };
+    dp::par::DistributedRunResult result;
+    int ranks = 0;
+    bool print_results = true;
+    if (multiprocess) {
+      dp::par::ProcessGroup pg(tcfg);
+      ranks = pg.size();
+      print_results = pg.rank() == 0;
+      if (print_results)
+        std::printf("%s | %zu atoms | distributed on %d %s ranks | %d steps\n",
+                    system.c_str(), sys.atoms.size(), ranks,
+                    tcfg.kind == dp::par::TransportKind::Shm ? "shm" : "tcp", sc.steps);
+      result = dp::par::run_distributed_md_rank(pg.comm(), sys, factory, sc, dopts);
+    } else {
+      ranks = args.get_int("ranks", 1);
+      std::printf("%s | %zu atoms | distributed on %d ranks | %d steps\n", system.c_str(),
+                  sys.atoms.size(), ranks, sc.steps);
+      result = dp::par::run_distributed_md(ranks, sys, factory, sc, dopts);
+    }
+    if (print_results) {
+      std::printf("%6s %14s %10s\n", "step", "E_tot [eV]", "T [K]");
+      for (const auto& s : result.thermo)
+        std::printf("%6d %14.6f %10.2f\n", s.step, s.total(), s.temperature);
+      std::printf(
+          "comm[%s]: %.1f KB in %llu messages (%.1f KB wire); max ghosts/rank %zu; "
+          "wall %.2f s\n",
+          result.comm.transport, result.comm.bytes / 1024.0,
+          static_cast<unsigned long long>(result.comm.messages),
+          result.comm.wire_bytes / 1024.0, result.max_ghost_atoms, result.wall_seconds);
+      std::printf("rebuilds %llu (early %llu); load imbalance %.4f; boundary shifts "
+                  "%llu\n",
+                  static_cast<unsigned long long>(result.neighbor_rebuilds),
+                  static_cast<unsigned long long>(result.early_rebuilds),
+                  result.load_imbalance,
+                  static_cast<unsigned long long>(result.boundary_shifts));
+      if (!force_dump.empty()) write_force_dump(force_dump, result.final_force);
+      print_step_breakdown(result.wall_seconds, multiprocess ? 1 : ranks);
+      if (health_on) print_health_summary(result.health);
+    }
     write_observability(obs_out);
     return 0;
   }
@@ -604,6 +673,11 @@ int usage() {
       "            [--dt FS] [--temp K] [--thermostat none|langevin|berendsen|nose-hoover]\n"
       "            [--pressure BAR]\n"
       "            [--dump traj.xyz] [--thermo out.csv] [--ranks N]\n"
+      "            [--transport threads|shm|tcp --rank K --world N\n"
+      "             --rendezvous NAME|HOST:PORT [--timeout S]]  (or DP_TRANSPORT,\n"
+      "             DP_RANK, DP_WORLD, DP_RENDEZVOUS, DP_TIMEOUT env)\n"
+      "            [--rebalance [--rebalance-every K]] [--vacuum FRAC]\n"
+      "            [--force-dump F]\n"
       "            [--restart ckpt] [--save-checkpoint ckpt] [--data lammps.data]\n"
       "            [--trace out.trace.json] [--metrics out.metrics.jsonl]\n"
       "            [--health] [--flight-recorder [DIR]]\n"

@@ -28,6 +28,7 @@
 // analysis.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -130,6 +131,13 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(MutexUniqueLock& lk) { cv_.wait(lk.lk_); }
+  /// Timed wait for transports that must fail over to a fatal diagnostic
+  /// instead of hanging (a dead peer process never notifies). Returns false
+  /// on timeout; like wait(), belongs inside an explicit predicate loop.
+  bool wait_for(MutexUniqueLock& lk, double seconds) {
+    return cv_.wait_for(lk.lk_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

@@ -205,6 +205,10 @@ DP_SIGNAL_SAFE void FlightRecorder::dump(int fd) const {
   const std::uint64_t first = h - count;
   out.lit("{\n  \"rank\": ");
   out.i64(rank_);
+  // The pid disambiguates rings from multi-process runs (each process
+  // re-numbers ranks from its own world); getpid() is async-signal-safe.
+  out.lit(",\n  \"pid\": ");
+  out.i64(static_cast<std::int64_t>(::getpid()));
   out.lit(",\n  \"capacity\": ");
   out.u64(cap_);
   out.lit(",\n  \"count\": ");

@@ -44,26 +44,56 @@ int Decomp::rank_of(const std::array<int, 3>& c) const {
   return (c[0] * grid_[1] + c[1]) * grid_[2] + c[2];
 }
 
+int Decomp::coord_of(int dim, double x) const {
+  const auto d = static_cast<std::size_t>(dim);
+  const int n = grid_[d];
+  if (cuts_[d].empty()) {
+    // Uniform fast path — the seed arithmetic, bit-for-bit.
+    return std::min(static_cast<int>(x / cell_[d]), n - 1);
+  }
+  const auto& cuts = cuts_[d];
+  // First interior boundary strictly greater than x owns the next slab;
+  // coordinates at or past the last boundary clamp into the last slab.
+  const auto it = std::upper_bound(cuts.begin() + 1, cuts.end() - 1, x);
+  return static_cast<int>(it - (cuts.begin() + 1));
+}
+
 int Decomp::owner_of(const Vec3& pos) const {
   const Vec3 p = box_.wrap(pos);
   std::array<int, 3> c;
   for (int d = 0; d < 3; ++d) {
-    c[static_cast<std::size_t>(d)] =
-        std::min(static_cast<int>(p[static_cast<std::size_t>(d)] /
-                                  cell_[static_cast<std::size_t>(d)]),
-                 grid_[static_cast<std::size_t>(d)] - 1);
+    c[static_cast<std::size_t>(d)] = coord_of(d, p[static_cast<std::size_t>(d)]);
   }
   return rank_of(c);
 }
 
+double Decomp::cut(int dim, int i) const {
+  const auto d = static_cast<std::size_t>(dim);
+  if (cuts_[d].empty()) return i * cell_[d];
+  return cuts_[d][static_cast<std::size_t>(i)];
+}
+
+void Decomp::set_cuts(int dim, const std::vector<double>& cuts) {
+  const auto d = static_cast<std::size_t>(dim);
+  const int n = grid_[d];
+  DP_CHECK_MSG(static_cast<int>(cuts.size()) == n + 1,
+               "set_cuts: need " << n + 1 << " planes, got " << cuts.size());
+  const double L = box_.lengths()[d];
+  DP_CHECK_MSG(cuts.front() == 0.0 && cuts.back() == L,
+               "set_cuts: planes must span [0, " << L << "] exactly");
+  for (std::size_t i = 1; i < cuts.size(); ++i)
+    DP_CHECK_MSG(cuts[i] > cuts[i - 1], "set_cuts: planes must strictly increase");
+  cuts_[d] = cuts;
+}
+
 Vec3 Decomp::lo(int rank) const {
   const auto c = coords_of(rank);
-  return {c[0] * cell_.x, c[1] * cell_.y, c[2] * cell_.z};
+  return {cut(0, c[0]), cut(1, c[1]), cut(2, c[2])};
 }
 
 Vec3 Decomp::hi(int rank) const {
   const auto c = coords_of(rank);
-  return {(c[0] + 1) * cell_.x, (c[1] + 1) * cell_.y, (c[2] + 1) * cell_.z};
+  return {cut(0, c[0] + 1), cut(1, c[1] + 1), cut(2, c[2] + 1)};
 }
 
 int Decomp::neighbor(int rank, int dim, int dir) const {
@@ -73,7 +103,15 @@ int Decomp::neighbor(int rank, int dim, int dir) const {
   return rank_of(c);
 }
 
-double Decomp::min_extent() const { return std::min({cell_.x, cell_.y, cell_.z}); }
+double Decomp::min_extent() const {
+  double m = std::min({cell_.x, cell_.y, cell_.z});
+  for (int d = 0; d < 3; ++d) {
+    if (!has_cuts(d)) continue;
+    for (int c = 0; c < grid_[static_cast<std::size_t>(d)]; ++c)
+      m = std::min(m, width(d, c));
+  }
+  return m;
+}
 
 double Decomp::ghost_fraction(double halo_width) const {
   // Volume of the shell of width h around a cell, relative to the cell.

@@ -1,8 +1,16 @@
 // 3D Cartesian domain decomposition: each rank owns one orthorhombic
 // sub-region of the global box (paper Fig 1 (a)).
+//
+// By default the grid is uniform. Each dimension can instead carry an
+// explicit cut array (set_cuts) so slab boundaries can move — the
+// measurement-driven rebalancing in distributed_md shifts them from
+// per-rank step-time EWMAs. With no cuts set, every query reproduces the
+// seed's uniform arithmetic bit-for-bit, which is what keeps the
+// rebalance-off path bitwise identical to history.
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "common/types.hpp"
 #include "md/box.hpp"
@@ -26,9 +34,27 @@ class Decomp {
   /// Owning rank of a (wrapped) position.
   int owner_of(const Vec3& pos) const;
 
+  /// Grid coordinate along `dim` owning the (wrapped, in-box) coordinate x.
+  /// This is the single owner function every caller (owner_of, migrate)
+  /// must share so "who owns this atom" has exactly one answer.
+  int coord_of(int dim, double x) const;
+
   /// Sub-region bounds of a rank: [lo, hi) per dimension.
   Vec3 lo(int rank) const;
   Vec3 hi(int rank) const;
+
+  /// Boundary plane `i` (0..grid[dim]) and slab width of coordinate c
+  /// along `dim`, honoring cuts when set.
+  double cut(int dim, int i) const;
+  double width(int dim, int c) const { return cut(dim, c + 1) - cut(dim, c); }
+
+  /// Installs explicit boundary planes along `dim`: grid[dim]+1 strictly
+  /// increasing values spanning exactly [0, L[dim]]. Passing the uniform
+  /// planes is NOT the same as never calling this — the uniform fast path
+  /// divides instead of searching — so rebalancing callers only install
+  /// cuts when they actually move a boundary.
+  void set_cuts(int dim, const std::vector<double>& cuts);
+  bool has_cuts(int dim) const { return !cuts_[static_cast<std::size_t>(dim)].empty(); }
 
   /// Face neighbor in dimension d, direction dir (+1/-1), periodic wrap.
   int neighbor(int rank, int dim, int dir) const;
@@ -37,13 +63,16 @@ class Decomp {
   double min_extent() const;
 
   /// Ghost-shell volume fraction: the analytic communication-to-computation
-  /// proxy the paper's Sec 6.4.1 argument is built on.
+  /// proxy the paper's Sec 6.4.1 argument is built on. Uses the mean slab
+  /// widths (exact for the uniform grid).
   double ghost_fraction(double halo_width) const;
 
  private:
   md::Box box_;
   std::array<int, 3> grid_;
   Vec3 cell_;
+  /// Per-dimension boundary planes; empty = uniform (the seed behavior).
+  std::array<std::vector<double>, 3> cuts_;
 };
 
 }  // namespace dp::par

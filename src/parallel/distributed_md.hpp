@@ -52,6 +52,9 @@ struct DistributedRunResult {
   /// subset forced early by the skin/2 displacement trigger.
   std::uint64_t neighbor_rebuilds = 0;
   std::uint64_t early_rebuilds = 0;
+  /// Slab-boundary updates applied by the measurement-driven rebalancer
+  /// (0 unless DistributedOptions::rebalance).
+  std::uint64_t boundary_shifts = 0;
   /// Snapshot of the final state, sorted by global atom id (for parity
   /// tests against a serial run). Filled only when gather_state is set.
   std::vector<Vec3> final_pos, final_vel, final_force;
@@ -90,7 +93,37 @@ struct DistributedOptions {
   /// (sample + flight record + metrics rewrite have all landed).
   /// Crash-injection tests raise their signal from here.
   std::function<void(int rank, int step)> on_sample;
+
+  /// Measurement-driven slab rebalancing (paper Fig 6c's "carefully divided"
+  /// sub-regions, made automatic). Along the axis with the most ranks, slab
+  /// boundaries start at atom-count-equalizing positions and then follow the
+  /// measured per-rank step-time EWMAs: every `rebalance_every` neighbor
+  /// rebuilds the EWMAs are allgathered (a one-hot allreduce, exact in fp)
+  /// and each boundary takes a damped step towards the inverse-time target
+  /// widths. Off (the default) leaves the uniform grid untouched and
+  /// reproduces the unbalanced trajectory bitwise.
+  bool rebalance = false;
+  int rebalance_every = 4;          ///< rebuilds between boundary updates
+  double rebalance_damping = 0.5;   ///< fraction of the target step applied
+  /// Skip the update while max/mean slab time - 1 is below this (keeps
+  /// boundaries still once balanced, so migration churn stops).
+  double rebalance_hysteresis = 0.05;
 };
+
+/// SPMD entry point: runs this rank's share of the global configuration over
+/// an already-connected communicator — in-process rank threads
+/// (run_distributed_md below) and one-rank-per-process worlds
+/// (ProcessGroup::comm() over the shm/tcp transports) take the identical
+/// path. Every rank must pass the same configuration and options (each
+/// derives the decomposition and initial velocities independently, which is
+/// why init is deterministic in sim.seed). `result.thermo` is filled on
+/// every rank; the aggregate fields and the gathered final state (sent to
+/// rank 0 over tags >= 1<<22) are meaningful on rank 0 only.
+DistributedRunResult run_distributed_md_rank(Communicator& comm,
+                                             const md::Configuration& global,
+                                             const ForceFieldFactory& factory,
+                                             const md::SimulationConfig& sim,
+                                             const DistributedOptions& opts = {});
 
 /// Runs `sim.steps` MD steps of the global configuration on `nranks`
 /// in-process ranks.

@@ -104,6 +104,18 @@ void HaloExchange::exchange_ghosts(Communicator& comm, md::Atoms& atoms) {
   const auto coords = decomp_.coords_of(rank_);
   const Vec3 L = box_.lengths();
 
+  // Slab boundaries can move between rebuilds (the rebalancer installs new
+  // cuts on the Decomp this exchanger references), so the bounds cached at
+  // construction are refreshed at every structural exchange. The rebalancer
+  // clamps slab widths to keep halo_ <= min_extent(), but re-check so a bad
+  // cut fails loudly at the exchange that would use it, not as silently
+  // missing ghosts.
+  DP_CHECK_MSG(halo_ <= decomp_.min_extent(),
+               "halo width " << halo_ << " exceeds sub-domain extent "
+                             << decomp_.min_extent() << " after a boundary shift");
+  lo_ = decomp_.lo(rank_);
+  hi_ = decomp_.hi(rank_);
+
   int tag = 0;
   for (int dim = 0; dim < 3; ++dim) {
     // Only atoms present before this dimension's pair of stages are
@@ -268,7 +280,6 @@ void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int r
   for (int dim = 0; dim < 3; ++dim) {
     const int n_grid = grid[static_cast<std::size_t>(dim)];
     if (n_grid == 1) continue;
-    const double cell = box.lengths()[static_cast<std::size_t>(dim)] / n_grid;
     const int my_c = coords[static_cast<std::size_t>(dim)];
 
     std::vector<double> up, down;
@@ -283,8 +294,9 @@ void migrate(Communicator& comm, const md::Box& box, const Decomp& decomp, int r
                              ids ? static_cast<double>((*ids)[a]) : 0.0});
     };
     for (std::size_t a = 0; a < atoms.size(); ++a) {
-      const int c = std::min(static_cast<int>(atoms.pos[a][static_cast<std::size_t>(dim)] / cell),
-                             n_grid - 1);
+      // Ownership must agree with Decomp::owner_of (the post-condition below
+      // asks it), so route through the same coord_of — it honors shifted cuts.
+      const int c = decomp.coord_of(dim, atoms.pos[a][static_cast<std::size_t>(dim)]);
       if (c == my_c) {
         kept.pos.push_back(atoms.pos[a]);
         kept.vel.push_back(atoms.vel[a]);

@@ -16,6 +16,9 @@ struct Message {
 };
 }  // namespace
 
+// The in-process "threads" Transport: ranks are threads of one process, and
+// a send is a buffered copy into the destination's mailbox.
+//
 // Threading discipline (verified race-free under TSan; keep it that way):
 //
 //  * Mailboxes: one mutex + condvar per destination rank. send() copies the
@@ -39,24 +42,26 @@ struct Message {
 //    under reduce_mu_, and the barriers between the three phases order
 //    "last contribution" before "first copy-out" before "reset for reuse".
 //
-//  * Stats counters are relaxed atomics: they are monotonic telemetry read
-//    after run_parallel() joins (the join supplies the happens-before), so
-//    no ordering stronger than relaxed is needed.
+//  * Stats counters live in the Transport base as relaxed atomics: they are
+//    monotonic telemetry read after run_parallel() joins (the join supplies
+//    the happens-before), so no ordering stronger than relaxed is needed.
 //
 // Each of these arguments is encoded as a capability annotation
 // (DP_GUARDED_BY below; see common/thread_annotations.hpp), so under clang
 // an access that breaks the discipline is a compile error, not a TSan
 // finding that depends on the schedule.
-class World {
+class World final : public Transport {
  public:
   explicit World(int nranks)
       : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {
     DP_CHECK(nranks >= 1);
   }
 
-  int size() const { return nranks_; }
+  const char* name() const override { return "threads"; }
+  int size() const override { return nranks_; }
 
-  void send(int src, int dest, int tag, const void* data, std::size_t bytes) {
+  SendTicket send(int src, int dest, int tag, const void* data,
+                  std::size_t bytes) override {
     DP_CHECK_MSG(dest >= 0 && dest < nranks_, "send to invalid rank " << dest);
     Message msg{src, tag, {}};
     msg.payload.resize(bytes);
@@ -71,11 +76,13 @@ class World {
       box.queue.push_back(std::move(msg));
     }
     box.cv.notify_all();
-    stats_messages_.fetch_add(1, std::memory_order_relaxed);
-    stats_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    n_messages_.fetch_add(1, std::memory_order_relaxed);
+    n_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    n_posts_immediate_.fetch_add(1, std::memory_order_relaxed);
+    return kSendComplete;  // buffered: delivery responsibility transferred
   }
 
-  std::vector<std::byte> recv(int me, int src, int tag) {
+  std::vector<std::byte> recv(int me, int src, int tag) override {
     auto& box = mailboxes_[static_cast<std::size_t>(me)];
     MutexUniqueLock lock(box.mu);
     for (;;) {
@@ -94,7 +101,7 @@ class World {
   /// condvar sleep. The mutex hand-off from send() supplies the same
   /// happens-before as the blocking path, so a true return publishes the
   /// payload bytes completely.
-  bool try_recv(int me, int src, int tag, std::vector<std::byte>& out) {
+  bool try_recv(int me, int src, int tag, std::vector<std::byte>& out) override {
     auto& box = mailboxes_[static_cast<std::size_t>(me)];
     MutexLock lock(box.mu);
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
@@ -107,13 +114,13 @@ class World {
     return false;
   }
 
-  void barrier() {
+  void barrier(int /*me*/) override {
     MutexUniqueLock lock(barrier_mu_);
     const std::uint64_t gen = barrier_gen_;
     if (++barrier_count_ == nranks_) {
       barrier_count_ = 0;
       ++barrier_gen_;
-      stats_barriers_.fetch_add(1, std::memory_order_relaxed);
+      n_barriers_.fetch_add(1, std::memory_order_relaxed);
       barrier_cv_.notify_all();
     } else {
       // Explicit loop, not wait(pred): the generation read must stay in
@@ -124,7 +131,9 @@ class World {
 
   /// Generic allreduce over a double vector: contributions fold into a
   /// shared accumulator, separated from the copy-out and the reset by
-  /// barriers.
+  /// barriers. Folds in *arrival* order — deterministic only for
+  /// order-insensitive reductions (max, or sums feeding telemetry); see the
+  /// rank-order Transport default the process backends use instead.
   ///
   /// Happens-before chain: (1) every rank folds its vector into reduce_buf_
   /// under reduce_mu_; (2) the first barrier orders all folds before any
@@ -133,7 +142,8 @@ class World {
   /// entering the *next* allreduce cannot observe a half-reset buffer;
   /// (5) the reset (first rank through, guarded by reduce_pending_ != 0)
   /// and the third barrier make the buffer reusable before anyone returns.
-  std::vector<double> allreduce(const std::vector<double>& x, bool take_max) {
+  std::vector<double> allreduce(int me, const std::vector<double>& x,
+                                bool take_max) override {
     {
       MutexLock lock(reduce_mu_);
       if (reduce_pending_ == 0) {
@@ -149,27 +159,22 @@ class World {
       }
       ++reduce_pending_;
     }
-    barrier();  // all contributions in
+    barrier(me);  // all contributions in
     std::vector<double> out;
     {
       MutexLock lock(reduce_mu_);
       out = reduce_buf_;
     }
-    barrier();  // all copies out before the buffer is reused
+    barrier(me);  // all copies out before the buffer is reused
     {
       MutexLock lock(reduce_mu_);
       if (reduce_pending_ != 0) {
         reduce_pending_ = 0;
-        stats_reductions_.fetch_add(1, std::memory_order_relaxed);
+        n_reductions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    barrier();
+    barrier(me);
     return out;
-  }
-
-  CommStats stats() const {
-    return {stats_messages_.load(), stats_bytes_.load(), stats_barriers_.load(),
-            stats_reductions_.load()};
   }
 
  private:
@@ -190,34 +195,32 @@ class World {
   Mutex reduce_mu_;
   std::vector<double> reduce_buf_ DP_GUARDED_BY(reduce_mu_);
   int reduce_pending_ DP_GUARDED_BY(reduce_mu_) = 0;
-
-  std::atomic<std::uint64_t> stats_messages_{0};
-  std::atomic<std::uint64_t> stats_bytes_{0};
-  std::atomic<std::uint64_t> stats_barriers_{0};
-  std::atomic<std::uint64_t> stats_reductions_{0};
 };
 
-int Communicator::size() const { return world_->size(); }
+int Communicator::size() const { return transport_->size(); }
 
 void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
-  world_->send(rank_, dest, tag, data, bytes);
+  // Blocking-API contract is "buffered": the payload is copied before the
+  // call returns on every backend, so a deferred flush (tcp) needs no wait
+  // here — the transport owns the bytes until they drain.
+  (void)transport_->send(rank_, dest, tag, data, bytes);
 }
 
 std::vector<std::byte> Communicator::recv(int src, int tag) {
-  return world_->recv(rank_, src, tag);
+  return transport_->recv(rank_, src, tag);
 }
 
 bool Communicator::try_recv(int src, int tag, std::vector<std::byte>& out) {
-  return world_->try_recv(rank_, src, tag, out);
+  return transport_->try_recv(rank_, src, tag, out);
 }
 
 Request Communicator::isend(int dest, int tag, const void* data, std::size_t bytes) {
-  // Buffered transport: the payload is copied into the destination mailbox
-  // before we return, so the send Request is born complete.
-  world_->send(rank_, dest, tag, data, bytes);
+  const SendTicket ticket = transport_->send(rank_, dest, tag, data, bytes);
   Request req;
   req.kind_ = Request::Kind::Send;
-  req.done_ = true;
+  req.comm_ = this;
+  req.ticket_ = ticket;
+  req.done_ = (ticket == kSendComplete);
   return req;
 }
 
@@ -232,15 +235,22 @@ Request Communicator::irecv(int src, int tag) {
 
 bool Request::test() {
   if (done_) return true;
-  DP_CHECK_MSG(kind_ == Kind::Recv && comm_ != nullptr, "test() on an empty Request");
-  done_ = comm_->try_recv(src_, tag_, payload_);
+  DP_CHECK_MSG(kind_ != Kind::None && comm_ != nullptr, "test() on an empty Request");
+  if (kind_ == Kind::Send)
+    done_ = comm_->transport_->send_done(ticket_);
+  else
+    done_ = comm_->try_recv(src_, tag_, payload_);
   return done_;
 }
 
 void Request::wait() {
   if (done_) return;
-  DP_CHECK_MSG(kind_ == Kind::Recv && comm_ != nullptr, "wait() on an empty Request");
-  payload_ = comm_->recv(src_, tag_);
+  DP_CHECK_MSG(kind_ != Kind::None && comm_ != nullptr, "wait() on an empty Request");
+  if (kind_ == Kind::Send) {
+    comm_->transport_->send_wait(ticket_);
+  } else {
+    payload_ = comm_->recv(src_, tag_);
+  }
   done_ = true;
 }
 
@@ -253,7 +263,7 @@ std::vector<std::byte> Request::take() {
   return std::move(payload_);
 }
 
-void Communicator::barrier() { world_->barrier(); }
+void Communicator::barrier() { transport_->barrier(rank_); }
 
 std::vector<double> Communicator::broadcast(const std::vector<double>& x, int root) {
   // Built on tagged point-to-point: root sends to everyone (self included).
@@ -278,21 +288,25 @@ std::vector<double> Communicator::gatherv(const std::vector<double>& x, int root
 }
 
 double Communicator::allreduce_sum(double x) {
-  return world_->allreduce({x}, /*take_max=*/false)[0];
+  return transport_->allreduce(rank_, {x}, /*take_max=*/false)[0];
 }
 
 std::vector<double> Communicator::allreduce_sum(const std::vector<double>& x) {
-  return world_->allreduce(x, /*take_max=*/false);
+  return transport_->allreduce(rank_, x, /*take_max=*/false);
 }
 
 std::uint64_t Communicator::allreduce_sum(std::uint64_t x) {
   return static_cast<std::uint64_t>(
-      world_->allreduce({static_cast<double>(x)}, /*take_max=*/false)[0]);
+      transport_->allreduce(rank_, {static_cast<double>(x)}, /*take_max=*/false)[0]);
 }
 
 double Communicator::allreduce_max(double x) {
-  return world_->allreduce({x}, /*take_max=*/true)[0];
+  return transport_->allreduce(rank_, {x}, /*take_max=*/true)[0];
 }
+
+CommStats Communicator::stats() const { return transport_->stats(); }
+
+const char* Communicator::transport_name() const { return transport_->name(); }
 
 CommStats run_parallel(int nranks, const std::function<void(Communicator&)>& fn) {
   World world(nranks);

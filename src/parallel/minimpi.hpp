@@ -1,11 +1,13 @@
-// minimpi — an in-process message-passing runtime.
+// minimpi — a message-passing runtime with pluggable transports.
 //
 // Stands in for MPI on machines without one (see DESIGN.md substitutions):
-// ranks are threads, point-to-point messages are queued byte buffers matched
-// by (source, tag), and collectives are built on a shared barrier. What the
-// scaling experiments need from MPI — the halo-exchange *pattern* and its
-// accounted byte volume — is preserved exactly; the transport is shared
-// memory.
+// point-to-point messages are tagged byte buffers matched by (source, tag),
+// and collectives are built on the transport. By default ranks are threads
+// of one process exchanging buffered copies (run_parallel); the same
+// Communicator API also runs multi-process over shared-memory rings or TCP
+// sockets (transport.hpp's ProcessGroup). What the scaling experiments need
+// from MPI — the halo-exchange *pattern* and its accounted byte volume — is
+// preserved exactly across backends.
 #pragma once
 
 #include <cstddef>
@@ -16,16 +18,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "parallel/transport.hpp"
 
 namespace dp::par {
-
-/// Aggregate communication counters (per world, summed over ranks).
-struct CommStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t barriers = 0;
-  std::uint64_t reductions = 0;
-};
 
 class World;
 class Communicator;
@@ -41,9 +36,14 @@ class Communicator;
 ///    destination mailbox mutex, the same hand-off blocking recv() uses, so
 ///    a completed Request's payload is fully visible to the owning thread.
 ///    No new cross-thread state is introduced by the nonblocking API.
-///  * On this buffered shared-memory transport isend() completes at post
-///    time (the payload is copied into the destination mailbox), so send
-///    Requests are born complete and may be discarded immediately.
+///  * Send completion is backend-dependent. On the buffered threads and shm
+///    transports isend() completes at post time, so send Requests are born
+///    complete. On tcp a post can outlive the call (the payload is copied
+///    into a transport-owned flush queue when the socket buffer is full);
+///    the Request then completes when the bytes reach the kernel. Either
+///    way the payload is copied before isend() returns, so discarding a
+///    send Request early is always safe — test()/wait() only report
+///    progress, they never guard the caller's buffer.
 class Request {
  public:
   Request() = default;
@@ -90,10 +90,12 @@ class Request {
     comm_ = o.comm_;
     src_ = o.src_;
     tag_ = o.tag_;
+    ticket_ = o.ticket_;
     payload_ = std::move(o.payload_);
     o.kind_ = Kind::None;
     o.done_ = false;
     o.comm_ = nullptr;
+    o.ticket_ = kSendComplete;
   }
 
   Kind kind_ = Kind::None;
@@ -101,6 +103,7 @@ class Request {
   Communicator* comm_ = nullptr;
   int src_ = -1;
   int tag_ = 0;
+  SendTicket ticket_ = kSendComplete;  ///< deferred-send handle (tcp only)
   std::vector<std::byte> payload_;
 };
 
@@ -158,17 +161,24 @@ class Communicator {
   std::uint64_t allreduce_sum(std::uint64_t x);
   double allreduce_max(double x);
 
+  /// This backend's view of the communication counters (threads: world
+  /// totals; shm/tcp: this process's rank).
+  CommStats stats() const;
+  /// Spelling of the backend moving this rank's bytes ("threads"|...).
+  const char* transport_name() const;
+
  private:
   friend class World;
   friend class Request;
+  friend class ProcessGroup;
   friend CommStats run_parallel(int, const std::function<void(Communicator&)>&);
-  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+  Communicator(Transport* transport, int rank) : transport_(transport), rank_(rank) {}
 
   /// Single nonblocking mailbox poll for (src, tag); true = message moved
   /// into `out`.
   bool try_recv(int src, int tag, std::vector<std::byte>& out);
 
-  World* world_;
+  Transport* transport_;
   int rank_;
 };
 

@@ -3,53 +3,78 @@
 #include <cmath>
 
 #include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/minimpi.hpp"
 
 namespace dp::train {
 
-DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
-                                         const Dataset& data, TrainConfig cfg, int epochs) {
-  DP_CHECK(nranks >= 1 && epochs >= 0 && !data.frames.empty());
+DistributedTrainResult train_distributed_rank(par::Communicator& comm,
+                                              core::DPModel& model, const Dataset& data,
+                                              TrainConfig cfg, int epochs) {
+  DP_CHECK(epochs >= 0 && !data.frames.empty());
   DistributedTrainResult result;
   result.epoch_rmse.resize(static_cast<std::size_t>(epochs));
+
+  // Every rank trains a replica; replicas march in lockstep.
+  core::DPModel replica = model;
+  EnergyTrainer trainer(replica, cfg);
+
+  ModelGrads grads, scratch;
+  grads.init(replica);
+  scratch.init(replica);
+  const double n_frames = static_cast<double>(data.size());
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    grads.zero();
+    double se_local = 0.0;
+    for (std::size_t idx = static_cast<std::size_t>(comm.rank()); idx < data.size();
+         idx += static_cast<std::size_t>(comm.size())) {
+      se_local += accumulate_frame_gradients(replica, data.frames[idx], cfg,
+                                             1.0 / n_frames, grads, scratch);
+    }
+    // Global gradient + loss: one fused allreduce over the flat view.
+    std::vector<double> flat = grads.to_vector();
+    flat.push_back(se_local);
+    const auto total = comm.allreduce_sum(flat);
+    const double se_global = total.back();
+    std::vector<double> grad_global(total.begin(), total.end() - 1);
+    grads.from_vector(grad_global);
+    trainer.apply(grads);
+    result.epoch_rmse[static_cast<std::size_t>(epoch)] = std::sqrt(se_global / n_frames);
+  }
+
+  model = replica;
+  result.comm = comm.stats();
+  if (comm.rank() == 0) {
+    // Transport-layer counters (docs/OBSERVABILITY.md "comm.*"), mirroring
+    // the distributed MD driver's export.
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.gauge("comm.messages").set(static_cast<double>(result.comm.messages));
+    reg.gauge("comm.bytes").set(static_cast<double>(result.comm.bytes));
+    reg.gauge("comm.reductions").set(static_cast<double>(result.comm.reductions));
+    reg.gauge("comm.wire_bytes").set(static_cast<double>(result.comm.wire_bytes));
+  }
+  return result;
+}
+
+DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
+                                         const Dataset& data, TrainConfig cfg, int epochs) {
+  DP_CHECK(nranks >= 1);
+  DistributedTrainResult result;
 
   // Guards the write-back of the trained replica into the caller's model.
   // Only rank 0 takes it today; the lock keeps the discipline explicit if
   // that ever widens. (A local cannot carry DP_GUARDED_BY.)
   Mutex out_mu;
   result.comm = par::run_parallel(nranks, [&](par::Communicator& comm) {
-    // Every rank trains a replica; replicas march in lockstep.
+    // Private copy per rank thread: the SPMD entry writes the trained
+    // replica back into its argument, which must not race across ranks.
     core::DPModel replica = model;
-    EnergyTrainer trainer(replica, cfg);
-
-    ModelGrads grads, scratch;
-    grads.init(replica);
-    scratch.init(replica);
-    const double n_frames = static_cast<double>(data.size());
-
-    for (int epoch = 0; epoch < epochs; ++epoch) {
-      grads.zero();
-      double se_local = 0.0;
-      for (std::size_t idx = static_cast<std::size_t>(comm.rank()); idx < data.size();
-           idx += static_cast<std::size_t>(comm.size())) {
-        se_local += accumulate_frame_gradients(replica, data.frames[idx], cfg,
-                                               1.0 / n_frames, grads, scratch);
-      }
-      // Global gradient + loss: one fused allreduce over the flat view.
-      std::vector<double> flat = grads.to_vector();
-      flat.push_back(se_local);
-      const auto total = comm.allreduce_sum(flat);
-      const double se_global = total.back();
-      std::vector<double> grad_global(total.begin(), total.end() - 1);
-      grads.from_vector(grad_global);
-      trainer.apply(grads);
-      if (comm.rank() == 0)
-        result.epoch_rmse[static_cast<std::size_t>(epoch)] = std::sqrt(se_global / n_frames);
-    }
-
+    auto r = train_distributed_rank(comm, replica, data, cfg, epochs);
     if (comm.rank() == 0) {
       MutexLock lock(out_mu);
       model = replica;
+      result.epoch_rmse = std::move(r.epoch_rmse);
     }
   });
   return result;

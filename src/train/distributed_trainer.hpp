@@ -24,4 +24,14 @@ struct DistributedTrainResult {
 DistributedTrainResult train_distributed(int nranks, core::DPModel& model,
                                          const Dataset& data, TrainConfig cfg, int epochs);
 
+/// SPMD entry point over an already-connected communicator — the same path
+/// serves in-process rank threads and one-rank-per-process worlds
+/// (ProcessGroup::comm() over the shm/tcp transports). Every rank must pass
+/// identical model/data/config; on return `model` holds the synchronized
+/// trained replica on every rank and `epoch_rmse` is filled everywhere
+/// (the loss is allreduced, so all ranks know it).
+DistributedTrainResult train_distributed_rank(par::Communicator& comm,
+                                              core::DPModel& model, const Dataset& data,
+                                              TrainConfig cfg, int epochs);
+
 }  // namespace dp::train

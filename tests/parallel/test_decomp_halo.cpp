@@ -71,6 +71,57 @@ TEST(Decomp, GhostFractionGrowsWithRankCount) {
   EXPECT_LT(f8, f64);
 }
 
+TEST(Decomp, UniformCutsMatchImplicitGrid) {
+  // Installing cuts at exactly the uniform planes must not change a single
+  // answer: coord_of, owner_of, lo/hi and min_extent all agree with the
+  // cut-free decomposition (same arithmetic, different storage).
+  const md::Box box(12, 9, 15);
+  Decomp uniform(box, {4, 1, 1});
+  Decomp explicit_cuts(box, {4, 1, 1});
+  explicit_cuts.set_cuts(0, {0.0, 3.0, 6.0, 9.0, 12.0});
+  EXPECT_TRUE(explicit_cuts.has_cuts(0));
+  EXPECT_FALSE(explicit_cuts.has_cuts(1));
+
+  Rng rng(7);
+  for (int k = 0; k < 2000; ++k) {
+    Vec3 p{rng.uniform(0, 12), rng.uniform(0, 9), rng.uniform(0, 15)};
+    EXPECT_EQ(explicit_cuts.owner_of(p), uniform.owner_of(p));
+    EXPECT_EQ(explicit_cuts.coord_of(0, p.x), uniform.coord_of(0, p.x));
+  }
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(explicit_cuts.lo(r).x, uniform.lo(r).x);
+    EXPECT_EQ(explicit_cuts.hi(r).x, uniform.hi(r).x);
+  }
+  EXPECT_EQ(explicit_cuts.min_extent(), uniform.min_extent());
+}
+
+TEST(Decomp, NonUniformCutsMoveOwnership) {
+  const md::Box box(10, 10, 10);
+  Decomp d(box, {2, 1, 1});
+  d.set_cuts(0, {0.0, 7.5, 10.0});
+
+  EXPECT_EQ(d.cut(0, 1), 7.5);
+  EXPECT_EQ(d.width(0, 0), 7.5);
+  EXPECT_EQ(d.width(0, 1), 2.5);
+  EXPECT_EQ(d.coord_of(0, 7.4), 0);
+  EXPECT_EQ(d.coord_of(0, 7.5), 1);  // planes belong to the upper slab
+  EXPECT_EQ(d.owner_of({9.0, 1.0, 1.0}), d.rank_of({1, 0, 0}));
+  EXPECT_EQ(d.owner_of({1.0, 1.0, 1.0}), d.rank_of({0, 0, 0}));
+  // min_extent now reflects the narrow slab, not the uniform width.
+  EXPECT_EQ(d.min_extent(), 2.5);
+  // Untouched dimensions keep the uniform planes.
+  EXPECT_EQ(d.cut(1, 1), 10.0);
+}
+
+TEST(Decomp, SetCutsRejectsMalformedPlanes) {
+  Decomp d(md::Box(10, 10, 10), {2, 1, 1});
+  EXPECT_THROW(d.set_cuts(0, {0.0, 5.0}), Error);              // wrong count
+  EXPECT_THROW(d.set_cuts(0, {0.5, 5.0, 10.0}), Error);        // not at 0
+  EXPECT_THROW(d.set_cuts(0, {0.0, 5.0, 9.0}), Error);         // not at L
+  EXPECT_THROW(d.set_cuts(0, {0.0, 10.0, 10.0}), Error);       // degenerate slab
+  EXPECT_THROW(d.set_cuts(0, {0.0, 12.0, 10.0}), Error);       // non-monotone
+}
+
 // ---------------------------------------------------------------------------
 
 /// Every rank's local + ghost view must reproduce the serial neighborhood:

@@ -34,7 +34,10 @@ STRICT_REL_TOL = 1e-6
 # Per-event-name comparison rules. `key` identifies a sweep point across
 # runs; `strict` fields must match; `higher_better` / `lower_better` are
 # ratio-style fields judged with the multiplicative tolerance, failing only
-# when the fresh value regresses (lower resp. higher than allowed).
+# when the fresh value regresses (lower resp. higher than allowed);
+# `floors` are absolute minima checked against the fresh run alone — they
+# encode acceptance criteria that hold regardless of what the baseline
+# host happened to measure.
 RULES = {
     "build": {
         "key": ["atoms", "threads"],
@@ -64,6 +67,34 @@ RULES = {
             # fields, so the ratio is skipped against them.
             "tab_vector_over_scalar": ("tab_vector_seconds", "tab_scalar_seconds"),
         },
+    },
+    "rebalance": {
+        "key": ["ranks", "atoms"],
+        # The fixed-grid imbalance and the rebalanced one ride on the fp
+        # trajectory (an atom near a slab plane can land either side under a
+        # different FMA contraction), so neither is compared strictly. The
+        # gates are the force-parity verdict (pure arithmetic, 0/1), the
+        # reduction fraction vs baseline, and an absolute floor — the
+        # acceptance bar itself, independent of what the baseline achieved.
+        "strict": ["force_parity_ok"],
+        "higher_better": ["imbalance_reduction"],
+        "floors": {"imbalance_reduction": 0.25},
+        "derived": {},
+    },
+    # Per-transport byte accounting of one fixed 2-rank run: message count
+    # and payload/wire bytes are set by the decomposition and the framing,
+    # not the clock — any drift means the communication pattern changed.
+    "comm_shm": {
+        "key": [],
+        "strict": ["messages", "bytes", "wire_bytes"],
+        "higher_better": [],
+        "derived": {},
+    },
+    "comm_tcp": {
+        "key": [],
+        "strict": ["messages", "bytes", "wire_bytes"],
+        "higher_better": [],
+        "derived": {},
     },
     "mixed": {
         "key": ["atoms"],
@@ -154,6 +185,12 @@ def compare(base, fresh, factor, strict_time, time_tol):
                 problems.append(
                     f"{point}: {f} regressed {bf[f]:.3g} -> {ff[f]:.3g} "
                     f"(allowed down to {bf[f] / factor:.3g})"
+                )
+        for f, floor in rule.get("floors", {}).items():
+            if f in ff and ff[f] < floor:
+                problems.append(
+                    f"{point}: {f} = {ff[f]:.3g} is below the absolute floor "
+                    f"{floor:g} (acceptance criterion, baseline-independent)"
                 )
         for dname, (num, den) in rule["derived"].items():
             bratio = derived_ratio(bf, num, den)
@@ -300,6 +337,42 @@ def selftest():
          "single_seconds": 4.5, "half_seconds": 4.8}
     )
     assert compare(mixed_base, scalar_host, 2.0, False, 0.5) == []
+    # Rebalance events: the reduction fraction carries an absolute floor
+    # (the acceptance criterion) on top of the baseline ratio, and the
+    # force-parity verdict is strict.
+    reb_base = {
+        ("rebalance", (4.0, 2048.0)): {
+            "imbalance_fixed": 2.0,
+            "imbalance_rebalanced": 1.1,
+            "imbalance_reduction": 0.45,
+            "boundary_shifts": 1.0,
+            "force_parity_ok": 1.0,
+        },
+        ("comm_shm", ()): {"messages": 133.0, "bytes": 551608.0, "wire_bytes": 172432.0},
+    }
+
+    def reb_clone():
+        return {k: dict(v) for k, v in reb_base.items()}
+
+    assert compare(reb_base, reb_clone(), 2.0, False, 0.5) == []
+    # A reduction within the factor of the baseline but under the absolute
+    # floor still fails: the floor is the acceptance bar, not noise margin.
+    floor_miss = reb_clone()
+    floor_miss[("rebalance", (4.0, 2048.0))]["imbalance_reduction"] = 0.24
+    assert any("absolute floor" in p for p in compare(reb_base, floor_miss, 2.0, False, 0.5))
+    # Collapse vs baseline beyond the factor fails too (even above a tiny floor).
+    reb_collapse = reb_clone()
+    reb_collapse[("rebalance", (4.0, 2048.0))]["imbalance_reduction"] = 0.1
+    assert any("imbalance_reduction regressed" in p
+               for p in compare(reb_base, reb_collapse, 2.0, False, 0.5))
+    # Losing bit-level force parity is a hard failure.
+    no_parity = reb_clone()
+    no_parity[("rebalance", (4.0, 2048.0))]["force_parity_ok"] = 0.0
+    assert any("force_parity_ok" in p for p in compare(reb_base, no_parity, 2.0, False, 0.5))
+    # Transport byte accounting is deterministic: any drift is structural.
+    chatty = reb_clone()
+    chatty[("comm_shm", ())]["wire_bytes"] = 200000.0
+    assert any("wire_bytes" in p for p in compare(reb_base, chatty, 2.0, False, 0.5))
     print("bench_compare selftest: ok")
     return 0
 

@@ -94,6 +94,31 @@ class RuleTest(unittest.TestCase):
         self.assertNotIn("blocking-p2p",
                          rules("src/parallel/halo.cpp", "comm.send_vec(1, 0, v);\n"))
 
+    def test_transport_syscalls_confined_to_backends(self):
+        self.assertIn("transport-syscalls",
+                      rules("src/md/foo.cpp",
+                            "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"))
+        self.assertIn("transport-syscalls",
+                      rules("tests/parallel/foo.cpp",
+                            "int fd = shm_open(name, O_RDWR, 0600);\n"))
+        self.assertIn("transport-syscalls",
+                      rules("bench/foo.cpp", "shm_unlink(name);\n"))
+        # The two backend translation units own these syscalls.
+        self.assertNotIn("transport-syscalls",
+                         rules("src/parallel/transport_shm.cpp",
+                               "int fd = shm_open(name, O_RDWR, 0600);\n"))
+        self.assertNotIn("transport-syscalls",
+                         rules("src/parallel/transport_tcp.cpp",
+                               "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"))
+        # \b guards identifiers that merely end in the name, comments are
+        # stripped before matching, and connect() is deliberately not matched.
+        self.assertNotIn("transport-syscalls",
+                         rules("src/md/foo.cpp", "my_socket(1);\n"))
+        self.assertNotIn("transport-syscalls",
+                         rules("src/md/foo.cpp", "// socket(2) is banned here\n"))
+        self.assertNotIn("transport-syscalls",
+                         rules("src/md/foo.cpp", "connect(fd, addr, len);\n"))
+
     def test_neighbor_workspace(self):
         bad = ("void NeighborList::build(const Box& box) {\n"
                "  std::vector<int> scratch(n);\n"
